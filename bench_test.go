@@ -1,0 +1,391 @@
+// Package repro_test holds the benchmark harness that regenerates every
+// table and figure of the paper's evaluation (Table I, Figs. 3, 5, 7, 10,
+// 11, 12, 13, 14 and the headline numbers), plus ablation benchmarks for the
+// design decisions called out in DESIGN.md §5.
+//
+// Figure benchmarks share one evaluation matrix (2 repetitions for bench
+// runtime; cmd/qoebench runs the paper's full 5) built lazily on first use;
+// BenchmarkEvaluationMatrix measures building that matrix from scratch.
+package repro_test
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/annotate"
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/evdev"
+	"repro/internal/experiment"
+	"repro/internal/governor"
+	"repro/internal/match"
+	"repro/internal/oracle"
+	"repro/internal/power"
+	"repro/internal/report"
+	"repro/internal/screen"
+	"repro/internal/sim"
+	"repro/internal/suggest"
+	"repro/internal/video"
+	"repro/internal/workload"
+)
+
+var (
+	matrixOnce    sync.Once
+	matrixResults []*experiment.DatasetResult
+	matrixModel   *power.Model
+)
+
+func evaluationMatrix(b *testing.B) ([]*experiment.DatasetResult, *power.Model) {
+	b.Helper()
+	matrixOnce.Do(func() {
+		model, err := power.Calibrate(power.Snapdragon8074(), power.DefaultSilicon(), 100*sim.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		matrixModel = model
+		for _, w := range workload.Datasets() {
+			res, err := experiment.RunDataset(w, model, experiment.Options{Reps: 2, Seed: 1})
+			if err != nil {
+				b.Fatalf("%s: %v", w.Name, err)
+			}
+			matrixResults = append(matrixResults, res)
+		}
+	})
+	if matrixResults == nil {
+		b.Fatal("evaluation matrix unavailable")
+	}
+	return matrixResults, matrixModel
+}
+
+// BenchmarkEvaluationMatrix measures the full §III-A experiment for one
+// dataset: record, annotate, 17 configurations × 2 reps, oracle.
+func BenchmarkEvaluationMatrix(b *testing.B) {
+	model, err := power.Calibrate(power.Snapdragon8074(), power.DefaultSilicon(), 100*sim.Millisecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunDataset(workload.Dataset02(), model, experiment.Options{Reps: 2, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Workloads regenerates Table I.
+func BenchmarkTable1Workloads(b *testing.B) {
+	results, _ := evaluationMatrix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report.TableI(io.Discard, results)
+	}
+}
+
+// BenchmarkFigure3OracleSnapshot regenerates the ondemand-vs-oracle
+// frequency overlay of Fig. 3.
+func BenchmarkFigure3OracleSnapshot(b *testing.B) {
+	results, _ := evaluationMatrix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report.Figure3(io.Discard, results[0], sim.Time(265*sim.Second))
+	}
+}
+
+// BenchmarkFigure5Getevent regenerates the getevent excerpt of Fig. 5.
+func BenchmarkFigure5Getevent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report.Figure5(io.Discard)
+	}
+}
+
+// BenchmarkFigure7Suggester regenerates the suggester example of Fig. 7: the
+// Gallery cold launch at the lowest fixed frequency.
+func BenchmarkFigure7Suggester(b *testing.B) {
+	results, model := evaluationMatrix(b)
+	res := results[0]
+	art := workload.Replay(res.Workload, res.Recording, governor.NewFixed(model.Table, 0), "0.30 GHz", 77, true)
+	start := art.Video.IndexAt(res.Gestures[0].Start)
+	end := art.Video.IndexAt(res.Gestures[1].Start)
+	// The workload creator masks the loading spinner so each progressively
+	// loaded album becomes one suggestion (the paper's Fig. 7 setup).
+	cfg := suggest.Config{
+		MinStill: 1,
+		Mask:     video.NewMask(screen.ClockRect, apps.GalleryLoadSpinnerRect),
+	}
+	sugg := suggest.Suggest(art.Video, start, end, cfg)
+	if len(sugg) < 5 || len(sugg) > 14 {
+		b.Fatalf("gallery launch gave %d suggestions, paper reports 8-10", len(sugg))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report.Figure7(io.Discard, art.Video, start, end, cfg)
+	}
+}
+
+// BenchmarkFigure10InputClassification regenerates the input classification
+// of Fig. 10.
+func BenchmarkFigure10InputClassification(b *testing.B) {
+	results, _ := evaluationMatrix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report.Figure10(io.Discard, results, nil)
+	}
+}
+
+// BenchmarkFigure11LagDistributions regenerates the per-configuration lag
+// duration distributions and the ondemand KDE of Fig. 11.
+func BenchmarkFigure11LagDistributions(b *testing.B) {
+	results, _ := evaluationMatrix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report.Figure11(io.Discard, results[0])
+	}
+}
+
+// BenchmarkFigure12IrritationEnergy regenerates Fig. 12 (dataset 02).
+func BenchmarkFigure12IrritationEnergy(b *testing.B) {
+	results, _ := evaluationMatrix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report.Figure12(io.Discard, results[1])
+	}
+}
+
+// BenchmarkFigure13Scatter regenerates the energy-vs-irritation scatter of
+// Fig. 13 (dataset 02).
+func BenchmarkFigure13Scatter(b *testing.B) {
+	results, _ := evaluationMatrix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report.Figure13(io.Discard, results[1])
+	}
+}
+
+// BenchmarkFigure14Summary regenerates the cross-dataset governor summary of
+// Fig. 14 and reports its headline metrics.
+func BenchmarkFigure14Summary(b *testing.B) {
+	results, _ := evaluationMatrix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report.Figure14(io.Discard, results)
+	}
+	b.StopTimer()
+	var cons, inter, ond float64
+	for _, res := range results {
+		cons += res.NormEnergy("conservative")
+		inter += res.NormEnergy("interactive")
+		ond += res.NormEnergy("ondemand")
+	}
+	n := float64(len(results))
+	b.ReportMetric(cons/n, "conservativeE/oracle")
+	b.ReportMetric(inter/n, "interactiveE/oracle")
+	b.ReportMetric(ond/n, "ondemandE/oracle")
+}
+
+// BenchmarkHeadlineSavings regenerates the paper's headline numbers (27%
+// saving vs the stock governor, 47% vs max frequency) and reports the
+// measured equivalents as metrics.
+func BenchmarkHeadlineSavings(b *testing.B) {
+	results, model := evaluationMatrix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report.Headlines(io.Discard, results)
+	}
+	b.StopTimer()
+	maxLabel := model.Table[len(model.Table)-1].Label()
+	bestGov, bestMax := 0.0, 0.0
+	for _, res := range results {
+		if v := 1 - 1/res.NormEnergy("interactive"); v > bestGov {
+			bestGov = v
+		}
+		if v := 1 - 1/res.NormEnergy(maxLabel); v > bestMax {
+			bestMax = v
+		}
+	}
+	b.ReportMetric(bestGov*100, "%saved-vs-interactive")
+	b.ReportMetric(bestMax*100, "%saved-vs-2.15GHz")
+}
+
+// BenchmarkAblationRLEMatcher compares the run-length matcher against a
+// naive per-frame matcher (DESIGN.md ablation 1): both must find the same
+// endings, the RLE one much faster.
+func BenchmarkAblationRLEMatcher(b *testing.B) {
+	results, _ := evaluationMatrix(b)
+	res := results[0]
+	art := workload.Replay(res.Workload, res.Recording, governor.NewOndemand(), "ondemand", 55, true)
+
+	naive := func(v *video.Video, e *annotate.Entry, start int) (int, bool) {
+		need := e.Occurrence
+		inSeg := false
+		for i := start + 1; i < v.Len(); i++ {
+			sim := e.Similar(v.FrameAt(i))
+			if sim && !inSeg {
+				need--
+				if need == 0 {
+					return i, true
+				}
+			}
+			inSeg = sim
+		}
+		return 0, false
+	}
+
+	b.Run("rle", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := match.Match(art.Video, res.DB, res.Gestures, "ondemand", match.Options{Strict: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for k := range res.DB.Entries {
+				e := &res.DB.Entries[k]
+				if e.Spurious {
+					continue
+				}
+				if _, ok := naive(art.Video, e, art.Video.IndexAt(res.Gestures[k].Start)); !ok {
+					b.Fatalf("naive matcher lost lag %d", k)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAblationInputBoost measures the interactive governor with and
+// without its input boost (DESIGN.md ablation 2), reporting irritation.
+func BenchmarkAblationInputBoost(b *testing.B) {
+	results, model := evaluationMatrix(b)
+	res := results[1] // dataset02: typing-heavy, boost-sensitive
+	run := func(b *testing.B, boost bool) {
+		var irr sim.Duration
+		for i := 0; i < b.N; i++ {
+			gov := governor.NewInteractive()
+			name := "interactive-ablation"
+			g := governor.Governor(gov)
+			if !boost {
+				g = noBoost{gov}
+			}
+			art := workload.Replay(res.Workload, res.Recording, g, name, 91, true)
+			profile, err := match.Match(art.Video, res.DB, res.Gestures, name, match.Options{Strict: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			irr = core.Irritation(profile, res.Thresholds)
+		}
+		b.ReportMetric(irr.Seconds(), "irritation-s")
+		_ = model
+	}
+	b.Run("with-boost", func(b *testing.B) { run(b, true) })
+	b.Run("no-boost", func(b *testing.B) { run(b, false) })
+}
+
+// noBoost wraps the interactive governor, dropping input notifications.
+type noBoost struct{ *governor.Interactive }
+
+func (n noBoost) OnInput(sim.Time) {}
+
+// BenchmarkAblationThresholdModel compares oracle energy under the paper's
+// 110%-of-fastest rule against fixed HCI-category thresholds (DESIGN.md
+// ablation 3).
+func BenchmarkAblationThresholdModel(b *testing.B) {
+	results, _ := evaluationMatrix(b)
+	res := results[0]
+	b.Run("relative-110", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = res.OracleEnergyJ
+		}
+		b.ReportMetric(res.OracleEnergyJ, "oracle-J")
+	})
+	b.Run("hci-classes", func(b *testing.B) {
+		// Rebuilding the oracle with the annotation DB's HCI thresholds.
+		th := res.DB.Thresholds()
+		var energy float64
+		for i := 0; i < b.N; i++ {
+			o, err := rebuildOracle(res, &th)
+			if err != nil {
+				b.Fatal(err)
+			}
+			energy = o
+		}
+		b.ReportMetric(energy, "oracle-J")
+	})
+}
+
+func rebuildOracle(res *experiment.DatasetResult, th *core.Thresholds) (float64, error) {
+	tbl := res.Model.Table
+	var fixed []oracle.FixedRun
+	for idx := range tbl {
+		r := res.Runs[tbl[idx].Label()][0]
+		fixed = append(fixed, oracle.FixedRun{OPPIndex: idx, Profile: r.Profile, BusyCurve: r.BusyCurve})
+	}
+	o, err := oracle.Build(fixed, res.Model, 0, th)
+	if err != nil {
+		return 0, err
+	}
+	return o.EnergyJ, nil
+}
+
+// BenchmarkAblationRaceToIdle compares the power model with and without the
+// base active power term (DESIGN.md ablation 4): without it the energy
+// optimum collapses to the lowest frequency and the paper's race-to-idle
+// disappears.
+func BenchmarkAblationRaceToIdle(b *testing.B) {
+	si := power.DefaultSilicon()
+	with, err := power.Calibrate(power.Snapdragon8074(), si, 100*sim.Millisecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	si.BaseActiveW = 0
+	without, err := power.Calibrate(power.Snapdragon8074(), si, 100*sim.Millisecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if with.MostEfficientOPP() == 0 {
+		b.Fatal("race-to-idle model degenerate: optimum at the lowest OPP")
+	}
+	// Without the base active power, energy/cycle collapses to C·V²: the
+	// lowest OPP is tied-for-optimal across the flat-voltage plateau and
+	// race-to-idle disappears.
+	opt := without.MostEfficientOPP()
+	if diff := without.EnergyPerCycleNJ(0) - without.EnergyPerCycleNJ(opt); diff > 1e-9 {
+		b.Fatalf("without base power 0.30 GHz should be tied-optimal (diff %.3g nJ)", diff)
+	}
+	if with.EnergyPerCycleNJ(0) <= with.EnergyPerCycleNJ(with.MostEfficientOPP())+1e-9 {
+		b.Fatal("with base power the bottom OPP must be strictly worse than the optimum")
+	}
+	b.ReportMetric(with.Table[with.MostEfficientOPP()].GHz(), "optimumGHz-with")
+	b.ReportMetric(without.Table[without.MostEfficientOPP()].GHz(), "optimumGHz-without")
+	for i := 0; i < b.N; i++ {
+		_, _ = power.Calibrate(power.Snapdragon8074(), si, 100*sim.Millisecond)
+	}
+}
+
+// BenchmarkReplayThroughput measures raw replay speed (simulated seconds per
+// wall second) for one 10-minute dataset under ondemand.
+func BenchmarkReplayThroughput(b *testing.B) {
+	results, _ := evaluationMatrix(b)
+	res := results[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		workload.Replay(res.Workload, res.Recording, governor.NewOndemand(), "ondemand", uint64(i), true)
+	}
+	b.StopTimer()
+	simSeconds := res.Recording.RunWindow().Seconds() * float64(b.N)
+	b.ReportMetric(simSeconds/b.Elapsed().Seconds(), "sim-s/wall-s")
+}
+
+// BenchmarkRecord24Hour measures recording the 24-hour workload (the Fig. 10
+// rightmost bars) — the stress case for the run-length video and event queue.
+func BenchmarkRecord24Hour(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rec, truths, err := workload.TwentyFourHour().Record(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gs := evdev.Classify(rec.Events)
+		if len(gs) != len(truths) {
+			b.Fatalf("gesture/truth mismatch: %d vs %d", len(gs), len(truths))
+		}
+	}
+}

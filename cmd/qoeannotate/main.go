@@ -1,0 +1,89 @@
+// Command qoeannotate builds the annotation database for a recorded workload
+// (the paper's Fig. 4 Part A): it replays the trace once under the stock
+// interactive governor, captures the screen video, runs the suggester for
+// each lag, and picks the ending frames.
+//
+// Usage:
+//
+//	qoeannotate -workload dataset01 -trace dataset01.trace [-o dataset01.adb]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/annotate"
+	"repro/internal/evdev"
+	"repro/internal/governor"
+	"repro/internal/match"
+	"repro/internal/workload"
+)
+
+func main() {
+	name := flag.String("workload", "quickstart", "workload name matching the trace")
+	tracePath := flag.String("trace", "", "getevent trace recorded by qoerecord")
+	seed := flag.Uint64("seed", 0xA11, "annotation run seed")
+	out := flag.String("o", "", "output annotation DB (default <workload>.adb)")
+	flag.Parse()
+
+	w := workload.ByName(*name)
+	if w == nil {
+		fatal(fmt.Errorf("unknown workload %q", *name))
+	}
+	rec, err := loadTrace(w, *tracePath)
+	if err != nil {
+		fatal(err)
+	}
+
+	gestures := match.Gestures(rec.Events)
+	art := workload.Replay(w, rec, governor.NewInteractive(), "annotation", *seed, true)
+	db, err := annotate.Build(w.Name, art.Video, gestures, art.Truths, annotate.BuildOptions{MinStill: 1})
+	if err != nil {
+		fatal(err)
+	}
+
+	path := *out
+	if path == "" {
+		path = *name + ".adb"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := db.Save(f); err != nil {
+		fatal(err)
+	}
+	spurious := 0
+	for _, e := range db.Entries {
+		if e.Spurious {
+			spurious++
+		}
+	}
+	fmt.Printf("annotated %s: %d lags (%d spurious) -> %s\n",
+		w.Name, len(db.Entries), spurious, path)
+}
+
+func loadTrace(w *workload.Workload, path string) (*workload.Recording, error) {
+	if path == "" {
+		// No trace supplied: record fresh (convenience for demos).
+		rec, _, err := w.Record(1)
+		return rec, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	events, err := evdev.UnmarshalGetevent(f)
+	if err != nil {
+		return nil, err
+	}
+	return &workload.Recording{Workload: w.Name, Duration: w.Duration, Events: events}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qoeannotate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,170 @@
+// Command qoebench runs the paper's full evaluation and regenerates every
+// table and figure: Table I, Fig. 3 (governor vs oracle frequency snapshot),
+// Fig. 5 (getevent format), Fig. 7 (suggester), Fig. 10 (input
+// classification), Fig. 11 (lag distributions), Fig. 12 (irritation and
+// energy), Fig. 13 (scatter), Fig. 14 (cross-dataset summary) and the
+// headline savings numbers.
+//
+// Usage:
+//
+//	qoebench [-reps 5] [-seed 1] [-with24h] [-figure all|1|3|5|7|10|11|12|13|14|headlines]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/experiment"
+	"repro/internal/governor"
+	"repro/internal/match"
+	"repro/internal/power"
+	"repro/internal/report"
+	"repro/internal/screen"
+	"repro/internal/sim"
+	"repro/internal/suggest"
+	"repro/internal/video"
+	"repro/internal/workload"
+)
+
+func main() {
+	reps := flag.Int("reps", 5, "repetitions per configuration (paper: 5)")
+	seed := flag.Uint64("seed", 1, "master seed")
+	with24h := flag.Bool("with24h", true, "include the 24-hour workload in Fig. 10")
+	figure := flag.String("figure", "all", "which table/figure to print (all, 1, 3, 5, 7, 10, 11, 12, 13, 14, headlines)")
+	jsonOut := flag.String("json", "", "also write per-dataset result summaries as JSON")
+	verbose := flag.Bool("v", true, "print progress")
+	flag.Parse()
+
+	want := func(name string) bool { return *figure == "all" || *figure == name }
+
+	var progress func(string)
+	if *verbose {
+		progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+	}
+
+	model, err := power.Calibrate(power.Snapdragon8074(), power.DefaultSilicon(), 2*sim.Second)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("power model: %s\n", model)
+	fmt.Printf("energy/cycle by OPP (nJ):")
+	for i := range model.Table {
+		fmt.Printf(" %.2f=%0.3f", model.Table[i].GHz(), model.EnergyPerCycleNJ(i))
+	}
+	fmt.Println()
+
+	start := time.Now()
+	opts := experiment.Options{Reps: *reps, Seed: *seed, Progress: progress}
+	var results []*experiment.DatasetResult
+	for _, w := range workload.Datasets() {
+		res, err := experiment.RunDataset(w, model, opts)
+		if err != nil {
+			fatal(err)
+		}
+		results = append(results, res)
+	}
+	fmt.Fprintf(os.Stderr, "matrix complete: %d datasets x %d configs x %d reps in %v\n",
+		len(results), len(results[0].Configs), *reps, time.Since(start).Round(time.Millisecond))
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := experiment.WriteSummaries(f, results); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "summaries -> %s\n", *jsonOut)
+	}
+
+	section := func() { fmt.Println("\n" + strings.Repeat("=", 78)) }
+
+	if want("1") {
+		section()
+		report.TableI(os.Stdout, results)
+	}
+	if want("3") {
+		section()
+		// The paper's Fig. 3 shows dataset 01 around t=265s.
+		report.Figure3(os.Stdout, results[0], sim.Time(265*sim.Second))
+	}
+	if want("5") {
+		section()
+		report.Figure5(os.Stdout)
+	}
+	if want("7") {
+		section()
+		figure7(results[0], model)
+	}
+	if want("10") {
+		section()
+		extra := map[string][4]int{}
+		if *with24h {
+			fmt.Fprintln(os.Stderr, "[24hour] recording the 24-hour workload")
+			rec24, truths24, err := workload.TwentyFourHour().Record(*seed)
+			if err != nil {
+				fatal(err)
+			}
+			t, s, a, sp := experiment.ClassifyInputs(match.Gestures(rec24.Events), truths24)
+			extra["24hour"] = [4]int{t, s, a, sp}
+		}
+		report.Figure10(os.Stdout, results, extra)
+	}
+	if want("11") {
+		section()
+		report.Figure11(os.Stdout, results[0])
+	}
+	if want("12") {
+		section()
+		report.Figure12(os.Stdout, results[1]) // paper uses dataset 02
+	}
+	if want("13") {
+		section()
+		report.Figure13(os.Stdout, results[1])
+	}
+	if want("14") {
+		section()
+		report.Figure14(os.Stdout, results)
+	}
+	if want("headlines") {
+		section()
+		report.Headlines(os.Stdout, results)
+	}
+}
+
+// figure7 re-creates the paper's suggester example: the Gallery cold launch
+// of dataset 01 replayed at the lowest fixed frequency ("loading the Gallery
+// takes about 200 frames at the lowest CPU frequency").
+func figure7(res *experiment.DatasetResult, model *power.Model) {
+	w := res.Workload
+	art := workload.Replay(w, res.Recording, governor.NewFixed(model.Table, 0), "0.30 GHz", 77, true)
+	gs := res.Gestures
+	// Lag 0 is the gallery launch. The workload creator masks the loading
+	// spinner, the paper's "if a small animation prevents the suggester
+	// from finding still standing images, a mask can be applied" example —
+	// so each progressively loaded album yields one suggestion.
+	startIdx := art.Video.IndexAt(gs[0].Start)
+	endIdx := art.Video.IndexAt(gs[1].Start)
+	cfg := suggest.Config{
+		MinStill: 1,
+		Mask:     video.NewMask(screen.ClockRect, apps.GalleryLoadSpinnerRect),
+	}
+	report.Figure7(os.Stdout, art.Video, startIdx, endIdx, cfg)
+
+	// The paper's tuning example: requiring 30 zeros cuts the suggestions.
+	cfg.MinStill = 30
+	sugg := suggest.Suggest(art.Video, startIdx, endIdx, cfg)
+	fmt.Printf("with min-still 30 (paper's tuning example): %d suggestions\n", len(sugg))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qoebench:", err)
+	os.Exit(1)
+}

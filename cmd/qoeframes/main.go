@@ -1,0 +1,76 @@
+// Command qoeframes exports the expected lag-ending images of an annotation
+// database as PNG (or PGM) files, one per interaction lag — the images a
+// human annotator would have picked in the paper's workload-creation GUI.
+//
+// Usage:
+//
+//	qoeframes -db dataset01.adb [-dir frames] [-format png] [-scale 6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/annotate"
+	"repro/internal/video"
+)
+
+func main() {
+	dbPath := flag.String("db", "", "annotation DB built by qoeannotate")
+	dir := flag.String("dir", "frames", "output directory")
+	format := flag.String("format", "png", "png or pgm")
+	scale := flag.Int("scale", 6, "png upscale factor")
+	flag.Parse()
+
+	if *dbPath == "" {
+		fatal(fmt.Errorf("-db is required"))
+	}
+	f, err := os.Open(*dbPath)
+	if err != nil {
+		fatal(err)
+	}
+	db, err := annotate.Load(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	written := 0
+	for _, e := range db.Entries {
+		if e.Spurious || e.Image == nil {
+			continue
+		}
+		label := strings.NewReplacer("/", "_", ".", "-").Replace(e.Label)
+		name := fmt.Sprintf("lag%03d-%s.%s", e.Index, label, *format)
+		out, err := os.Create(filepath.Join(*dir, name))
+		if err != nil {
+			fatal(err)
+		}
+		switch *format {
+		case "pgm":
+			err = video.WritePGM(out, e.Image)
+		default:
+			err = video.WritePNG(out, e.Image, *scale)
+		}
+		cerr := out.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if cerr != nil {
+			fatal(cerr)
+		}
+		written++
+	}
+	fmt.Printf("wrote %d lag-ending images from %s to %s/\n", written, db.Workload, *dir)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qoeframes:", err)
+	os.Exit(1)
+}

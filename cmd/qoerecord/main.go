@@ -1,0 +1,63 @@
+// Command qoerecord records a workload's input trace through the simulated
+// device, producing a getevent-format file that qoeannotate and qoereplay
+// consume — the Part A front end of the paper's Fig. 4.
+//
+// Usage:
+//
+//	qoerecord -workload dataset01 [-seed 1] [-o dataset01.trace]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/evdev"
+	"repro/internal/workload"
+)
+
+func main() {
+	name := flag.String("workload", "quickstart", "workload to record (dataset01..dataset05, 24hour, quickstart)")
+	seed := flag.Uint64("seed", 1, "recording seed")
+	out := flag.String("o", "", "output trace file (default <workload>.trace)")
+	flag.Parse()
+
+	w := workload.ByName(*name)
+	if w == nil {
+		fatal(fmt.Errorf("unknown workload %q", *name))
+	}
+	rec, truths, err := w.Record(*seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	path := *out
+	if path == "" {
+		path = *name + ".trace"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "# workload %s duration %s seed %d\n", w.Name, rec.Duration, *seed)
+	if err := evdev.MarshalGetevent(f, evdev.DefaultDeviceNode, rec.Events); err != nil {
+		fatal(err)
+	}
+
+	actual, spurious := 0, 0
+	for _, gt := range truths {
+		if gt.Spurious {
+			spurious++
+		} else {
+			actual++
+		}
+	}
+	fmt.Printf("recorded %s: %d events, %d interactions (%d actual lags, %d spurious) -> %s\n",
+		w.Name, len(rec.Events), len(truths), actual, spurious, path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qoerecord:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,140 @@
+// Command qoereplay replays a recorded workload under a chosen configuration
+// (a fixed frequency or a governor), runs the matcher against the annotation
+// database, and emits the lag profile, user irritation and dynamic energy —
+// the paper's Fig. 4 Part B as a single tool.
+//
+// Usage:
+//
+//	qoereplay -workload dataset01 -trace dataset01.trace -db dataset01.adb \
+//	          -config ondemand [-seed 2] [-o profile.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/annotate"
+	"repro/internal/core"
+	"repro/internal/evdev"
+	"repro/internal/experiment"
+	"repro/internal/governor"
+	"repro/internal/match"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	name := flag.String("workload", "quickstart", "workload name matching the trace")
+	tracePath := flag.String("trace", "", "getevent trace recorded by qoerecord")
+	dbPath := flag.String("db", "", "annotation DB built by qoeannotate")
+	config := flag.String("config", "interactive", "configuration: governor name or frequency label like '0.96 GHz'")
+	seed := flag.Uint64("seed", 2, "replay seed")
+	out := flag.String("o", "", "write the lag profile as JSON")
+	flag.Parse()
+
+	w := workload.ByName(*name)
+	if w == nil {
+		fatal(fmt.Errorf("unknown workload %q", *name))
+	}
+	rec, err := loadTrace(w, *tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	db, err := loadDB(w, rec, *dbPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	model, err := power.Calibrate(power.Snapdragon8074(), power.DefaultSilicon(), 0)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg *experiment.Config
+	for _, c := range experiment.AllConfigs(model.Table) {
+		if c.Name == *config {
+			c := c
+			cfg = &c
+			break
+		}
+	}
+	if cfg == nil {
+		fatal(fmt.Errorf("unknown config %q (use a governor name or an OPP label such as %q)",
+			*config, model.Table[5].Label()))
+	}
+
+	gestures := match.Gestures(rec.Events)
+	art := workload.Replay(w, rec, cfg.NewGovernor(), cfg.Name, *seed, true)
+	profile, err := match.Match(art.Video, db, gestures, cfg.Name, match.Options{Strict: true})
+	if err != nil {
+		fatal(err)
+	}
+	energy, err := model.Energy(art.BusyByOPP)
+	if err != nil {
+		fatal(err)
+	}
+	irritation := core.Irritation(profile, db.Thresholds())
+
+	fmt.Printf("workload %s, config %s\n", w.Name, cfg.Name)
+	fmt.Printf("lags: %d actual, %d spurious\n", len(profile.Actual()), profile.SpuriousCount())
+	var total sim.Duration
+	for _, d := range profile.Durations() {
+		total += d
+	}
+	fmt.Printf("total lag time: %s\n", total)
+	fmt.Printf("user irritation (HCI thresholds): %s\n", irritation)
+	fmt.Printf("dynamic energy: %.2f J\n", energy)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(profile); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("lag profile -> %s\n", *out)
+	}
+}
+
+func loadTrace(w *workload.Workload, path string) (*workload.Recording, error) {
+	if path == "" {
+		rec, _, err := w.Record(1)
+		return rec, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	events, err := evdev.UnmarshalGetevent(f)
+	if err != nil {
+		return nil, err
+	}
+	return &workload.Recording{Workload: w.Name, Duration: w.Duration, Events: events}, nil
+}
+
+func loadDB(w *workload.Workload, rec *workload.Recording, path string) (*annotate.DB, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return annotate.Load(f)
+	}
+	// Build on the fly for convenience.
+	gestures := match.Gestures(rec.Events)
+	art := workload.Replay(w, rec, governor.NewInteractive(), "annotation", 0xA11, true)
+	return annotate.Build(w.Name, art.Video, gestures, art.Truths, annotate.BuildOptions{MinStill: 1})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qoereplay:", err)
+	os.Exit(1)
+}

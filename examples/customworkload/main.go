@@ -1,0 +1,96 @@
+// Customworkload shows how a user of the library authors a brand-new
+// interactive workload — the paper's §I-B promise that "users can create
+// repeatable and realistic workloads as they would naturally execute them" —
+// and evaluates a system change (here: an ondemand governor with a lazier
+// sampling rate) against the stock configuration.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/annotate"
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/governor"
+	"repro/internal/match"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// newsAndMail is a custom three-minute session: read news, answer an email.
+func newsAndMail() *workload.Workload {
+	return &workload.Workload{
+		Name:        "news-and-mail",
+		Description: "Custom session: skim Pulse News, reply to an email.",
+		Profile:     device.DefaultProfile(),
+		Duration:    3 * sim.Minute,
+		Script: func() []workload.Step {
+			var b workload.ScriptBuilder
+			b.Init(0xC0FFEE)
+			b.Pause(1 * sim.Second)
+			b.LaunchIcon(apps.PulseNewsName, 1500*sim.Millisecond)
+			b.TapRect("openStory", apps.PulseTileRects[0], 2*sim.Second)
+			b.SwipeUp("read", 3*sim.Second)
+			b.Back(1 * sim.Second)
+			b.Home(1 * sim.Second)
+			b.LaunchIcon(apps.GmailName, 1500*sim.Millisecond)
+			b.TapRect("openMail", apps.GmailMailRects[0], 2*sim.Second)
+			b.TapRect("reply", apps.GmailReplyButton, 1500*sim.Millisecond)
+			b.TypeWord("ok thanks")
+			b.TapRect("send", apps.GmailSendButton, 2*sim.Second)
+			b.MissTap(800 * sim.Millisecond)
+			b.Home(1 * sim.Second)
+			return b.Steps()
+		},
+	}
+}
+
+func main() {
+	w := newsAndMail()
+	rec, truths, err := w.Record(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("custom workload %q: %d interactions recorded\n", w.Name, len(truths))
+
+	gestures := match.Gestures(rec.Events)
+	annRun := workload.Replay(w, rec, governor.NewInteractive(), "annotation", 2, true)
+	db, err := annotate.Build(w.Name, annRun.Video, gestures, annRun.Truths,
+		annotate.BuildOptions{MinStill: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	model, err := power.Calibrate(power.Snapdragon8074(), power.DefaultSilicon(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Evaluate a system modification: ondemand with a 4x lazier sampling
+	// rate, versus stock ondemand.
+	lazy := governor.NewOndemand()
+	lazy.SamplingRate = 80 * sim.Millisecond
+
+	for _, cfg := range []struct {
+		name string
+		gov  governor.Governor
+	}{
+		{"ondemand (stock 20ms)", governor.NewOndemand()},
+		{"ondemand (lazy 80ms)", lazy},
+	} {
+		art := workload.Replay(w, rec, cfg.gov, cfg.name, 3, true)
+		profile, err := match.Match(art.Video, db, gestures, cfg.name, match.Options{Strict: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		energy, err := model.Energy(art.BusyByOPP)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s irritation %8v, energy %6.2f J\n",
+			cfg.name, core.Irritation(profile, db.Thresholds()), energy)
+	}
+}

@@ -1,0 +1,76 @@
+// Quickstart demonstrates the complete methodology of the paper end to end
+// on a two-minute workload: record user input through the simulated device,
+// replay it under two configurations, annotate the workload once, match lag
+// endings automatically, and compare user irritation and energy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/annotate"
+	"repro/internal/core"
+	"repro/internal/governor"
+	"repro/internal/match"
+	"repro/internal/power"
+	"repro/internal/workload"
+)
+
+func main() {
+	// 1. Record the workload: a scripted user session captured as evdev
+	//    input events, exactly once (paper Fig. 4, "prerecorded workload").
+	w := workload.Quickstart()
+	rec, _, err := w.Record(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gestures := match.Gestures(rec.Events)
+	fmt.Printf("recorded %q: %d input events, %d gestures\n",
+		w.Name, len(rec.Events), len(gestures))
+
+	// 2. Annotate (Part A): replay once under the stock governor, capture
+	//    the screen video, and build the annotation database of expected
+	//    lag-ending images.
+	annRun := workload.Replay(w, rec, governor.NewInteractive(), "annotation", 2, true)
+	db, err := annotate.Build(w.Name, annRun.Video, gestures, annRun.Truths,
+		annotate.BuildOptions{MinStill: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("annotated %d interaction lags (video: %d frames, %d distinct)\n",
+		len(db.Entries), annRun.Video.Len(), annRun.Video.DistinctFrames())
+
+	// 3. Replay + match (Part B) under two configurations the annotation
+	//    never saw.
+	model, err := power.Calibrate(power.Snapdragon8074(), power.DefaultSilicon(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, cfg := range []struct {
+		name string
+		gov  governor.Governor
+	}{
+		{"0.30 GHz", governor.NewFixed(model.Table, 0)},
+		{"ondemand", governor.NewOndemand()},
+	} {
+		art := workload.Replay(w, rec, cfg.gov, cfg.name, 3, true)
+		profile, err := match.Match(art.Video, db, gestures, cfg.name, match.Options{Strict: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		energy, err := model.Energy(art.BusyByOPP)
+		if err != nil {
+			log.Fatal(err)
+		}
+		irritation := core.Irritation(profile, db.Thresholds())
+		fmt.Printf("\nconfig %s:\n", cfg.name)
+		for _, lag := range profile.Lags {
+			if lag.Spurious {
+				fmt.Printf("  lag %2d %-28s spurious\n", lag.Index, lag.Label)
+				continue
+			}
+			fmt.Printf("  lag %2d %-28s %8.0f ms\n", lag.Index, lag.Label, lag.Duration().Milliseconds())
+		}
+		fmt.Printf("  irritation %v, dynamic energy %.2f J\n", irritation, energy)
+	}
+}

@@ -1,0 +1,373 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/screen"
+	"repro/internal/sim"
+)
+
+// fakeHost executes work and IO immediately (frequency-independent), which
+// makes app state machines synchronous and easy to assert on.
+type fakeHost struct {
+	now          sim.Time
+	rnd          *sim.Rand
+	started      []string
+	finished     int
+	invalidates  int
+	anims        map[string]bool
+	launched     string
+	deferredWork int
+}
+
+func newFakeHost() *fakeHost {
+	return &fakeHost{rnd: sim.NewRand(1), anims: map[string]bool{}}
+}
+
+func (h *fakeHost) Now() sim.Time   { return h.now }
+func (h *fakeHost) Rand() *sim.Rand { return h.rnd }
+func (h *fakeHost) After(d sim.Duration, fn func()) {
+	// Timers are dropped: services are not under test here.
+	h.deferredWork++
+}
+func (h *fakeHost) SpawnWork(name string, cycles int64, onDone func()) {
+	h.now = h.now.Add(sim.Duration(cycles / 1000)) // pretend 1 GHz
+	if onDone != nil {
+		onDone()
+	}
+}
+func (h *fakeHost) SpawnIO(name string, d sim.Duration, onDone func()) {
+	h.now = h.now.Add(d)
+	if onDone != nil {
+		onDone()
+	}
+}
+func (h *fakeHost) Invalidate() { h.invalidates++ }
+func (h *fakeHost) SetAnimating(token string, on bool) {
+	if on {
+		h.anims[token] = true
+	} else {
+		delete(h.anims, token)
+	}
+}
+func (h *fakeHost) Launch(name string, ix *Interaction) {
+	h.launched = name
+	if ix != nil {
+		ix.Finish()
+	}
+}
+func (h *fakeHost) InteractionStarted(label string, class core.HCIClass) int {
+	h.started = append(h.started, label)
+	return len(h.started) - 1
+}
+func (h *fakeHost) InteractionFinished(id int) { h.finished++ }
+
+func tapCenter(t *testing.T, a App, r screen.Rect) bool {
+	t.Helper()
+	cx, cy := r.Center()
+	return a.HandleTap(cx, cy)
+}
+
+func TestInteractionChunks(t *testing.T) {
+	h := newFakeHost()
+	ix := BeginInteraction(h, "test", core.CommonTask)
+	var seen []int
+	ix.Chunks("chunk", 4, 1000, func(i int) { seen = append(seen, i) }, func() { ix.Finish() })
+	if len(seen) != 4 || seen[3] != 4 {
+		t.Fatalf("chunk updates = %v", seen)
+	}
+	if !ix.Finished() || h.finished != 1 {
+		t.Fatal("chunks did not finish the interaction")
+	}
+	// Zero chunks completes immediately.
+	done := false
+	ix2 := BeginInteraction(h, "t2", core.Typing)
+	ix2.Chunks("none", 0, 100, nil, func() { done = true })
+	if !done {
+		t.Fatal("zero-chunk final callback missing")
+	}
+}
+
+func TestInteractionFinishIdempotent(t *testing.T) {
+	h := newFakeHost()
+	ix := BeginInteraction(h, "x", core.Typing)
+	calls := 0
+	ix.OnFinish(func() { calls++ })
+	ix.Finish()
+	ix.Finish()
+	if calls != 1 || h.finished != 1 {
+		t.Fatalf("Finish not idempotent: callbacks=%d host=%d", calls, h.finished)
+	}
+}
+
+func TestGalleryFlow(t *testing.T) {
+	h := newFakeHost()
+	g := NewGallery()
+	g.Init(h)
+	g.Enter(nil)
+
+	if !tapCenter(t, g, GalleryAlbumRects[1]) {
+		t.Fatal("album tap missed")
+	}
+	if g.screenID != "album" {
+		t.Fatalf("screen = %s after openAlbum", g.screenID)
+	}
+	if !tapCenter(t, g, GalleryPhotoRects[0]) {
+		t.Fatal("photo tap missed")
+	}
+	if !tapCenter(t, g, GalleryEditButton) {
+		t.Fatal("edit tap missed")
+	}
+	if !tapCenter(t, g, GalleryFilterButton) {
+		t.Fatal("filter tap missed")
+	}
+	gen := g.filterGen
+	if gen != 1 {
+		t.Fatalf("filterGen = %d after one filter", gen)
+	}
+	if !tapCenter(t, g, GallerySaveButton) {
+		t.Fatal("save tap missed")
+	}
+	if g.saving {
+		t.Fatal("save did not complete under synchronous host")
+	}
+	// Back navigation unwinds edit -> photo -> album -> albums.
+	for _, want := range []string{"photo", "album", "albums"} {
+		if !g.HandleBack() {
+			t.Fatalf("back ignored while heading to %s", want)
+		}
+		if g.screenID != want {
+			t.Fatalf("screen = %s, want %s", g.screenID, want)
+		}
+	}
+	if g.HandleBack() {
+		t.Fatal("back on root screen should be unhandled (spurious)")
+	}
+}
+
+func TestGallerySpuriousTaps(t *testing.T) {
+	h := newFakeHost()
+	g := NewGallery()
+	g.Init(h)
+	g.Enter(nil)
+	if g.HandleTap(1052, 1004) {
+		t.Fatal("dead-zone tap handled")
+	}
+	// Edit button does nothing on the albums screen.
+	if tapCenter(t, g, GalleryEditButton) {
+		t.Fatal("edit button active on albums screen")
+	}
+}
+
+func TestLogoQuizTypingFlow(t *testing.T) {
+	h := newFakeHost()
+	q := NewLogoQuiz()
+	q.Init(h)
+	q.Enter(nil)
+	if !tapCenter(t, q, QuizPlayButton) {
+		t.Fatal("play missed")
+	}
+	kb := q.Keyboard()
+	for _, c := range "nike" {
+		r, ok := kb.KeyRect(c)
+		if !ok {
+			t.Fatalf("no key %q", c)
+		}
+		if !tapCenter(t, q, r) {
+			t.Fatalf("key %q missed", c)
+		}
+	}
+	if len(q.answer) != 4 {
+		t.Fatalf("answer length %d", len(q.answer))
+	}
+	level := q.level
+	if !tapCenter(t, q, QuizSubmitButton) {
+		t.Fatal("submit missed")
+	}
+	if q.level != level+1 || len(q.answer) != 0 {
+		t.Fatalf("submit did not advance: level %d answer %d", q.level, len(q.answer))
+	}
+}
+
+func TestMessagingSendSecondOccurrence(t *testing.T) {
+	h := newFakeHost()
+	m := NewMessaging()
+	m.Init(h)
+	m.Enter(nil)
+	if !tapCenter(t, m, MessagingThreadRects[0]) {
+		t.Fatal("thread tap missed")
+	}
+	kb := m.Keyboard()
+	r, _ := kb.KeyRect('h')
+	if !tapCenter(t, m, r) {
+		t.Fatal("key missed")
+	}
+	if !tapCenter(t, m, MessagingSendButton) {
+		t.Fatal("send missed")
+	}
+	if m.sent != 1 || m.sending || len(m.draft) != 0 {
+		t.Fatalf("send state: sent=%d sending=%v draft=%d", m.sent, m.sending, len(m.draft))
+	}
+	// Send with empty draft and no attachment is spurious.
+	if tapCenter(t, m, MessagingSendButton) {
+		t.Fatal("empty send handled")
+	}
+}
+
+func TestMovieStudioGuards(t *testing.T) {
+	h := newFakeHost()
+	ms := NewMovieStudio()
+	ms.Init(h)
+	ms.Enter(nil)
+	if !tapCenter(t, ms, StudioProjectRect) {
+		t.Fatal("project tap missed")
+	}
+	// Preview/export require at least one clip.
+	if tapCenter(t, ms, StudioPreviewBtn) {
+		t.Fatal("preview allowed with no clips")
+	}
+	if !tapCenter(t, ms, StudioAddClipBtn) {
+		t.Fatal("add clip missed")
+	}
+	if !tapCenter(t, ms, StudioPreviewBtn) {
+		t.Fatal("preview missed with a clip")
+	}
+	if !tapCenter(t, ms, StudioExportBtn) {
+		t.Fatal("export missed")
+	}
+	if ms.exported != 1 {
+		t.Fatalf("exported = %d", ms.exported)
+	}
+}
+
+func TestEveryAppRegistersInteractions(t *testing.T) {
+	// Every handled gesture must open a ground-truth interaction: the
+	// paper's methodology needs a lag for each effective input.
+	mkApps := func() []App {
+		return []App{
+			NewGallery(), NewLogoQuiz(), NewPulseNews(), NewMessaging(),
+			NewMovieStudio(), NewFacebook(), NewGmail(),
+			NewMusicPlayer(NewMusicService(false)), NewCalculator(),
+			NewPlayStore(), NewBrowser(),
+		}
+	}
+	taps := map[string]screen.Rect{
+		GalleryName:     GalleryAlbumRects[0],
+		LogoQuizName:    QuizPlayButton,
+		PulseNewsName:   PulseRefreshButton,
+		MessagingName:   MessagingThreadRects[0],
+		MovieStudioName: StudioProjectRect,
+		FacebookName:    FacebookLikeButton,
+		GmailName:       GmailMailRects[0],
+		MusicPlayerName: MusicPlayButton,
+		CalculatorName:  CalcKeyRect(5),
+		PlayStoreName:   StoreAppCardRect,
+		BrowserName:     BrowserURLBar,
+	}
+	for _, a := range mkApps() {
+		h := newFakeHost()
+		a.Init(h)
+		a.Enter(nil)
+		r := taps[a.Name()]
+		if !tapCenter(t, a, r) {
+			t.Errorf("%s: canonical tap missed", a.Name())
+			continue
+		}
+		if len(h.started) == 0 {
+			t.Errorf("%s: handled tap registered no interaction", a.Name())
+		}
+		if h.finished == 0 {
+			t.Errorf("%s: interaction never finished under synchronous host", a.Name())
+		}
+	}
+}
+
+func TestEveryInteractionChangesRender(t *testing.T) {
+	// Render the canonical tap's before/after states: they must differ,
+	// otherwise the suggester has no ending to find (the §II-E requirement).
+	type probe struct {
+		app App
+		r   screen.Rect
+	}
+	probes := []probe{
+		{NewGallery(), GalleryAlbumRects[0]},
+		{NewPulseNews(), PulseRefreshButton},
+		{NewFacebook(), FacebookLikeButton},
+		{NewCalculator(), CalcKeyRect(7)},
+		{NewBrowser(), BrowserURLBar},
+	}
+	for _, p := range probes {
+		h := newFakeHost()
+		p.app.Init(h)
+		p.app.Enter(nil)
+		var before, after screen.Framebuffer
+		p.app.Render(&before, h.Now())
+		if !tapCenter(t, p.app, p.r) {
+			t.Errorf("%s: tap missed", p.app.Name())
+			continue
+		}
+		p.app.Render(&after, h.Now())
+		if before.Pix == after.Pix {
+			t.Errorf("%s: interaction produced no visible change", p.app.Name())
+		}
+	}
+}
+
+func TestScrollsAreVisible(t *testing.T) {
+	// The bug class found during calibration: scroll interactions must
+	// change the rendered frame.
+	h := newFakeHost()
+	ms := NewMovieStudio()
+	ms.Init(h)
+	ms.Enter(nil)
+	tapCenter(t, ms, StudioProjectRect)
+	tapCenter(t, ms, StudioAddClipBtn)
+	var before, after screen.Framebuffer
+	ms.Render(&before, h.Now())
+	if !ms.HandleSwipe(540, 1400, 540, 500) {
+		t.Fatal("scrub swipe missed")
+	}
+	ms.Render(&after, h.Now())
+	if before.Pix == after.Pix {
+		t.Fatal("scrub produced no visible change")
+	}
+}
+
+func TestLauncherIconsAndWarmLaunch(t *testing.T) {
+	h := newFakeHost()
+	l := NewLauncher([]string{GalleryName, CalculatorName})
+	l.Init(h)
+	r, ok := l.IconRect(GalleryName)
+	if !ok {
+		t.Fatal("gallery icon missing")
+	}
+	if _, ok := l.IconRect("nope"); ok {
+		t.Fatal("phantom icon")
+	}
+	if !tapCenter(t, l, r) {
+		t.Fatal("icon tap missed")
+	}
+	if h.launched != GalleryName {
+		t.Fatalf("launched %q", h.launched)
+	}
+	if !l.coldDone[GalleryName] {
+		t.Fatal("cold launch not recorded")
+	}
+}
+
+func TestMusicServiceToggle(t *testing.T) {
+	svc := NewMusicService(true)
+	h := newFakeHost()
+	svc.Start(h)
+	if !svc.Playing() {
+		t.Fatal("autoplay off")
+	}
+	svc.SetPlaying(false)
+	if svc.Playing() {
+		t.Fatal("toggle failed")
+	}
+	if h.deferredWork == 0 {
+		t.Fatal("service scheduled no timer")
+	}
+}

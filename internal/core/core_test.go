@@ -1,0 +1,194 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func ms(n int64) sim.Duration { return sim.Duration(n) * sim.Millisecond }
+
+func profile(durs ...int64) *Profile {
+	p := &Profile{Workload: "t", Config: "c"}
+	var at sim.Time
+	for i, d := range durs {
+		at = at.Add(5 * sim.Second)
+		p.Lags = append(p.Lags, Lag{Index: i, Begin: at, End: at.Add(ms(d))})
+	}
+	return p
+}
+
+func TestLagDuration(t *testing.T) {
+	l := Lag{Begin: 1000, End: 251000}
+	if l.Duration() != 250*sim.Millisecond {
+		t.Fatalf("duration = %v", l.Duration())
+	}
+	sp := Lag{Begin: 1000, Spurious: true}
+	if sp.Duration() != 0 {
+		t.Fatal("spurious lag has non-zero duration")
+	}
+	bad := Lag{Begin: 1000, End: 500}
+	if bad.Duration() != 0 {
+		t.Fatal("negative-span lag should clamp to 0")
+	}
+}
+
+func TestProfileAccessors(t *testing.T) {
+	p := profile(100, 200, 300)
+	p.Lags = append(p.Lags, Lag{Index: 3, Begin: 100 * sim.Time(sim.Second), Spurious: true})
+	if len(p.Actual()) != 3 {
+		t.Fatalf("actual = %d", len(p.Actual()))
+	}
+	if p.SpuriousCount() != 1 {
+		t.Fatalf("spurious = %d", p.SpuriousCount())
+	}
+	d := p.Durations()
+	if len(d) != 3 || d[0] != ms(100) || d[2] != ms(300) {
+		t.Fatalf("durations = %v", d)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := p.ByIndex()
+	if m[1].Duration() != ms(200) {
+		t.Fatal("ByIndex")
+	}
+}
+
+func TestProfileValidateCatchesCorruption(t *testing.T) {
+	dup := profile(100, 200)
+	dup.Lags[1].Index = 0
+	if dup.Validate() == nil {
+		t.Error("duplicate index accepted")
+	}
+	unordered := profile(100, 200)
+	unordered.Lags[1].Begin = 0
+	if unordered.Validate() == nil {
+		t.Error("unordered begins accepted")
+	}
+	neg := profile(100)
+	neg.Lags[0].End = neg.Lags[0].Begin - 1
+	if neg.Validate() == nil {
+		t.Error("negative duration accepted")
+	}
+}
+
+func TestHCIClassThresholds(t *testing.T) {
+	// The four categories of the paper's §II-F.
+	cases := map[HCIClass]sim.Duration{
+		Typing:         150 * sim.Millisecond,
+		SimpleFrequent: 1 * sim.Second,
+		CommonTask:     4 * sim.Second,
+		ComplexTask:    12 * sim.Second,
+	}
+	for c, want := range cases {
+		if c.Threshold() != want {
+			t.Errorf("%v threshold = %v, want %v", c, c.Threshold(), want)
+		}
+	}
+}
+
+func TestIrritationBasic(t *testing.T) {
+	p := profile(100, 1200, 5000)
+	th := UniformThresholds(1 * sim.Second)
+	// Penalties: 0, 200ms, 4s.
+	if got := Irritation(p, th); got != ms(4200) {
+		t.Fatalf("irritation = %v, want 4.2s", got)
+	}
+	if got := IrritatedLagCount(p, th); got != 2 {
+		t.Fatalf("irritated count = %d, want 2", got)
+	}
+}
+
+func TestIrritationIgnoresSpurious(t *testing.T) {
+	p := profile(5000)
+	p.Lags = append(p.Lags, Lag{Index: 1, Begin: 100 * sim.Time(sim.Second), Spurious: true})
+	th := UniformThresholds(1 * sim.Second)
+	if got := Irritation(p, th); got != ms(4000) {
+		t.Fatalf("irritation = %v, want 4s", got)
+	}
+}
+
+func TestHCIThresholdsPerLag(t *testing.T) {
+	th := HCIThresholds(map[int]HCIClass{0: Typing, 1: ComplexTask})
+	if th.For(0) != 150*sim.Millisecond {
+		t.Error("lag 0 threshold")
+	}
+	if th.For(1) != 12*sim.Second {
+		t.Error("lag 1 threshold")
+	}
+	if th.For(99) != 1*sim.Second {
+		t.Error("default threshold should be simple-frequent")
+	}
+}
+
+func TestRelativeThresholds110Percent(t *testing.T) {
+	fastest := profile(1000, 400)
+	th := RelativeThresholds(fastest, 1.10)
+	if th.For(0) != ms(1100) {
+		t.Fatalf("threshold 0 = %v, want 1.1s", th.For(0))
+	}
+	if th.For(1) != ms(440) {
+		t.Fatalf("threshold 1 = %v, want 440ms", th.For(1))
+	}
+	// By definition the fastest profile itself is never irritating.
+	if Irritation(fastest, th) != 0 {
+		t.Fatal("fastest profile irritates under its own 110% thresholds")
+	}
+}
+
+func TestIrritationMonotonicInDuration(t *testing.T) {
+	th := UniformThresholds(500 * sim.Millisecond)
+	f := func(a, b uint16) bool {
+		da, db := int64(a), int64(b)
+		if da > db {
+			da, db = db, da
+		}
+		return Irritation(profile(da), th) <= Irritation(profile(db), th)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIrritationAntitoneInThreshold(t *testing.T) {
+	p := profile(100, 700, 2500, 9000)
+	f := func(a, b uint16) bool {
+		ta, tb := ms(int64(a)), ms(int64(b))
+		if ta > tb {
+			ta, tb = tb, ta
+		}
+		return Irritation(p, UniformThresholds(ta)) >= Irritation(p, UniformThresholds(tb))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIrritationAdditiveOverLags(t *testing.T) {
+	th := UniformThresholds(300 * sim.Millisecond)
+	f := func(durs [6]uint16) bool {
+		var total sim.Duration
+		all := &Profile{}
+		var at sim.Time
+		for i, d := range durs {
+			at = at.Add(10 * sim.Second)
+			lag := Lag{Index: i, Begin: at, End: at.Add(ms(int64(d)))}
+			all.Lags = append(all.Lags, lag)
+			total += Penalty(lag, th)
+		}
+		return Irritation(all, th) == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedDurations(t *testing.T) {
+	p := profile(500, 100, 300)
+	d := p.SortedDurations()
+	if d[0] != ms(100) || d[1] != ms(300) || d[2] != ms(500) {
+		t.Fatalf("sorted = %v", d)
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// HCIClass is an interaction category of the standard HCI response-time
+// model the paper cites (Shneiderman): "typing (150ms), simple frequent task
+// (1s), common task (4s) and complex task (12s)".
+type HCIClass int
+
+// The four categories offered by the annotation GUI.
+const (
+	Typing HCIClass = iota
+	SimpleFrequent
+	CommonTask
+	ComplexTask
+)
+
+// Threshold returns the category's irritation threshold.
+func (c HCIClass) Threshold() sim.Duration {
+	switch c {
+	case Typing:
+		return 150 * sim.Millisecond
+	case SimpleFrequent:
+		return 1 * sim.Second
+	case CommonTask:
+		return 4 * sim.Second
+	case ComplexTask:
+		return 12 * sim.Second
+	}
+	return 1 * sim.Second
+}
+
+// String names the category.
+func (c HCIClass) String() string {
+	switch c {
+	case Typing:
+		return "typing"
+	case SimpleFrequent:
+		return "simple-frequent"
+	case CommonTask:
+		return "common-task"
+	case ComplexTask:
+		return "complex-task"
+	}
+	return fmt.Sprintf("HCIClass(%d)", int(c))
+}
+
+// Thresholds assigns an irritation threshold to each interaction lag. "In
+// our method, the Irritation Threshold is set independently for each lag."
+type Thresholds struct {
+	ByIndex map[int]sim.Duration `json:"by_index,omitempty"`
+	Default sim.Duration         `json:"default"`
+}
+
+// For returns the threshold for interaction index i.
+func (t Thresholds) For(i int) sim.Duration {
+	if d, ok := t.ByIndex[i]; ok {
+		return d
+	}
+	return t.Default
+}
+
+// UniformThresholds applies the same threshold to every lag.
+func UniformThresholds(d sim.Duration) Thresholds {
+	return Thresholds{Default: d}
+}
+
+// HCIThresholds builds per-lag thresholds from HCI categories, with
+// SimpleFrequent as the default for unlisted lags.
+func HCIThresholds(classes map[int]HCIClass) Thresholds {
+	t := Thresholds{ByIndex: make(map[int]sim.Duration, len(classes)), Default: SimpleFrequent.Threshold()}
+	for i, c := range classes {
+		t.ByIndex[i] = c.Threshold()
+	}
+	return t
+}
+
+// RelativeThresholds implements the paper's oracle-study rule: "For each lag
+// we set the irritation threshold to 110% of what the fastest frequency
+// could achieve. We assume that the user does not notice a 10% difference
+// between lag timings." fastest is the lag profile of the highest-frequency
+// configuration and factor is 1.10.
+func RelativeThresholds(fastest *Profile, factor float64) Thresholds {
+	t := Thresholds{ByIndex: make(map[int]sim.Duration, len(fastest.Lags)), Default: SimpleFrequent.Threshold()}
+	for _, l := range fastest.Lags {
+		if l.Spurious {
+			continue
+		}
+		t.ByIndex[l.Index] = sim.Duration(float64(l.Duration()) * factor)
+	}
+	return t
+}
+
+// Penalty returns the irritation penalty of a single lag: "the amount of
+// time the lag duration is above the threshold", zero when within it or
+// spurious.
+func Penalty(l Lag, th Thresholds) sim.Duration {
+	if l.Spurious {
+		return 0
+	}
+	if d := l.Duration(); d > th.For(l.Index) {
+		return d - th.For(l.Index)
+	}
+	return 0
+}
+
+// Irritation computes the paper's user-irritation metric for a profile: the
+// accumulated penalty over all lags, i.e. "the total amount of time a user
+// is irritated by too long lag times in a certain workload".
+func Irritation(p *Profile, th Thresholds) sim.Duration {
+	var total sim.Duration
+	for _, l := range p.Lags {
+		total += Penalty(l, th)
+	}
+	return total
+}
+
+// IrritatedLagCount returns how many lags exceed their thresholds.
+func IrritatedLagCount(p *Profile, th Thresholds) int {
+	n := 0
+	for _, l := range p.Lags {
+		if Penalty(l, th) > 0 {
+			n++
+		}
+	}
+	return n
+}

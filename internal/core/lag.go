@@ -1,0 +1,117 @@
+// Package core implements the paper's primary contribution on the analysis
+// side: the interaction-lag model ("the time between user input and the time
+// when the user feels the system has processed his request", Fig. 2), lag
+// profiles produced by the video matcher, per-lag irritation thresholds
+// (including the Shneiderman HCI categories and the paper's
+// 110%-of-the-fastest-configuration rule), and the user-irritation metric
+// that accumulates the time by which each lag overruns its threshold.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Lag is one interaction lag: an input and the time at which the system
+// visibly finished servicing it. Index identifies the interaction within its
+// workload and is stable across replays of the same recording — the paper
+// relies on "the same number of interaction lags" in every execution.
+type Lag struct {
+	Index int      `json:"index"`
+	Label string   `json:"label,omitempty"` // e.g. "gallery.openAlbum"
+	Begin sim.Time `json:"begin"`
+	End   sim.Time `json:"end"`
+	// Spurious marks inputs that lead to no system reaction (taps next to a
+	// button, unsupported menus); the paper counts and then ignores them.
+	Spurious bool `json:"spurious,omitempty"`
+}
+
+// Duration returns the interaction lag length. Spurious lags have zero
+// duration.
+func (l Lag) Duration() sim.Duration {
+	if l.Spurious || l.End < l.Begin {
+		return 0
+	}
+	return l.End.Sub(l.Begin)
+}
+
+// Profile is the interaction lag profile of one workload execution: "a lag
+// profile ... lists the length of all lags the user perceived in the
+// executed workload".
+type Profile struct {
+	Workload string `json:"workload"`
+	Config   string `json:"config"` // governor name or fixed-frequency label
+	Lags     []Lag  `json:"lags"`
+}
+
+// Actual returns the non-spurious lags.
+func (p *Profile) Actual() []Lag {
+	out := make([]Lag, 0, len(p.Lags))
+	for _, l := range p.Lags {
+		if !l.Spurious {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// SpuriousCount returns the number of spurious inputs in the profile.
+func (p *Profile) SpuriousCount() int {
+	n := 0
+	for _, l := range p.Lags {
+		if l.Spurious {
+			n++
+		}
+	}
+	return n
+}
+
+// Durations returns the durations of all actual lags, in profile order.
+func (p *Profile) Durations() []sim.Duration {
+	actual := p.Actual()
+	out := make([]sim.Duration, len(actual))
+	for i, l := range actual {
+		out[i] = l.Duration()
+	}
+	return out
+}
+
+// ByIndex returns the profile's lags keyed by interaction index.
+func (p *Profile) ByIndex() map[int]Lag {
+	m := make(map[int]Lag, len(p.Lags))
+	for _, l := range p.Lags {
+		m[l.Index] = l
+	}
+	return m
+}
+
+// Validate checks internal consistency: unique indices, ordered begins, and
+// non-negative durations.
+func (p *Profile) Validate() error {
+	seen := make(map[int]bool, len(p.Lags))
+	var prevBegin sim.Time = -1
+	for _, l := range p.Lags {
+		if seen[l.Index] {
+			return fmt.Errorf("core: duplicate lag index %d", l.Index)
+		}
+		seen[l.Index] = true
+		if l.Begin < prevBegin {
+			return fmt.Errorf("core: lag %d begins before its predecessor", l.Index)
+		}
+		prevBegin = l.Begin
+		if !l.Spurious && l.End < l.Begin {
+			return fmt.Errorf("core: lag %d ends before it begins", l.Index)
+		}
+	}
+	return nil
+}
+
+// SortedDurations returns actual lag durations in ascending order (the input
+// to the violin statistics of Fig. 11).
+func (p *Profile) SortedDurations() []sim.Duration {
+	d := p.Durations()
+	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+	return d
+}

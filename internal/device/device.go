@@ -1,0 +1,499 @@
+// Package device assembles the simulated mobile phone: the SoC core with its
+// frequency governor, the touch input pipeline (evdev events in, gestures
+// dispatched to the foreground app), the screen with status bar and
+// navigation bar, background services, and the capture hook the video
+// recorder samples at 30 fps.
+//
+// It is the stand-in for the paper's Dragonboard APQ8074 running Android
+// 4.2.2 with one core enabled. Constructing a Device is the paper's "reset
+// to a known state": same seed plus same inputs yields the same run.
+package device
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/evdev"
+	"repro/internal/governor"
+	"repro/internal/netproxy"
+	"repro/internal/power"
+	"repro/internal/screen"
+	"repro/internal/sim"
+	"repro/internal/soc"
+	"repro/internal/trace"
+	"repro/internal/video"
+)
+
+// GroundTruth is the device-side record of one input gesture: when it was
+// made, whether anything handled it, and when its effects became visible.
+// The annotation stage uses it once per workload (playing the human who
+// picks the right suggested frame); the matcher never reads it.
+type GroundTruth struct {
+	Index        int
+	Label        string
+	Class        core.HCIClass
+	Kind         evdev.GestureKind
+	InputTime    sim.Time // touch-down
+	DispatchTime sim.Time // gesture lift / dispatch
+	Spurious     bool
+	Complete     bool
+	CompleteTime sim.Time
+	MaskRects    []screen.Rect // volatile regions of the completion screen
+}
+
+// Profile selects the "device image": which background services are active.
+// Workload datasets differ in their installed/active services, which shapes
+// their out-of-lag load.
+type Profile struct {
+	MusicAutoPlay bool
+	NewsSync      bool
+	NewsSyncEvery sim.Duration
+	AccountSync   bool
+	AccountEvery  sim.Duration
+	Telemetry     bool
+	// ExtraServices are factories: every booted device gets its own service
+	// instances, so concurrent replays never share state.
+	ExtraServices []func() apps.Service
+	// NetProxy, when set, routes every IO access through the paper's
+	// future-work deterministic network proxy: in Record mode observed
+	// latencies are stored, in Replay mode they are served verbatim,
+	// removing IO jitter between runs entirely.
+	NetProxy *netproxy.Proxy
+	// AnimFrameWork is the per-frame UI work while an animation runs
+	// (spinner redraw, progress updates). Defaults to 1.5 M cycles.
+	AnimFrameWork int64
+	// IOJitterFrac scales IO durations per repetition (default 0.08).
+	IOJitterFrac float64
+	// WorkJitterFrac scales CPU burst sizes per repetition (default 0.02).
+	WorkJitterFrac float64
+}
+
+// DefaultProfile returns the standard image: telemetry plus account sync.
+func DefaultProfile() Profile {
+	return Profile{AccountSync: true, Telemetry: true}
+}
+
+// Device is the simulated phone.
+type Device struct {
+	Eng  *sim.Engine
+	Core *soc.Core
+	Gov  governor.Governor
+
+	prof Profile
+	rand *sim.Rand
+
+	appsByName map[string]apps.App
+	appOrder   []string
+	foreground apps.App
+	launcher   *apps.Launcher
+	music      *apps.MusicService
+
+	fb     screen.Framebuffer
+	dirty  bool
+	cached *video.Frame
+	anims  map[string]bool
+
+	// input assembly
+	curGesture  *evdev.Gesture
+	gotX, gotY  bool
+	subscribers []func(evdev.Event)
+
+	// ground truth
+	truths        []GroundTruth
+	dispatchIdx   int // index of gesture being dispatched, -1 otherwise
+	OnInteraction func(gt GroundTruth)
+
+	FreqTrace *trace.FreqTrace
+	BusyCurve *trace.BusyCurve
+}
+
+// New boots a device with the given governor and profile. The paper resets
+// the device to a known state before recording; New is that reset.
+func New(eng *sim.Engine, seed uint64, gov governor.Governor, prof Profile) *Device {
+	if prof.AnimFrameWork == 0 {
+		prof.AnimFrameWork = 1_500_000
+	}
+	if prof.IOJitterFrac == 0 {
+		prof.IOJitterFrac = 0.08
+	}
+	if prof.WorkJitterFrac == 0 {
+		prof.WorkJitterFrac = 0.02
+	}
+	d := &Device{
+		Eng:         eng,
+		Core:        soc.NewCore(eng, power.Snapdragon8074()),
+		Gov:         gov,
+		prof:        prof,
+		rand:        sim.NewRand(seed),
+		appsByName:  make(map[string]apps.App),
+		anims:       make(map[string]bool),
+		dispatchIdx: -1,
+		FreqTrace:   &trace.FreqTrace{},
+		BusyCurve:   trace.NewBusyCurve(33333 * sim.Microsecond),
+	}
+	d.FreqTrace.Append(0, d.Core.OPPIndex())
+	d.Core.OnFreqChange = func(at sim.Time, idx int) { d.FreqTrace.Append(at, idx) }
+
+	d.music = apps.NewMusicService(prof.MusicAutoPlay)
+	d.installApps()
+	d.startServices()
+
+	if gov != nil {
+		gov.Start(d.Core)
+	}
+	d.foreground = d.launcher
+	d.foreground.Enter(nil)
+	d.dirty = true
+	d.vsyncLoop()
+	d.minuteClock()
+	return d
+}
+
+func (d *Device) installApps() {
+	register := func(a apps.App) {
+		a.Init(d)
+		d.appsByName[a.Name()] = a
+		d.appOrder = append(d.appOrder, a.Name())
+	}
+	register(apps.NewGallery())
+	register(apps.NewLogoQuiz())
+	register(apps.NewPulseNews())
+	register(apps.NewMessaging())
+	register(apps.NewMovieStudio())
+	register(apps.NewFacebook())
+	register(apps.NewGmail())
+	register(apps.NewMusicPlayer(d.music))
+	register(apps.NewCalculator())
+	register(apps.NewPlayStore())
+	register(apps.NewBrowser())
+	register(apps.NewRetroRunner())
+	d.launcher = apps.NewLauncher(d.appOrder)
+	d.launcher.Init(d)
+	d.appsByName[d.launcher.Name()] = d.launcher
+}
+
+func (d *Device) startServices() {
+	var svcs []apps.Service
+	svcs = append(svcs, d.music)
+	if d.prof.NewsSync {
+		svcs = append(svcs, apps.NewNewsSyncService(d.prof.NewsSyncEvery))
+	}
+	if d.prof.AccountSync {
+		svcs = append(svcs, apps.NewAccountSyncService(d.prof.AccountEvery))
+	}
+	if d.prof.Telemetry {
+		svcs = append(svcs, apps.NewTelemetryService())
+	}
+	for _, mk := range d.prof.ExtraServices {
+		svcs = append(svcs, mk())
+	}
+	for _, s := range svcs {
+		s.Start(d)
+	}
+}
+
+// App returns a registered app by name (nil if unknown).
+func (d *Device) App(name string) apps.App { return d.appsByName[name] }
+
+// Launcher returns the home screen app.
+func (d *Device) Launcher() *apps.Launcher { return d.launcher }
+
+// Foreground returns the current foreground app.
+func (d *Device) Foreground() apps.App { return d.foreground }
+
+// GroundTruths returns the per-gesture ground truth recorded so far.
+func (d *Device) GroundTruths() []GroundTruth { return d.truths }
+
+// ---- apps.Host implementation ----
+
+// Now implements apps.Host.
+func (d *Device) Now() sim.Time { return d.Eng.Now() }
+
+// Rand implements apps.Host.
+func (d *Device) Rand() *sim.Rand { return d.rand }
+
+// After implements apps.Host.
+func (d *Device) After(dur sim.Duration, fn func()) {
+	d.Eng.After(dur, func(*sim.Engine) { fn() })
+}
+
+// SpawnWork implements apps.Host, applying the per-repetition work jitter.
+func (d *Device) SpawnWork(name string, cycles int64, onDone func()) {
+	jittered := int64(sim.Duration(cycles))
+	if d.prof.WorkJitterFrac > 0 {
+		jittered = int64(d.rand.JitterFrac(sim.Duration(cycles), d.prof.WorkJitterFrac))
+	}
+	if jittered < 1 {
+		jittered = 1
+	}
+	d.Core.Submit(name, soc.Cycles(jittered), func(sim.Time) {
+		if onDone != nil {
+			onDone()
+		}
+	})
+}
+
+// SpawnIO implements apps.Host, applying the per-repetition IO jitter. With
+// a network proxy configured, the jittered latency is recorded or replaced
+// by the recorded one, making IO deterministic across runs.
+func (d *Device) SpawnIO(name string, dur sim.Duration, onDone func()) {
+	jittered := d.rand.JitterFrac(dur, d.prof.IOJitterFrac)
+	if d.prof.NetProxy != nil {
+		jittered = d.prof.NetProxy.Access(name, jittered)
+	}
+	d.Eng.After(jittered, func(*sim.Engine) {
+		if onDone != nil {
+			onDone()
+		}
+	})
+}
+
+// Invalidate implements apps.Host.
+func (d *Device) Invalidate() { d.dirty = true }
+
+// SetAnimating implements apps.Host.
+func (d *Device) SetAnimating(token string, on bool) {
+	if on {
+		d.anims[token] = true
+	} else {
+		delete(d.anims, token)
+	}
+	d.dirty = true
+}
+
+func (d *Device) animating() bool { return len(d.anims) > 0 }
+
+// Launch implements apps.Host: switch the foreground app, handing it the
+// in-flight launch interaction.
+func (d *Device) Launch(name string, ix *apps.Interaction) {
+	a, ok := d.appsByName[name]
+	if !ok {
+		if ix != nil {
+			ix.Finish()
+		}
+		return
+	}
+	d.foreground = a
+	d.dirty = true
+	a.Enter(ix)
+}
+
+// InteractionStarted implements apps.Host: binds the interaction to the
+// gesture currently being dispatched.
+func (d *Device) InteractionStarted(label string, class core.HCIClass) int {
+	idx := d.dispatchIdx
+	if idx < 0 {
+		// An interaction outside gesture dispatch (not used by the standard
+		// apps, but kept total): synthesize a gesture-less entry.
+		idx = len(d.truths)
+		d.truths = append(d.truths, GroundTruth{Index: idx, InputTime: d.Eng.Now(), DispatchTime: d.Eng.Now()})
+	}
+	gt := &d.truths[idx]
+	gt.Label = label
+	gt.Class = class
+	return idx
+}
+
+// InteractionFinished implements apps.Host: the ground-truth "input
+// serviced" instant.
+func (d *Device) InteractionFinished(id int) {
+	if id < 0 || id >= len(d.truths) {
+		return
+	}
+	gt := &d.truths[id]
+	if gt.Complete {
+		return
+	}
+	gt.Complete = true
+	gt.CompleteTime = d.Eng.Now()
+	gt.MaskRects = d.foreground.VolatileRects()
+	if d.OnInteraction != nil {
+		d.OnInteraction(*gt)
+	}
+}
+
+// ---- input pipeline ----
+
+// Subscribe registers an input-event observer (the getevent recorder).
+func (d *Device) Subscribe(fn func(evdev.Event)) {
+	d.subscribers = append(d.subscribers, fn)
+}
+
+// Inject delivers one evdev event to the device at the current virtual time,
+// as the kernel input layer would. The interactive governor's input boost
+// fires here, before any UI work happens.
+func (d *Device) Inject(ev evdev.Event) {
+	ev.Time = d.Eng.Now()
+	for _, fn := range d.subscribers {
+		fn(ev)
+	}
+	if d.Gov != nil && !ev.IsSyn() {
+		d.Gov.OnInput(ev.Time)
+	}
+	d.assemble(ev)
+}
+
+// assemble reassembles gestures from the event stream (mirror of
+// evdev.Classify, but online).
+func (d *Device) assemble(ev evdev.Event) {
+	if ev.Type != evdev.EVAbs {
+		return
+	}
+	switch ev.Code {
+	case evdev.AbsMTTrackingID:
+		if ev.Value == evdev.TrackingRelease {
+			if g := d.curGesture; g != nil {
+				g.Duration = ev.Time.Sub(g.Start)
+				d.curGesture = nil
+				d.dispatch(*g)
+			}
+		} else {
+			d.curGesture = &evdev.Gesture{Start: ev.Time}
+			d.gotX, d.gotY = false, false
+		}
+	case evdev.AbsMTPositionX:
+		if d.curGesture == nil {
+			return
+		}
+		d.curGesture.X1 = int(ev.Value)
+		if !d.gotX {
+			d.curGesture.X0 = int(ev.Value)
+			d.gotX = true
+		}
+	case evdev.AbsMTPositionY:
+		if d.curGesture == nil {
+			return
+		}
+		d.curGesture.Y1 = int(ev.Value)
+		if !d.gotY {
+			d.curGesture.Y0 = int(ev.Value)
+			d.gotY = true
+		}
+	}
+}
+
+// dispatch routes a completed gesture to the nav bar or the foreground app
+// and opens its ground-truth record.
+func (d *Device) dispatch(g evdev.Gesture) {
+	dx, dy := g.X1-g.X0, g.Y1-g.Y0
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	kind := evdev.Tap
+	if dx > 24 || dy > 24 {
+		kind = evdev.Swipe
+	}
+
+	idx := len(d.truths)
+	d.truths = append(d.truths, GroundTruth{
+		Index:        idx,
+		Kind:         kind,
+		InputTime:    g.Start,
+		DispatchTime: d.Eng.Now(),
+	})
+	d.dispatchIdx = idx
+
+	var handled bool
+	switch {
+	case kind == evdev.Tap && screen.HomeButtonRect.Contains(g.X0, g.Y0):
+		handled = d.goHome()
+	case kind == evdev.Tap && screen.BackButtonRect.Contains(g.X0, g.Y0):
+		handled = d.foreground.HandleBack()
+	case kind == evdev.Tap:
+		handled = d.foreground.HandleTap(g.X0, g.Y0)
+	default:
+		handled = d.foreground.HandleSwipe(g.X0, g.Y0, g.X1, g.Y1)
+	}
+	d.dispatchIdx = -1
+
+	gt := &d.truths[idx]
+	if !handled && gt.Label == "" {
+		gt.Spurious = true
+		gt.Complete = true
+		gt.CompleteTime = d.Eng.Now()
+		if d.OnInteraction != nil {
+			d.OnInteraction(*gt)
+		}
+		return
+	}
+	if handled && gt.Label == "" {
+		// Handled without starting work: visible immediately.
+		gt.Label = "instant"
+		gt.Complete = true
+		gt.CompleteTime = d.Eng.Now()
+		gt.MaskRects = d.foreground.VolatileRects()
+		if d.OnInteraction != nil {
+			d.OnInteraction(*gt)
+		}
+	}
+}
+
+func (d *Device) goHome() bool {
+	if d.foreground == d.launcher {
+		return false
+	}
+	ix := apps.BeginInteraction(d, "nav.home", core.SimpleFrequent)
+	from := d.foreground
+	_ = from
+	d.SpawnWork("nav.home", apps.CostTinyUI, func() {
+		d.foreground = d.launcher
+		d.dirty = true
+		d.launcher.Enter(ix)
+	})
+	return true
+}
+
+// ---- rendering and capture ----
+
+// vsyncLoop ticks at the display rate: it samples the busy curve, charges
+// animation UI work, and keeps animated content invalidated.
+func (d *Device) vsyncLoop() {
+	period := d.BusyCurve.Step
+	var tick func(e *sim.Engine)
+	n := 0
+	tick = func(e *sim.Engine) {
+		d.BusyCurve.AppendSample(d.Core.CumulativeBusy())
+		if d.animating() {
+			d.SpawnWork("ui.anim", d.prof.AnimFrameWork, nil)
+			d.dirty = true
+		}
+		n++
+		e.At(sim.Time(int64(n)*int64(period)), tick)
+	}
+	d.Eng.At(0, tick)
+}
+
+// minuteClock invalidates the screen at each minute boundary so the status
+// bar clock advances — the content the paper's Fig. 8 masks.
+func (d *Device) minuteClock() {
+	var tick func(e *sim.Engine)
+	tick = func(e *sim.Engine) {
+		d.dirty = true
+		e.After(sim.Duration(sim.Minute), tick)
+	}
+	d.Eng.After(sim.Duration(sim.Minute), tick)
+}
+
+// Frame renders (if needed) and returns the current screen frame; this is
+// the HDMI output the video recorder captures.
+func (d *Device) Frame() *video.Frame {
+	if !d.dirty && d.cached != nil {
+		return d.cached
+	}
+	d.fb.Fill(screen.ShadeBackground)
+	d.foreground.Render(&d.fb, d.Eng.Now())
+	screen.DrawStatusBar(&d.fb, d.Eng.Now())
+	screen.DrawNavBar(&d.fb)
+	d.cached = video.NewFrame(d.fb.Clone())
+	d.dirty = false
+	return d.cached
+}
+
+// String summarises device state.
+func (d *Device) String() string {
+	return fmt.Sprintf("device.Device{fg=%s, %s}", d.foreground.Name(), d.Core)
+}

@@ -1,0 +1,10 @@
+package device
+
+import (
+	"repro/internal/power"
+	"repro/internal/screen"
+)
+
+func powerTable() power.Table { return power.Snapdragon8074() }
+
+func homeCenter() (int, int) { return screen.HomeButtonRect.Center() }

@@ -1,0 +1,260 @@
+package evdev
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestEncodeTapShape(t *testing.T) {
+	enc := NewEncoder()
+	evs := enc.EncodeTap(1_000_000, 540, 960)
+	if len(evs) < 7 {
+		t.Fatalf("tap encoded to %d events, want >= 7", len(evs))
+	}
+	if evs[0].Type != EVAbs || evs[0].Code != AbsMTTrackingID || evs[0].Value != 1 {
+		t.Fatalf("first event = %+v, want tracking id 1", evs[0])
+	}
+	last := evs[len(evs)-1]
+	if !last.IsSyn() {
+		t.Fatalf("last event = %+v, want SYN_REPORT", last)
+	}
+	lift := evs[len(evs)-2]
+	if lift.Code != AbsMTTrackingID || lift.Value != TrackingRelease {
+		t.Fatalf("penultimate event = %+v, want tracking release", lift)
+	}
+	if lift.Time.Sub(evs[0].Time) != TapDuration {
+		t.Fatalf("tap press-to-lift = %v, want %v", lift.Time.Sub(evs[0].Time), TapDuration)
+	}
+	// Second tap must get a fresh tracking id.
+	evs2 := enc.EncodeTap(2_000_000, 100, 100)
+	if evs2[0].Value != 2 {
+		t.Fatalf("second tap tracking id = %d, want 2", evs2[0].Value)
+	}
+}
+
+func TestEncodeSwipeHasMotion(t *testing.T) {
+	enc := NewEncoder()
+	evs := enc.EncodeSwipe(0, 540, 1500, 540, 300, 250*sim.Millisecond)
+	moves := 0
+	for _, ev := range evs {
+		if ev.Type == EVAbs && ev.Code == AbsMTPositionY {
+			moves++
+		}
+	}
+	if moves < 10 {
+		t.Fatalf("swipe produced %d Y positions, want >= 10 (controller scan rate)", moves)
+	}
+}
+
+func TestClassifyRoundTrip(t *testing.T) {
+	enc := NewEncoder()
+	var stream []Event
+	stream = append(stream, enc.EncodeTap(1_000_000, 540, 960)...)
+	stream = append(stream, enc.EncodeSwipe(2_000_000, 540, 1500, 540, 300, 300*sim.Millisecond)...)
+	stream = append(stream, enc.EncodeTap(3_000_000, 100, 200)...)
+
+	gs := Classify(stream)
+	if len(gs) != 3 {
+		t.Fatalf("classified %d gestures, want 3", len(gs))
+	}
+	wantKinds := []GestureKind{Tap, Swipe, Tap}
+	for i, g := range gs {
+		if g.Kind != wantKinds[i] {
+			t.Errorf("gesture %d kind = %v, want %v", i, g.Kind, wantKinds[i])
+		}
+	}
+	if gs[0].X0 != 540 || gs[0].Y0 != 960 {
+		t.Errorf("tap position = (%d,%d), want (540,960)", gs[0].X0, gs[0].Y0)
+	}
+	if gs[1].Y0 <= gs[1].Y1 {
+		t.Errorf("swipe should move up: y0=%d y1=%d", gs[1].Y0, gs[1].Y1)
+	}
+	if gs[0].Start != 1_000_000 {
+		t.Errorf("tap start = %v, want 1s", gs[0].Start)
+	}
+}
+
+func TestClassifyRoundTripProperty(t *testing.T) {
+	f := func(xs, ys [6]uint16, swipeMask uint8) bool {
+		enc := NewEncoder()
+		var stream []Event
+		var wantKind []GestureKind
+		at := sim.Time(0)
+		for i := 0; i < 6; i++ {
+			x := int(xs[i] % 1080)
+			y := int(ys[i] % 1920)
+			if swipeMask&(1<<i) != 0 {
+				// Force a displacement well beyond the tap slop.
+				x1 := (x + 400) % 1080
+				y1 := (y + 700) % 1920
+				dx, dy := x1-x, y1-y
+				if dx < 0 {
+					dx = -dx
+				}
+				if dy < 0 {
+					dy = -dy
+				}
+				if dx <= tapSlop && dy <= tapSlop {
+					continue // wrapped into the slop; skip this case
+				}
+				stream = append(stream, enc.EncodeSwipe(at, x, y, x1, y1, 200*sim.Millisecond)...)
+				wantKind = append(wantKind, Swipe)
+			} else {
+				stream = append(stream, enc.EncodeTap(at, x, y)...)
+				wantKind = append(wantKind, Tap)
+			}
+			at = at.Add(sim.Second)
+		}
+		gs := Classify(stream)
+		if len(gs) != len(wantKind) {
+			return false
+		}
+		for i := range gs {
+			if gs[i].Kind != wantKind[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeteventRoundTrip(t *testing.T) {
+	enc := NewEncoder()
+	var events []Event
+	events = append(events, enc.EncodeTap(265_001_234, 433, 900)...)
+	events = append(events, enc.EncodeSwipe(266_500_000, 540, 1500, 540, 300, 300*sim.Millisecond)...)
+
+	var buf bytes.Buffer
+	if err := MarshalGetevent(&buf, "", events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalGetevent(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("round trip count: got %d, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: got %+v, want %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestGeteventRoundTripProperty(t *testing.T) {
+	f := func(sec uint32, usec uint32, typ uint16, code uint16, val int32) bool {
+		ev := Event{
+			Time:  sim.Time(int64(sec)*1_000_000 + int64(usec%1_000_000)),
+			Type:  typ,
+			Code:  code,
+			Value: val,
+		}
+		var buf bytes.Buffer
+		if err := MarshalGetevent(&buf, DefaultDeviceNode, []Event{ev}); err != nil {
+			return false
+		}
+		got, err := UnmarshalGetevent(&buf)
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		return got[0] == ev
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeteventFormatLooksLikePaper(t *testing.T) {
+	// The paper's Fig. 5 shows lines like:
+	//   /dev/input/event1: 0003 0039 00000003
+	ev := Event{Time: 0, Type: EVAbs, Code: AbsMTTrackingID, Value: 3}
+	var buf bytes.Buffer
+	if err := MarshalGetevent(&buf, DefaultDeviceNode, []Event{ev}); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(buf.String())
+	if !strings.Contains(line, "/dev/input/event1: 0003 0039 00000003") {
+		t.Fatalf("line %q does not match the paper's getevent format", line)
+	}
+	// Release renders as ffffffff like in Fig. 5.
+	ev.Value = TrackingRelease
+	buf.Reset()
+	if err := MarshalGetevent(&buf, DefaultDeviceNode, []Event{ev}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0003 0039 ffffffff") {
+		t.Fatalf("release line %q should contain ffffffff", buf.String())
+	}
+}
+
+func TestGeteventParserSkipsComments(t *testing.T) {
+	in := "# recorded workload dataset01\n\n[     1.000000] /dev/input/event1: 0003 0035 0000016b\n"
+	evs, err := UnmarshalGetevent(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Code != AbsMTPositionX || evs[0].Value != 0x16b {
+		t.Fatalf("parsed %+v", evs)
+	}
+}
+
+func TestGeteventParserErrors(t *testing.T) {
+	cases := []string{
+		"[1.000000 /dev/input/event1: 0003 0035 0000016b", // unterminated ts
+		"[1] /dev/input/event1: 0003 0035 0000016b",       // missing dot
+		"/dev/input/event1 0003 0035 0000016b",            // missing colon
+		"0003 0035",                                       // too few fields
+		"000g 0035 00000000",                              // bad hex
+	}
+	for _, c := range cases {
+		if _, err := UnmarshalGetevent(strings.NewReader(c)); err == nil {
+			t.Errorf("no error for malformed line %q", c)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	if TypeName(EVAbs) != "EV_ABS" || TypeName(EVSyn) != "EV_SYN" {
+		t.Fatal("TypeName")
+	}
+	if CodeName(EVAbs, AbsMTTrackingID) != "ABS_MT_TRACKING_ID" {
+		t.Fatal("CodeName abs")
+	}
+	if CodeName(EVSyn, SynReport) != "SYN_REPORT" {
+		t.Fatal("CodeName syn")
+	}
+	if CodeName(EVKey, BtnTouch) != "BTN_TOUCH" {
+		t.Fatal("CodeName key")
+	}
+	if Tap.String() != "tap" || Swipe.String() != "swipe" {
+		t.Fatal("GestureKind.String")
+	}
+}
+
+func BenchmarkEncodeTap(b *testing.B) {
+	enc := NewEncoder()
+	for i := 0; i < b.N; i++ {
+		_ = enc.EncodeTap(sim.Time(i), 540, 960)
+	}
+}
+
+func BenchmarkGeteventMarshal(b *testing.B) {
+	enc := NewEncoder()
+	var events []Event
+	for i := 0; i < 100; i++ {
+		events = append(events, enc.EncodeTap(sim.Time(i)*1_000_000, 540, 960)...)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		_ = MarshalGetevent(&buf, "", events)
+	}
+}

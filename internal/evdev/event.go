@@ -1,0 +1,110 @@
+// Package evdev models the Linux input subsystem as seen through
+// /dev/input/eventN: typed input events with microsecond timestamps, the
+// multitouch type-B protocol used by Android touch screens, and the text
+// format produced by Android's getevent tool (paper, Fig. 5).
+//
+// The paper captures workloads by recording this event stream on the device
+// and replays it with a custom agent; everything downstream (lag beginnings,
+// input classification in Fig. 10) is derived from these events.
+package evdev
+
+import "repro/internal/sim"
+
+// Event types, mirroring <linux/input-event-codes.h>.
+const (
+	EVSyn uint16 = 0x00 // synchronisation markers
+	EVKey uint16 = 0x01 // key and button state changes
+	EVRel uint16 = 0x02 // relative axis motion
+	EVAbs uint16 = 0x03 // absolute axis motion (touch screens)
+)
+
+// Synchronisation codes.
+const (
+	SynReport uint16 = 0x00 // end of a packet of simultaneous events
+)
+
+// Key codes used by the simulated device.
+const (
+	BtnTouch    uint16 = 0x14a
+	KeyPower    uint16 = 0x74
+	KeyVolumeUp uint16 = 0x73
+)
+
+// Absolute axis codes for the multitouch type-B protocol.
+const (
+	AbsMTSlot       uint16 = 0x2f
+	AbsMTTouchMajor uint16 = 0x30
+	AbsMTWidthMajor uint16 = 0x32
+	AbsMTPositionX  uint16 = 0x35
+	AbsMTPositionY  uint16 = 0x36
+	AbsMTTrackingID uint16 = 0x39
+	AbsMTPressure   uint16 = 0x3a
+)
+
+// TrackingRelease is the tracking-id value that reports a contact lift
+// (rendered as ffffffff by getevent, as in the paper's Fig. 5).
+const TrackingRelease int32 = -1
+
+// Event is one input event as delivered by the kernel: a timestamp plus the
+// (type, code, value) triple shown in the paper's Fig. 5.
+type Event struct {
+	Time  sim.Time
+	Type  uint16
+	Code  uint16
+	Value int32
+}
+
+// IsSyn reports whether the event is a SYN_REPORT packet terminator.
+func (ev Event) IsSyn() bool { return ev.Type == EVSyn && ev.Code == SynReport }
+
+// TypeName returns the symbolic name of the event type.
+func TypeName(t uint16) string {
+	switch t {
+	case EVSyn:
+		return "EV_SYN"
+	case EVKey:
+		return "EV_KEY"
+	case EVRel:
+		return "EV_REL"
+	case EVAbs:
+		return "EV_ABS"
+	}
+	return "EV_?"
+}
+
+// CodeName returns the symbolic name of an event code given its type.
+func CodeName(t, c uint16) string {
+	switch t {
+	case EVSyn:
+		if c == SynReport {
+			return "SYN_REPORT"
+		}
+	case EVKey:
+		switch c {
+		case BtnTouch:
+			return "BTN_TOUCH"
+		case KeyPower:
+			return "KEY_POWER"
+		case KeyVolumeUp:
+			return "KEY_VOLUMEUP"
+		}
+	case EVAbs:
+		switch c {
+		case AbsMTSlot:
+			return "ABS_MT_SLOT"
+		case AbsMTTouchMajor:
+			return "ABS_MT_TOUCH_MAJOR"
+		case AbsMTWidthMajor:
+			return "ABS_MT_WIDTH_MAJOR"
+		case AbsMTPositionX:
+			return "ABS_MT_POSITION_X"
+		case AbsMTPositionY:
+			return "ABS_MT_POSITION_Y"
+		case AbsMTTrackingID:
+			return "ABS_MT_TRACKING_ID"
+		case AbsMTPressure:
+			return "ABS_MT_PRESSURE"
+		}
+	}
+	return "?"
+}

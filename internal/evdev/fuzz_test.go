@@ -1,0 +1,110 @@
+package evdev
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// The recording parser faces files a user may have edited by hand; it must
+// never panic, whatever the input.
+func TestUnmarshalNeverPanicsProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("parser panicked on %q: %v", raw, r)
+			}
+		}()
+		_, _ = UnmarshalGetevent(strings.NewReader(string(raw)))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Classify must never panic on arbitrary event streams (including malformed
+// ones: double touch-downs, orphan releases, positions without contacts).
+func TestClassifyNeverPanicsProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("classify panicked: %v", r)
+			}
+		}()
+		var events []Event
+		codes := []uint16{AbsMTTrackingID, AbsMTPositionX, AbsMTPositionY, AbsMTTouchMajor, SynReport}
+		for i, b := range raw {
+			ev := Event{
+				Time:  sim.Time(i) * 1000,
+				Type:  uint16(b % 4),
+				Code:  codes[int(b)%len(codes)],
+				Value: int32(b) - 128,
+			}
+			if b%7 == 0 {
+				ev.Value = TrackingRelease
+			}
+			events = append(events, ev)
+		}
+		_ = Classify(events)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Orphan releases and double downs resolve to a sane gesture count.
+func TestClassifyMalformedStreams(t *testing.T) {
+	// Release without a down: ignored.
+	orphan := []Event{
+		{Time: 0, Type: EVAbs, Code: AbsMTTrackingID, Value: TrackingRelease},
+	}
+	if gs := Classify(orphan); len(gs) != 0 {
+		t.Fatalf("orphan release produced %d gestures", len(gs))
+	}
+	// Down, down, release: the second down replaces the first; one gesture.
+	double := []Event{
+		{Time: 0, Type: EVAbs, Code: AbsMTTrackingID, Value: 1},
+		{Time: 10, Type: EVAbs, Code: AbsMTPositionX, Value: 5},
+		{Time: 20, Type: EVAbs, Code: AbsMTTrackingID, Value: 2},
+		{Time: 30, Type: EVAbs, Code: AbsMTPositionX, Value: 7},
+		{Time: 40, Type: EVAbs, Code: AbsMTPositionY, Value: 9},
+		{Time: 50, Type: EVAbs, Code: AbsMTTrackingID, Value: TrackingRelease},
+	}
+	gs := Classify(double)
+	if len(gs) != 1 {
+		t.Fatalf("double down produced %d gestures", len(gs))
+	}
+	if gs[0].Start != 20 || gs[0].X0 != 7 {
+		t.Fatalf("second down should win: %+v", gs[0])
+	}
+	// Down without release at stream end: no gesture (contact still held).
+	held := []Event{
+		{Time: 0, Type: EVAbs, Code: AbsMTTrackingID, Value: 1},
+		{Time: 10, Type: EVAbs, Code: AbsMTPositionX, Value: 5},
+	}
+	if gs := Classify(held); len(gs) != 0 {
+		t.Fatalf("held contact produced %d gestures", len(gs))
+	}
+}
+
+func TestGeteventTimestampBoundaries(t *testing.T) {
+	// Zero and large timestamps survive the text round trip.
+	for _, tm := range []sim.Time{0, 1, 999999, 1_000_000, 86_400_000_000} {
+		ev := Event{Time: tm, Type: EVAbs, Code: AbsMTPositionX, Value: 42}
+		var b strings.Builder
+		if err := MarshalGetevent(&b, "", []Event{ev}); err != nil {
+			t.Fatal(err)
+		}
+		back, err := UnmarshalGetevent(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back[0].Time != tm {
+			t.Fatalf("timestamp %v round-tripped to %v", tm, back[0].Time)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package evdev
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// GestureKind distinguishes the input classes counted in the paper's
+// Fig. 10: taps dominate the workloads, swipes scroll lists and feeds.
+type GestureKind int
+
+const (
+	// Tap is a short press-and-release at one point.
+	Tap GestureKind = iota
+	// Swipe is a drag between two points over some duration.
+	Swipe
+)
+
+// String names the gesture kind.
+func (k GestureKind) String() string {
+	switch k {
+	case Tap:
+		return "tap"
+	case Swipe:
+		return "swipe"
+	}
+	return fmt.Sprintf("GestureKind(%d)", int(k))
+}
+
+// Gesture is a user-level touch interaction. Gestures are what the workload
+// scripts express; the encoder lowers them to evdev event packets and the
+// classifier recovers them from a recorded stream.
+type Gesture struct {
+	Kind     GestureKind
+	Start    sim.Time
+	Duration sim.Duration // press-to-lift span; taps use TapDuration
+	X0, Y0   int          // touch-down position
+	X1, Y1   int          // lift position (== X0,Y0 for taps)
+}
+
+// Encoding parameters. Values mirror a Galaxy Nexus / Nexus 5 touch stack:
+// ~10 ms scan interval (≈100 Hz) and a short contact for taps.
+const (
+	// TapDuration is the press-to-lift time for an encoded tap.
+	TapDuration = 60 * sim.Millisecond
+	// MoveInterval is the touch controller scan period during a drag.
+	MoveInterval = 10 * sim.Millisecond
+	// tapSlop is the maximum movement (in screen px) for a gesture to
+	// classify as a tap rather than a swipe.
+	tapSlop = 24
+)
+
+// Encoder lowers gestures to evdev events, maintaining the tracking-id
+// counter the kernel would maintain for the touch controller.
+type Encoder struct {
+	nextTracking int32
+}
+
+// NewEncoder returns an encoder whose first contact gets tracking id 1.
+func NewEncoder() *Encoder { return &Encoder{nextTracking: 1} }
+
+// packet appends one multitouch report (position + SYN_REPORT) at time t.
+func packet(dst []Event, t sim.Time, events ...Event) []Event {
+	for _, ev := range events {
+		ev.Time = t
+		dst = append(dst, ev)
+	}
+	dst = append(dst, Event{Time: t, Type: EVSyn, Code: SynReport})
+	return dst
+}
+
+// EncodeTap produces the event packets for a tap at (x, y) starting at t.
+func (e *Encoder) EncodeTap(t sim.Time, x, y int) []Event {
+	g := Gesture{Kind: Tap, Start: t, Duration: TapDuration, X0: x, Y0: y, X1: x, Y1: y}
+	return e.Encode(g)
+}
+
+// EncodeSwipe produces the event packets for a swipe from (x0, y0) to
+// (x1, y1) over dur, starting at t.
+func (e *Encoder) EncodeSwipe(t sim.Time, x0, y0, x1, y1 int, dur sim.Duration) []Event {
+	g := Gesture{Kind: Swipe, Start: t, Duration: dur, X0: x0, Y0: y0, X1: x1, Y1: y1}
+	return e.Encode(g)
+}
+
+// Encode lowers a gesture to its evdev event sequence. The shape matches the
+// paper's Fig. 5: tracking id, touch major, pressure, position X, position Y,
+// SYN_REPORT, ... , tracking id -1, SYN_REPORT.
+func (e *Encoder) Encode(g Gesture) []Event {
+	id := e.nextTracking
+	e.nextTracking++
+	var out []Event
+
+	// Touch down.
+	out = packet(out, g.Start,
+		Event{Type: EVAbs, Code: AbsMTTrackingID, Value: id},
+		Event{Type: EVAbs, Code: AbsMTTouchMajor, Value: 14},
+		Event{Type: EVAbs, Code: AbsMTPressure, Value: 0x89},
+		Event{Type: EVAbs, Code: AbsMTPositionX, Value: int32(g.X0)},
+		Event{Type: EVAbs, Code: AbsMTPositionY, Value: int32(g.Y0)},
+	)
+
+	dur := g.Duration
+	if dur <= 0 {
+		dur = TapDuration
+	}
+	if g.Kind == Swipe {
+		// Interpolated motion packets at the controller scan rate.
+		steps := int(dur / MoveInterval)
+		if steps < 2 {
+			steps = 2
+		}
+		for i := 1; i < steps; i++ {
+			ft := g.Start.Add(sim.Duration(i) * dur / sim.Duration(steps))
+			fx := g.X0 + (g.X1-g.X0)*i/steps
+			fy := g.Y0 + (g.Y1-g.Y0)*i/steps
+			out = packet(out, ft,
+				Event{Type: EVAbs, Code: AbsMTPositionX, Value: int32(fx)},
+				Event{Type: EVAbs, Code: AbsMTPositionY, Value: int32(fy)},
+			)
+		}
+	}
+
+	// Lift.
+	out = packet(out, g.Start.Add(dur),
+		Event{Type: EVAbs, Code: AbsMTTrackingID, Value: TrackingRelease},
+	)
+	return out
+}
+
+// Classify groups a recorded event stream back into gestures. It is the
+// analysis-side inverse of Encode and produces the tap/swipe counts of the
+// paper's Fig. 10. Events must be in timestamp order.
+func Classify(events []Event) []Gesture {
+	var out []Gesture
+	var cur *Gesture
+	gotX0, gotY0 := false, false
+	for _, ev := range events {
+		if ev.Type != EVAbs {
+			continue
+		}
+		switch ev.Code {
+		case AbsMTTrackingID:
+			if ev.Value == TrackingRelease {
+				if cur != nil {
+					cur.Duration = ev.Time.Sub(cur.Start)
+					cur.Kind = classifyKind(*cur)
+					out = append(out, *cur)
+				}
+				cur = nil
+			} else {
+				cur = &Gesture{Start: ev.Time}
+				gotX0, gotY0 = false, false
+			}
+		case AbsMTPositionX:
+			if cur == nil {
+				continue
+			}
+			cur.X1 = int(ev.Value)
+			if !gotX0 {
+				cur.X0 = int(ev.Value)
+				gotX0 = true
+			}
+		case AbsMTPositionY:
+			if cur == nil {
+				continue
+			}
+			cur.Y1 = int(ev.Value)
+			if !gotY0 {
+				cur.Y0 = int(ev.Value)
+				gotY0 = true
+			}
+		}
+	}
+	return out
+}
+
+func classifyKind(g Gesture) GestureKind {
+	dx, dy := g.X1-g.X0, g.Y1-g.Y0
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	if dx > tapSlop || dy > tapSlop {
+		return Swipe
+	}
+	return Tap
+}

@@ -1,0 +1,119 @@
+package evdev
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// DefaultDeviceNode is the input device node of the simulated touch screen,
+// matching the Galaxy Nexus node named in the paper.
+const DefaultDeviceNode = "/dev/input/event1"
+
+// MarshalGetevent writes events in the timestamped text format produced by
+// `getevent -t` on Android:
+//
+//	[   265.001234] /dev/input/event1: 0003 0039 00000003
+//
+// This is the on-disk recording format for workloads; it is both the format
+// shown in the paper's Fig. 5 (sans timestamps) and easy to inspect.
+func MarshalGetevent(w io.Writer, node string, events []Event) error {
+	if node == "" {
+		node = DefaultDeviceNode
+	}
+	bw := bufio.NewWriter(w)
+	for _, ev := range events {
+		sec := int64(ev.Time) / 1_000_000
+		usec := int64(ev.Time) % 1_000_000
+		if _, err := fmt.Fprintf(bw, "[%8d.%06d] %s: %04x %04x %08x\n",
+			sec, usec, node, ev.Type, ev.Code, uint32(ev.Value)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// UnmarshalGetevent parses a getevent-format stream back into events. Lines
+// that are blank or start with '#' are skipped, so recordings can carry
+// human comments.
+func UnmarshalGetevent(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		ev, err := parseGeteventLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("evdev: line %d: %w", lineNo, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseGeteventLine(line string) (Event, error) {
+	var ev Event
+	rest := line
+	// Optional "[  sec.usec]" timestamp prefix.
+	if strings.HasPrefix(rest, "[") {
+		end := strings.IndexByte(rest, ']')
+		if end < 0 {
+			return ev, fmt.Errorf("unterminated timestamp in %q", line)
+		}
+		ts := strings.TrimSpace(rest[1:end])
+		dot := strings.IndexByte(ts, '.')
+		if dot < 0 {
+			return ev, fmt.Errorf("malformed timestamp %q", ts)
+		}
+		sec, err := strconv.ParseInt(ts[:dot], 10, 64)
+		if err != nil {
+			return ev, fmt.Errorf("bad seconds in %q: %v", ts, err)
+		}
+		usec, err := strconv.ParseInt(ts[dot+1:], 10, 64)
+		if err != nil {
+			return ev, fmt.Errorf("bad microseconds in %q: %v", ts, err)
+		}
+		ev.Time = sim.Time(sec*1_000_000 + usec)
+		rest = strings.TrimSpace(rest[end+1:])
+	}
+	// Optional "/dev/input/eventN:" device prefix.
+	if strings.HasPrefix(rest, "/dev/") {
+		colon := strings.IndexByte(rest, ':')
+		if colon < 0 {
+			return ev, fmt.Errorf("missing ':' after device node in %q", line)
+		}
+		rest = strings.TrimSpace(rest[colon+1:])
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 3 {
+		return ev, fmt.Errorf("want 3 hex fields, got %d in %q", len(fields), line)
+	}
+	typ, err := strconv.ParseUint(fields[0], 16, 16)
+	if err != nil {
+		return ev, fmt.Errorf("bad type %q: %v", fields[0], err)
+	}
+	code, err := strconv.ParseUint(fields[1], 16, 16)
+	if err != nil {
+		return ev, fmt.Errorf("bad code %q: %v", fields[1], err)
+	}
+	val, err := strconv.ParseUint(fields[2], 16, 32)
+	if err != nil {
+		return ev, fmt.Errorf("bad value %q: %v", fields[2], err)
+	}
+	ev.Type = uint16(typ)
+	ev.Code = uint16(code)
+	ev.Value = int32(uint32(val))
+	return ev, nil
+}

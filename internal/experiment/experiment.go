@@ -1,0 +1,354 @@
+// Package experiment orchestrates the paper's evaluation matrix (§III-A):
+// each workload replayed at every fixed frequency and under the three
+// governors — "altogether we execute each workload 5·(14+3) = 85 times" —
+// followed by oracle construction and the figure-level aggregations.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/annotate"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/evdev"
+	"repro/internal/governor"
+	"repro/internal/match"
+	"repro/internal/oracle"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Config is one system configuration of the sweep.
+type Config struct {
+	Name        string
+	OPPIndex    int // >= 0 for fixed frequencies, -1 for governors
+	NewGovernor func() governor.Governor
+}
+
+// AllConfigs returns the paper's 17 configurations in its figures' x-axis
+// order: the 14 fixed frequencies ascending, then conservative, interactive,
+// ondemand.
+func AllConfigs(tbl power.Table) []Config {
+	var out []Config
+	for i := range tbl {
+		i := i
+		out = append(out, Config{
+			Name:        tbl[i].Label(),
+			OPPIndex:    i,
+			NewGovernor: func() governor.Governor { return governor.NewFixed(tbl, i) },
+		})
+	}
+	out = append(out,
+		Config{Name: "conservative", OPPIndex: -1, NewGovernor: func() governor.Governor { return governor.NewConservative() }},
+		Config{Name: "interactive", OPPIndex: -1, NewGovernor: func() governor.Governor { return governor.NewInteractive() }},
+		Config{Name: "ondemand", OPPIndex: -1, NewGovernor: func() governor.Governor { return governor.NewOndemand() }},
+	)
+	return out
+}
+
+// GovernorNames lists the three governor configurations.
+var GovernorNames = []string{"conservative", "interactive", "ondemand"}
+
+// Run is the analysed outcome of one replay.
+type Run struct {
+	Config    string
+	Rep       int
+	Profile   *core.Profile
+	EnergyJ   float64
+	BusyCurve *trace.BusyCurve
+	FreqTrace *trace.FreqTrace
+}
+
+// DatasetResult holds everything the figures need for one workload.
+type DatasetResult struct {
+	Workload     *workload.Workload
+	Recording    *workload.Recording
+	Gestures     []evdev.Gesture
+	RecordTruths []device.GroundTruth
+	DB           *annotate.DB
+	Model        *power.Model
+	Configs      []Config
+	Runs         map[string][]*Run
+	// Thresholds is the paper's oracle-study rule: 110% of the mean lag
+	// duration at the fastest fixed frequency.
+	Thresholds core.Thresholds
+	// Oracles holds one oracle per repetition; OracleEnergyJ is their mean.
+	Oracles       []*oracle.Oracle
+	OracleEnergyJ float64
+}
+
+// Options configures a dataset run.
+type Options struct {
+	Reps    int     // repetitions per configuration (paper: 5)
+	Workers int     // parallel replays (0 → GOMAXPROCS)
+	Factor  float64 // threshold slack (paper: 1.10)
+	Seed    uint64
+	// Quiet suppresses progress output. Progress goes through Progress if
+	// set.
+	Progress func(msg string)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Reps <= 0 {
+		o.Reps = 5
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Factor <= 0 {
+		o.Factor = 1.10
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+func (o Options) progress(format string, args ...interface{}) {
+	if o.Progress != nil {
+		o.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// RunDataset executes the full matrix for one workload: record once,
+// annotate once, replay 17 configurations × Reps, build the per-repetition
+// oracles.
+func RunDataset(w *workload.Workload, model *power.Model, opts Options) (*DatasetResult, error) {
+	opts = opts.withDefaults()
+	res := &DatasetResult{
+		Workload: w,
+		Model:    model,
+		Configs:  AllConfigs(model.Table),
+		Runs:     make(map[string][]*Run),
+	}
+
+	opts.progress("[%s] recording workload", w.Name)
+	rec, truths, err := w.Record(opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: record %s: %w", w.Name, err)
+	}
+	res.Recording = rec
+	res.RecordTruths = truths
+	res.Gestures = match.Gestures(rec.Events)
+
+	opts.progress("[%s] annotating (Part A)", w.Name)
+	annArt := workload.Replay(w, rec, governor.NewInteractive(), "annotation", opts.Seed^0xA11, true)
+	db, err := annotate.Build(w.Name, annArt.Video, res.Gestures, annArt.Truths, annotate.BuildOptions{MinStill: 1})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: annotate %s: %w", w.Name, err)
+	}
+	res.DB = db
+
+	// The replay matrix.
+	type job struct {
+		cfg Config
+		rep int
+	}
+	var jobs []job
+	for _, cfg := range res.Configs {
+		for rep := 0; rep < opts.Reps; rep++ {
+			jobs = append(jobs, job{cfg, rep})
+		}
+	}
+	opts.progress("[%s] replaying %d configurations x %d reps = %d runs",
+		w.Name, len(res.Configs), opts.Reps, len(jobs))
+
+	runs := make([]*Run, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opts.Workers)
+	for ji := range jobs {
+		ji := ji
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			j := jobs[ji]
+			seed := opts.Seed ^ (uint64(ji+1) * 0x9e3779b9)
+			runs[ji], errs[ji] = executeRun(w, rec, db, res.Gestures, model, j.cfg, j.rep, seed)
+		}()
+	}
+	wg.Wait()
+	for ji, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %s %s rep %d: %w", w.Name, jobs[ji].cfg.Name, jobs[ji].rep, err)
+		}
+	}
+	for _, r := range runs {
+		res.Runs[r.Config] = append(res.Runs[r.Config], r)
+	}
+
+	if err := res.buildThresholdsAndOracles(opts.Factor); err != nil {
+		return nil, err
+	}
+	opts.progress("[%s] done: oracle %.2f J", w.Name, res.OracleEnergyJ)
+	return res, nil
+}
+
+func executeRun(w *workload.Workload, rec *workload.Recording, db *annotate.DB,
+	gestures []evdev.Gesture, model *power.Model, cfg Config, rep int, seed uint64) (*Run, error) {
+	art := workload.Replay(w, rec, cfg.NewGovernor(), cfg.Name, seed, true)
+	profile, err := match.Match(art.Video, db, gestures, cfg.Name, match.Options{Strict: true})
+	if err != nil {
+		return nil, err
+	}
+	energy, err := model.Energy(art.BusyByOPP)
+	if err != nil {
+		return nil, err
+	}
+	return &Run{
+		Config:    cfg.Name,
+		Rep:       rep,
+		Profile:   profile,
+		EnergyJ:   energy,
+		BusyCurve: art.BusyCurve,
+		FreqTrace: art.FreqTrace,
+	}, nil
+}
+
+// buildThresholdsAndOracles derives the dataset thresholds (110% of the mean
+// fastest-frequency lag durations) and one oracle per repetition.
+func (res *DatasetResult) buildThresholdsAndOracles(factor float64) error {
+	tbl := res.Model.Table
+	fastName := tbl[len(tbl)-1].Label()
+	fastRuns := res.Runs[fastName]
+	if len(fastRuns) == 0 {
+		return fmt.Errorf("experiment: no fastest-frequency runs")
+	}
+
+	// Per-lag duration "the fastest frequency could achieve": the largest
+	// value observed across its repetitions, so the fastest configuration —
+	// and hence the oracle — is never irritating despite video-grid
+	// quantisation and per-repetition jitter.
+	refFast := &core.Profile{Workload: res.Workload.Name, Config: fastName}
+	nLags := len(fastRuns[0].Profile.Lags)
+	for i := 0; i < nLags; i++ {
+		ref := fastRuns[0].Profile.Lags[i]
+		if ref.Spurious {
+			refFast.Lags = append(refFast.Lags, ref)
+			continue
+		}
+		var worst sim.Duration
+		for _, r := range fastRuns {
+			if d := r.Profile.Lags[i].Duration(); d > worst {
+				worst = d
+			}
+		}
+		refFast.Lags = append(refFast.Lags, core.Lag{
+			Index: ref.Index, Label: ref.Label, Begin: ref.Begin, End: ref.Begin.Add(worst),
+		})
+	}
+	res.Thresholds = core.RelativeThresholds(refFast, factor)
+
+	reps := len(fastRuns)
+	var energySum float64
+	for rep := 0; rep < reps; rep++ {
+		var fixed []oracle.FixedRun
+		for idx := range tbl {
+			rs := res.Runs[tbl[idx].Label()]
+			if rep >= len(rs) {
+				return fmt.Errorf("experiment: missing rep %d for %s", rep, tbl[idx].Label())
+			}
+			fixed = append(fixed, oracle.FixedRun{
+				OPPIndex:  idx,
+				Profile:   rs[rep].Profile,
+				BusyCurve: rs[rep].BusyCurve,
+			})
+		}
+		o, err := oracle.Build(fixed, res.Model, 0, &res.Thresholds)
+		if err != nil {
+			return fmt.Errorf("experiment: oracle rep %d: %w", rep, err)
+		}
+		res.Oracles = append(res.Oracles, o)
+		energySum += o.EnergyJ
+	}
+	res.OracleEnergyJ = energySum / float64(reps)
+	return nil
+}
+
+// MeanEnergyJ returns the mean dynamic energy of a configuration.
+func (res *DatasetResult) MeanEnergyJ(config string) float64 {
+	rs := res.Runs[config]
+	if len(rs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range rs {
+		s += r.EnergyJ
+	}
+	return s / float64(len(rs))
+}
+
+// NormEnergy returns energy normalised to the oracle, the y-axis of the
+// paper's Fig. 12 (right) and Fig. 14 (top).
+func (res *DatasetResult) NormEnergy(config string) float64 {
+	if res.OracleEnergyJ == 0 {
+		return 0
+	}
+	return res.MeanEnergyJ(config) / res.OracleEnergyJ
+}
+
+// MeanIrritation returns the mean user irritation of a configuration under
+// the dataset thresholds.
+func (res *DatasetResult) MeanIrritation(config string) sim.Duration {
+	rs := res.Runs[config]
+	if len(rs) == 0 {
+		return 0
+	}
+	var s sim.Duration
+	for _, r := range rs {
+		s += core.Irritation(r.Profile, res.Thresholds)
+	}
+	return s / sim.Duration(len(rs))
+}
+
+// PooledDurationsMS returns all lag durations (ms) of a configuration pooled
+// across repetitions — the Fig. 11 samples.
+func (res *DatasetResult) PooledDurationsMS(config string) []float64 {
+	var out []float64
+	for _, r := range res.Runs[config] {
+		for _, d := range r.Profile.Durations() {
+			out = append(out, d.Milliseconds())
+		}
+	}
+	return out
+}
+
+// ConfigNames returns all configuration names in figure order plus "oracle".
+func (res *DatasetResult) ConfigNames() []string {
+	var names []string
+	for _, c := range res.Configs {
+		names = append(names, c.Name)
+	}
+	return names
+}
+
+// InputClassification counts the Fig. 10 classes for the dataset recording.
+func (res *DatasetResult) InputClassification() (taps, swipes, actual, spurious int) {
+	return ClassifyInputs(res.Gestures, res.RecordTruths)
+}
+
+// ClassifyInputs computes the Fig. 10 counts from a recording's gestures and
+// ground truth.
+func ClassifyInputs(gestures []evdev.Gesture, truths []device.GroundTruth) (taps, swipes, actual, spurious int) {
+	for _, g := range gestures {
+		if g.Kind == evdev.Tap {
+			taps++
+		} else {
+			swipes++
+		}
+	}
+	for _, gt := range truths {
+		if gt.Spurious {
+			spurious++
+		} else {
+			actual++
+		}
+	}
+	return
+}

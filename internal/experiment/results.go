@@ -1,0 +1,118 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+)
+
+// Summary is the serialisable digest of one dataset's matrix: everything
+// the figures need, without the raw traces. It lets a study run once and
+// be re-rendered or diffed later (qoebench -json).
+type Summary struct {
+	Workload    string             `json:"workload"`
+	Description string             `json:"description"`
+	Reps        int                `json:"reps"`
+	OracleJ     float64            `json:"oracle_energy_j"`
+	BaseOPP     string             `json:"oracle_base_opp"`
+	Configs     []ConfigSummary    `json:"configs"`
+	InputCounts map[string]int     `json:"input_counts"`
+	LagStats    map[string]BoxJSON `json:"lag_stats_ms"`
+}
+
+// ConfigSummary is one configuration's aggregate.
+type ConfigSummary struct {
+	Name         string  `json:"name"`
+	Fixed        bool    `json:"fixed"`
+	MeanEnergyJ  float64 `json:"mean_energy_j"`
+	EnergyCI95   float64 `json:"energy_ci95_j"`
+	NormEnergy   float64 `json:"energy_vs_oracle"`
+	IrritationS  float64 `json:"irritation_s"`
+	LagCount     int     `json:"lag_count"`
+	SpuriousLags int     `json:"spurious_lags"`
+}
+
+// BoxJSON mirrors stats.Box for serialisation.
+type BoxJSON struct {
+	N      int     `json:"n"`
+	Q1     float64 `json:"q1"`
+	Median float64 `json:"median"`
+	Q3     float64 `json:"q3"`
+	Max    float64 `json:"max"`
+	Mean   float64 `json:"mean"`
+	Fliers int     `json:"fliers"`
+}
+
+// Summarise digests a DatasetResult.
+func (res *DatasetResult) Summarise() *Summary {
+	s := &Summary{
+		Workload:    res.Workload.Name,
+		Description: res.Workload.Description,
+		OracleJ:     res.OracleEnergyJ,
+		InputCounts: map[string]int{},
+		LagStats:    map[string]BoxJSON{},
+	}
+	if len(res.Oracles) > 0 {
+		s.BaseOPP = res.Model.Table[res.Oracles[0].BaseOPP].Label()
+	}
+	taps, swipes, actual, spurious := res.InputClassification()
+	s.InputCounts["taps"] = taps
+	s.InputCounts["swipes"] = swipes
+	s.InputCounts["actual"] = actual
+	s.InputCounts["spurious"] = spurious
+
+	for _, cfg := range res.Configs {
+		runs := res.Runs[cfg.Name]
+		if len(runs) == 0 {
+			continue
+		}
+		if s.Reps == 0 {
+			s.Reps = len(runs)
+		}
+		energies := make([]float64, len(runs))
+		for i, r := range runs {
+			energies[i] = r.EnergyJ
+		}
+		_, ci := stats.MeanCI95(energies)
+		cs := ConfigSummary{
+			Name:         cfg.Name,
+			Fixed:        cfg.OPPIndex >= 0,
+			MeanEnergyJ:  res.MeanEnergyJ(cfg.Name),
+			EnergyCI95:   ci,
+			NormEnergy:   res.NormEnergy(cfg.Name),
+			IrritationS:  res.MeanIrritation(cfg.Name).Seconds(),
+			LagCount:     len(runs[0].Profile.Actual()),
+			SpuriousLags: runs[0].Profile.SpuriousCount(),
+		}
+		s.Configs = append(s.Configs, cs)
+
+		b := stats.NewBox(res.PooledDurationsMS(cfg.Name))
+		s.LagStats[cfg.Name] = BoxJSON{
+			N: b.N, Q1: b.Q1, Median: b.Median, Q3: b.Q3,
+			Max: b.Max, Mean: b.Mean, Fliers: len(b.Fliers),
+		}
+	}
+	return s
+}
+
+// WriteSummaries serialises dataset summaries as indented JSON.
+func WriteSummaries(w io.Writer, results []*DatasetResult) error {
+	var out []*Summary
+	for _, res := range results {
+		out = append(out, res.Summarise())
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadSummaries loads summaries written by WriteSummaries.
+func ReadSummaries(r io.Reader) ([]*Summary, error) {
+	var out []*Summary
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("experiment: decode summaries: %w", err)
+	}
+	return out, nil
+}

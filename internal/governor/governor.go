@@ -1,0 +1,116 @@
+// Package governor implements the CPU frequency governors characterised by
+// the paper: Ondemand and Conservative (standard Linux) and Interactive (the
+// default on most Android devices of the era), plus fixed-frequency
+// "userspace" configurations used for the per-frequency sweeps.
+//
+// All three load-based governors follow the paper's description: "They ramp
+// up the frequency as soon as the load raises above a fixed high-threshold
+// and lower it again as soon as the load falls below a low-threshold.
+// Conservative changes the load more smoothly than Interactive and Ondemand
+// and stays longer in intermediate steps. Interactive has an additional
+// feature where it reacts directly to incoming user input events and
+// immediately ramps up the frequency while ignoring the load in those
+// cases."
+package governor
+
+import (
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// CPU is the view a governor has of the frequency domain it manages. It is
+// deliberately narrow: current OPP, the OPP table, cumulative busy time for
+// load computation, and a timer facility.
+type CPU interface {
+	Now() sim.Time
+	After(d sim.Duration, fn func())
+	SetOPPIndex(i int)
+	OPPIndex() int
+	Table() power.Table
+	CumulativeBusy() sim.Duration
+}
+
+// Governor is a DVFS policy driving one CPU.
+type Governor interface {
+	// Name returns the sysfs-style governor name, e.g. "ondemand".
+	Name() string
+	// Start attaches the governor and begins its sampling, if any.
+	Start(cpu CPU)
+	// OnInput notifies the governor of a user input event. Only the
+	// Interactive governor reacts; others ignore it.
+	OnInput(at sim.Time)
+}
+
+// loadMeter computes CPU load over governor sampling windows the way
+// cpufreq governors do: busy time delta over wall time delta, in percent.
+type loadMeter struct {
+	cpu      CPU
+	lastBusy sim.Duration
+	lastWall sim.Time
+}
+
+func (m *loadMeter) reset(cpu CPU) {
+	m.cpu = cpu
+	m.lastBusy = cpu.CumulativeBusy()
+	m.lastWall = cpu.Now()
+}
+
+// sample returns load in percent (0..100) since the previous sample.
+func (m *loadMeter) sample() int {
+	busy := m.cpu.CumulativeBusy()
+	wall := m.cpu.Now()
+	dBusy := busy - m.lastBusy
+	dWall := wall.Sub(m.lastWall)
+	m.lastBusy, m.lastWall = busy, wall
+	if dWall <= 0 {
+		return 0
+	}
+	load := int(100 * int64(dBusy) / int64(dWall))
+	if load > 100 {
+		load = 100
+	}
+	return load
+}
+
+// Fixed pins the CPU at one OPP for the whole run — the paper's
+// fixed-frequency configurations ("we replay each of them for each available
+// core frequency; during those executions the frequency is fixed for the
+// whole runtime").
+type Fixed struct {
+	Index int
+	name  string
+}
+
+// NewFixed returns a fixed-frequency governor for OPP index i.
+func NewFixed(tbl power.Table, i int) *Fixed {
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(tbl) {
+		i = len(tbl) - 1
+	}
+	return &Fixed{Index: i, name: tbl[i].Label()}
+}
+
+// Name returns the OPP label, e.g. "0.96 GHz".
+func (f *Fixed) Name() string { return f.name }
+
+// Start pins the frequency.
+func (f *Fixed) Start(cpu CPU) { cpu.SetOPPIndex(f.Index) }
+
+// OnInput is a no-op for fixed frequencies.
+func (f *Fixed) OnInput(sim.Time) {}
+
+// Performance returns a governor pinned at the highest OPP.
+func Performance(tbl power.Table) *Fixed {
+	g := NewFixed(tbl, len(tbl)-1)
+	g.name = "performance"
+	return g
+}
+
+// Powersave returns a governor pinned at the lowest OPP.
+func Powersave(tbl power.Table) *Fixed {
+	g := NewFixed(tbl, 0)
+	g.name = "powersave"
+	return g
+}

@@ -1,0 +1,79 @@
+package match
+
+import (
+	"testing"
+
+	"repro/internal/annotate"
+	"repro/internal/governor"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestTwentyFourHourPipeline runs the paper's capability demonstration: a
+// full-day recording analysed end to end. It is the stress case for the
+// run-length video (2.6M frames) and the suggester's long still periods
+// ("when a workload contains long periods without screen updates ... the
+// reduction in the number of frames can be much larger").
+func TestTwentyFourHourPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("24-hour workload")
+	}
+	w := workload.TwentyFourHour()
+	rec, truths, err := w.Record(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual := 0
+	for _, gt := range truths {
+		if !gt.Spurious {
+			actual++
+		}
+	}
+	// The paper's Fig. 10 reports 218 actual lags for the 24-hour workload.
+	if actual < 170 || actual > 260 {
+		t.Fatalf("24-hour workload has %d actual lags, want ~218", actual)
+	}
+
+	gestures := Gestures(rec.Events)
+	art := workload.Replay(w, rec, governor.NewInteractive(), "annotation", 2, true)
+
+	// RLE must crush the day-long video: 2.6M captured frames, but only the
+	// active bursts produce distinct images.
+	v := art.Video
+	if v.Len() < 2_500_000 {
+		t.Fatalf("video has %d frames, want ~2.6M (24h at 30fps)", v.Len())
+	}
+	if ratio := float64(v.Len()) / float64(v.DistinctFrames()); ratio < 50 {
+		t.Fatalf("RLE compression only %.0fx on a mostly-idle day", ratio)
+	}
+
+	db, err := annotate.Build(w.Name, v, gestures, art.Truths, annotate.BuildOptions{MinStill: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Match a second replay at a different configuration.
+	art2 := workload.Replay(w, rec, governor.NewFixed(power.Snapdragon8074(), 5), "0.96 GHz", 3, true)
+	profile, err := Match(art2.Video, db, gestures, "0.96 GHz", Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	framePeriod := sim.Duration(1_000_000 / art2.Video.FPSRate())
+	for i, lag := range profile.Lags {
+		gt := art2.Truths[i]
+		if lag.Spurious != gt.Spurious {
+			t.Fatalf("lag %d spurious mismatch", i)
+		}
+		if lag.Spurious {
+			continue
+		}
+		diff := lag.End.Sub(gt.CompleteTime)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 2*framePeriod {
+			t.Fatalf("lag %d (%s): matcher end %v vs truth %v", i, lag.Label, lag.End, gt.CompleteTime)
+		}
+	}
+}

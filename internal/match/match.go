@@ -1,0 +1,95 @@
+// Package match implements the paper's matcher algorithm (§II-E): "steps
+// through the video frame by frame and looks for a lag beginning according
+// to input timings. As soon as a time is reached where an input was issued,
+// it picks the corresponding lag ending from the annotation data base and
+// compares all following frames with that image until it finds a match. The
+// time between beginning and end is then saved in a lag profile."
+//
+// With the annotation database built once, this stage is fully automatic —
+// the 2700× markup-effort reduction the paper reports rests on it.
+package match
+
+import (
+	"fmt"
+
+	"repro/internal/annotate"
+	"repro/internal/core"
+	"repro/internal/evdev"
+	"repro/internal/video"
+)
+
+// Options tunes matching.
+type Options struct {
+	// Strict makes Match fail if any non-spurious lag has no ending match;
+	// otherwise such lags are truncated at the video end and reported.
+	Strict bool
+}
+
+// Match produces the lag profile of one captured execution: the video of the
+// run, the annotation database of the workload, and the recorded gestures
+// whose timestamps are the lag beginnings.
+func Match(v *video.Video, db *annotate.DB, gestures []evdev.Gesture, config string, opts Options) (*core.Profile, error) {
+	if len(gestures) != len(db.Entries) {
+		return nil, fmt.Errorf("match: %d gestures but %d annotation entries", len(gestures), len(db.Entries))
+	}
+	p := &core.Profile{Workload: db.Workload, Config: config}
+	for k := range db.Entries {
+		e := &db.Entries[k]
+		g := gestures[k]
+		lag := core.Lag{Index: e.Index, Label: e.Label, Begin: g.Start}
+		if e.Spurious {
+			lag.Spurious = true
+			p.Lags = append(p.Lags, lag)
+			continue
+		}
+		endIdx, ok := findEnding(v, e, v.IndexAt(g.Start))
+		if !ok {
+			if opts.Strict {
+				return nil, fmt.Errorf("match: lag %d (%s): ending image not found after frame %d",
+					k, e.Label, v.IndexAt(g.Start))
+			}
+			endIdx = v.Len() - 1
+		}
+		lag.End = v.TimeOf(endIdx)
+		if lag.End < lag.Begin {
+			lag.End = lag.Begin
+		}
+		p.Lags = append(p.Lags, lag)
+	}
+	return p, p.Validate()
+}
+
+// findEnding scans frames after start for the entry's Occurrence-th
+// similarity segment, walking the run-length encoding so each distinct image
+// is compared once.
+func findEnding(v *video.Video, e *annotate.Entry, start int) (int, bool) {
+	runs := v.Runs()
+	need := e.Occurrence
+	if need < 1 {
+		need = 1
+	}
+	inSegment := false
+	for k := v.RunIndexOf(start + 1); k >= 0 && k < len(runs); k++ {
+		r := runs[k]
+		sim := e.Similar(r.Frame)
+		if sim && !inSegment {
+			need--
+			if need == 0 {
+				// First frame of the matching segment that is after start.
+				idx := r.Start
+				if idx <= start {
+					idx = start + 1
+				}
+				return idx, true
+			}
+		}
+		inSegment = sim
+	}
+	return 0, false
+}
+
+// Gestures recovers lag beginnings from a recorded event trace — the
+// matcher's "input timings".
+func Gestures(events []evdev.Event) []evdev.Gesture {
+	return evdev.Classify(events)
+}

@@ -1,0 +1,179 @@
+package match
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/annotate"
+	"repro/internal/core"
+	"repro/internal/evdev"
+	"repro/internal/governor"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// pipeline runs the full Fig. 4 flow for a workload: record once, annotate
+// on one replay, then match other replays.
+type pipeline struct {
+	w   *workload.Workload
+	rec *workload.Recording
+	db  *annotate.DB
+	gs  []evdev.Gesture
+}
+
+func buildPipeline(t *testing.T, w *workload.Workload) *pipeline {
+	t.Helper()
+	rec, _, err := w.Record(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := Gestures(rec.Events)
+
+	// Part A: annotation run under the stock governor.
+	art := workload.Replay(w, rec, governor.NewInteractive(), "annotation", 11, true)
+	db, err := annotate.Build(w.Name, art.Video, gs, art.Truths, annotate.BuildOptions{MinStill: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &pipeline{w: w, rec: rec, db: db, gs: gs}
+}
+
+func TestPipelineMatchesGroundTruth(t *testing.T) {
+	p := buildPipeline(t, workload.Quickstart())
+	tbl := power.Snapdragon8074()
+
+	// Part B on configurations the annotation never saw.
+	for _, idx := range []int{0, 5, 13} {
+		cfg := tbl[idx].Label()
+		art := workload.Replay(p.w, p.rec, governor.NewFixed(tbl, idx), cfg, 21+uint64(idx), true)
+		prof, err := Match(art.Video, p.db, p.gs, cfg, Options{Strict: true})
+		if err != nil {
+			t.Fatalf("%s: %v", cfg, err)
+		}
+		if len(prof.Lags) != len(art.Truths) {
+			t.Fatalf("%s: %d lags vs %d ground truths", cfg, len(prof.Lags), len(art.Truths))
+		}
+		framePeriod := sim.Duration(1_000_000 / art.Video.FPSRate())
+		for i, lag := range prof.Lags {
+			gt := art.Truths[i]
+			if lag.Spurious != gt.Spurious {
+				t.Errorf("%s lag %d: spurious mismatch", cfg, i)
+				continue
+			}
+			if lag.Spurious {
+				continue
+			}
+			// The matcher's ending must land within two capture frames of
+			// the device ground truth.
+			diff := lag.End.Sub(gt.CompleteTime)
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 2*framePeriod {
+				t.Errorf("%s lag %d (%s): matcher end %v vs truth %v (diff %v)",
+					cfg, i, lag.Label, lag.End, gt.CompleteTime, diff)
+			}
+		}
+	}
+}
+
+func TestLagsLongerAtLowerFrequency(t *testing.T) {
+	p := buildPipeline(t, workload.Quickstart())
+	tbl := power.Snapdragon8074()
+	total := func(idx int) sim.Duration {
+		cfg := tbl[idx].Label()
+		art := workload.Replay(p.w, p.rec, governor.NewFixed(tbl, idx), cfg, 31, true)
+		prof, err := Match(art.Video, p.db, p.gs, cfg, Options{Strict: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum sim.Duration
+		for _, d := range prof.Durations() {
+			sum += d
+		}
+		return sum
+	}
+	slow, fast := total(0), total(13)
+	if slow <= fast {
+		t.Fatalf("total lag at 0.30 GHz (%v) not above 2.15 GHz (%v)", slow, fast)
+	}
+}
+
+func TestMatchRejectsMismatchedInputs(t *testing.T) {
+	p := buildPipeline(t, workload.Quickstart())
+	art := workload.Replay(p.w, p.rec, governor.NewInteractive(), "x", 5, true)
+	_, err := Match(art.Video, p.db, p.gs[:2], "x", Options{})
+	if err == nil {
+		t.Fatal("Match accepted truncated gesture list")
+	}
+}
+
+func TestAnnotationDBRoundTrip(t *testing.T) {
+	p := buildPipeline(t, workload.Quickstart())
+	var buf bytes.Buffer
+	if err := p.db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := annotate.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Entries) != len(p.db.Entries) {
+		t.Fatalf("entries: %d vs %d", len(back.Entries), len(p.db.Entries))
+	}
+	for i := range back.Entries {
+		a, b := &p.db.Entries[i], &back.Entries[i]
+		if a.Spurious != b.Spurious || a.Occurrence != b.Occurrence || a.Threshold != b.Threshold {
+			t.Fatalf("entry %d differs after round trip", i)
+		}
+		if !a.Spurious && !a.Similar(b.Image) {
+			t.Fatalf("entry %d image differs after round trip", i)
+		}
+	}
+	// The loaded DB must drive the matcher identically.
+	tbl := power.Snapdragon8074()
+	art := workload.Replay(p.w, p.rec, governor.NewFixed(tbl, 5), "0.96 GHz", 7, true)
+	p1, err := Match(art.Video, p.db, p.gs, "0.96 GHz", Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Match(art.Video, back, p.gs, "0.96 GHz", Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1.Lags {
+		if p1.Lags[i] != p2.Lags[i] {
+			t.Fatalf("lag %d differs with loaded DB", i)
+		}
+	}
+}
+
+func TestThresholdsFromAnnotation(t *testing.T) {
+	p := buildPipeline(t, workload.Quickstart())
+	th := p.db.Thresholds()
+	// The quickstart launch is a common task (4 s); scrolls are simple
+	// frequent (1 s).
+	for _, e := range p.db.Entries {
+		if e.Spurious {
+			continue
+		}
+		if th.For(e.Index) != e.Class.Threshold() {
+			t.Fatalf("entry %d threshold %v != class %v", e.Index, th.For(e.Index), e.Class)
+		}
+	}
+}
+
+func TestIrritationZeroAtOwnRelativeThresholds(t *testing.T) {
+	p := buildPipeline(t, workload.Quickstart())
+	tbl := power.Snapdragon8074()
+	art := workload.Replay(p.w, p.rec, governor.NewFixed(tbl, 13), "2.15 GHz", 13, true)
+	prof, err := Match(art.Video, p.db, p.gs, "2.15 GHz", Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := core.RelativeThresholds(prof, 1.10)
+	if irr := core.Irritation(prof, th); irr != 0 {
+		t.Fatalf("fastest profile irritation under its own thresholds = %v, want 0", irr)
+	}
+}

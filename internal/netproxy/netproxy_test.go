@@ -1,0 +1,104 @@
+package netproxy
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestRecordThenReplay(t *testing.T) {
+	rec := New(Record)
+	latencies := []sim.Duration{120, 340, 95, 340}
+	for _, l := range latencies {
+		if got := rec.Access("feed", l*sim.Millisecond); got != l*sim.Millisecond {
+			t.Fatalf("record mode altered latency: %v", got)
+		}
+	}
+	rec.Access("mail", 80*sim.Millisecond)
+	if rec.AccessCount() != 5 {
+		t.Fatalf("recorded %d accesses", rec.AccessCount())
+	}
+
+	rep := rec.ReplayCopy()
+	for i, want := range latencies {
+		got := rep.Access("feed", 999*sim.Millisecond) // live value must be ignored
+		if got != want*sim.Millisecond {
+			t.Fatalf("fetch %d: got %v, want %v", i, got, want*sim.Millisecond)
+		}
+	}
+	if rep.Misses() != 0 {
+		t.Fatalf("unexpected misses: %d", rep.Misses())
+	}
+	// Fifth access has no recording: falls back to live and counts a miss.
+	if got := rep.Access("feed", 777*sim.Millisecond); got != 777*sim.Millisecond {
+		t.Fatalf("fallback latency %v", got)
+	}
+	if rep.Misses() != 1 {
+		t.Fatalf("misses = %d, want 1", rep.Misses())
+	}
+}
+
+func TestReplayCopiesAreIndependent(t *testing.T) {
+	rec := New(Record)
+	rec.Access("r", 100)
+	rec.Access("r", 200)
+	a, b := rec.ReplayCopy(), rec.ReplayCopy()
+	if a.Access("r", 0) != 100 || a.Access("r", 0) != 200 {
+		t.Fatal("copy a wrong order")
+	}
+	if b.Access("r", 0) != 100 {
+		t.Fatal("copy b shares cursor with copy a")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rec := New(Record)
+	rec.Access("feed", 120*sim.Millisecond)
+	rec.Access("feed", 130*sim.Millisecond)
+	rec.Access("smtp", 900*sim.Millisecond)
+	var buf bytes.Buffer
+	if err := rec.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Mode() != Replay {
+		t.Fatal("loaded proxy not in replay mode")
+	}
+	if got := back.Access("feed", 0); got != 120*sim.Millisecond {
+		t.Fatalf("loaded latency %v", got)
+	}
+	rs := back.Resources()
+	if len(rs) != 2 || rs[0] != "feed" || rs[1] != "smtp" {
+		t.Fatalf("resources %v", rs)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestReplayDeterminismProperty(t *testing.T) {
+	f := func(lat []uint16) bool {
+		rec := New(Record)
+		for _, l := range lat {
+			rec.Access("x", sim.Duration(l))
+		}
+		a, b := rec.ReplayCopy(), rec.ReplayCopy()
+		for range lat {
+			if a.Access("x", 1) != b.Access("x", 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

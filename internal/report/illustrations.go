@@ -1,0 +1,67 @@
+package report
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/evdev"
+	"repro/internal/sim"
+	"repro/internal/suggest"
+	"repro/internal/video"
+)
+
+// Figure5 prints a getevent excerpt for one tap — the paper's Fig. 5
+// illustration of the recording format.
+func Figure5(w io.Writer) {
+	fmt.Fprintln(w, "FIG. 5: GETEVENT INPUT RECORDING OF ONE TAP")
+	enc := evdev.NewEncoder()
+	// Reproduce the Fig. 5 event values: tracking id 3 requires two warm-up
+	// contacts.
+	enc.EncodeTap(0, 0, 0)
+	enc.EncodeTap(0, 0, 0)
+	events := enc.EncodeTap(sim.Time(265*sim.Second), 0x16b, 0x1a3)
+	var buf bytes.Buffer
+	_ = evdev.MarshalGetevent(&buf, evdev.DefaultDeviceNode, events)
+	w.Write(buf.Bytes())
+}
+
+// Figure7 prints the suggester illustration for a lag window: the
+// ones-and-zeros change string (zeros run-length compressed, as in the
+// paper's curly-brace notation) and the suggested ending frames.
+func Figure7(w io.Writer, v *video.Video, start, end int, cfg suggest.Config) {
+	fmt.Fprintf(w, "FIG. 7: SUGGESTER OVER FRAMES %d..%d\n", start, end)
+	bits := suggest.ChangeBits(v, start, end, cfg)
+	fmt.Fprintf(w, "change string: %s\n", compressBits(bits))
+	sugg := suggest.Suggest(v, start, end, cfg)
+	fmt.Fprintf(w, "suggested lag ending frames (%d): %v\n", len(sugg), sugg)
+	fmt.Fprintf(w, "frames the annotator inspects: %d of %d (reduction %.0fx)\n",
+		len(sugg), end-start, suggest.ReductionFactor(v, start, end, cfg))
+}
+
+// compressBits renders a 0/1 string with runs of zeros abbreviated, e.g.
+// "1 {23x0} 1 1 {38x0}".
+func compressBits(bits []byte) string {
+	var out bytes.Buffer
+	zeros := 0
+	flush := func() {
+		if zeros > 3 {
+			fmt.Fprintf(&out, "{%dx0} ", zeros)
+		} else {
+			for i := 0; i < zeros; i++ {
+				out.WriteString("0 ")
+			}
+		}
+		zeros = 0
+	}
+	for _, b := range bits {
+		if b == '0' {
+			zeros++
+			continue
+		}
+		flush()
+		out.WriteString("1 ")
+	}
+	flush()
+	return out.String()
+}

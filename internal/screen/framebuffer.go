@@ -1,0 +1,182 @@
+// Package screen models the display pipeline of the simulated device: a
+// portrait 1080×1920 logical touch surface rendered into a 54×96 greyscale
+// framebuffer (a 20× downscale — coarse enough to keep 24-hour videos cheap,
+// fine enough that every widget, spinner, progress bar, keyboard key and the
+// status-bar clock occupy distinct pixels for the video-analysis stages).
+//
+// The paper captures this surface over HDMI; internal/video plays the role
+// of the capture card.
+package screen
+
+import "fmt"
+
+// Logical (touch) coordinate space, matching a Nexus-5-class portrait panel.
+const (
+	LogicalW = 1080
+	LogicalH = 1920
+)
+
+// Framebuffer dimensions and the logical→framebuffer scale factor.
+const (
+	Scale = 20
+	FBW   = LogicalW / Scale // 54
+	FBH   = LogicalH / Scale // 96
+)
+
+// Rect is an axis-aligned rectangle in logical coordinates.
+type Rect struct {
+	X, Y, W, H int
+}
+
+// Contains reports whether the logical point (x, y) lies inside the rect.
+func (r Rect) Contains(x, y int) bool {
+	return x >= r.X && x < r.X+r.W && y >= r.Y && y < r.Y+r.H
+}
+
+// Center returns the logical centre of the rectangle — where a workload
+// script aims its taps.
+func (r Rect) Center() (int, int) { return r.X + r.W/2, r.Y + r.H/2 }
+
+// String renders the rect for debugging.
+func (r Rect) String() string { return fmt.Sprintf("(%d,%d %dx%d)", r.X, r.Y, r.W, r.H) }
+
+// Framebuffer is the greyscale pixel surface the device renders into and the
+// video recorder captures.
+type Framebuffer struct {
+	Pix [FBW * FBH]uint8
+}
+
+// Fill sets every pixel to shade.
+func (fb *Framebuffer) Fill(shade uint8) {
+	for i := range fb.Pix {
+		fb.Pix[i] = shade
+	}
+}
+
+// At returns the pixel at framebuffer coordinates, 0 outside bounds.
+func (fb *Framebuffer) At(x, y int) uint8 {
+	if x < 0 || x >= FBW || y < 0 || y >= FBH {
+		return 0
+	}
+	return fb.Pix[y*FBW+x]
+}
+
+// SetFB writes one framebuffer pixel, ignoring out-of-bounds writes.
+func (fb *Framebuffer) SetFB(x, y int, shade uint8) {
+	if x < 0 || x >= FBW || y < 0 || y >= FBH {
+		return
+	}
+	fb.Pix[y*FBW+x] = shade
+}
+
+// FillRectFB fills a rectangle given directly in framebuffer coordinates.
+func (fb *Framebuffer) FillRectFB(x, y, w, h int, shade uint8) {
+	for yy := y; yy < y+h; yy++ {
+		if yy < 0 || yy >= FBH {
+			continue
+		}
+		row := yy * FBW
+		for xx := x; xx < x+w; xx++ {
+			if xx < 0 || xx >= FBW {
+				continue
+			}
+			fb.Pix[row+xx] = shade
+		}
+	}
+}
+
+// FillRect fills a logical-coordinate rectangle.
+func (fb *Framebuffer) FillRect(r Rect, shade uint8) {
+	fb.FillRectFB(r.X/Scale, r.Y/Scale, fbSpan(r.X, r.W), fbSpan(r.Y, r.H), shade)
+}
+
+// Border draws a 1-framebuffer-pixel outline of a logical rectangle.
+func (fb *Framebuffer) Border(r Rect, shade uint8) {
+	x, y := r.X/Scale, r.Y/Scale
+	w, h := fbSpan(r.X, r.W), fbSpan(r.Y, r.H)
+	fb.FillRectFB(x, y, w, 1, shade)
+	fb.FillRectFB(x, y+h-1, w, 1, shade)
+	fb.FillRectFB(x, y, 1, h, shade)
+	fb.FillRectFB(x+w-1, y, 1, h, shade)
+}
+
+// fbSpan converts a logical offset+extent to a framebuffer extent covering
+// at least one pixel.
+func fbSpan(off, ext int) int {
+	s := (off+ext+Scale-1)/Scale - off/Scale
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// FBRect converts a logical rect into framebuffer pixel coordinates
+// (x, y, w, h), used when building masks over rendered regions.
+func FBRect(r Rect) (x, y, w, h int) {
+	return r.X / Scale, r.Y / Scale, fbSpan(r.X, r.W), fbSpan(r.Y, r.H)
+}
+
+// digit font: 3x5 glyphs for '0'-'9' and ':'.
+var digitFont = map[byte][5]uint8{
+	'0': {0b111, 0b101, 0b101, 0b101, 0b111},
+	'1': {0b010, 0b110, 0b010, 0b010, 0b111},
+	'2': {0b111, 0b001, 0b111, 0b100, 0b111},
+	'3': {0b111, 0b001, 0b111, 0b001, 0b111},
+	'4': {0b101, 0b101, 0b111, 0b001, 0b001},
+	'5': {0b111, 0b100, 0b111, 0b001, 0b111},
+	'6': {0b111, 0b100, 0b111, 0b101, 0b111},
+	'7': {0b111, 0b001, 0b010, 0b010, 0b010},
+	'8': {0b111, 0b101, 0b111, 0b101, 0b111},
+	'9': {0b111, 0b101, 0b111, 0b001, 0b111},
+	':': {0b000, 0b010, 0b000, 0b010, 0b000},
+}
+
+// DrawDigits renders a string of digits/colons at framebuffer coordinates
+// with a 3x5 font (used by the status-bar clock). Returns the width drawn.
+func (fb *Framebuffer) DrawDigits(x, y int, s string, shade uint8) int {
+	cx := x
+	for i := 0; i < len(s); i++ {
+		glyph, ok := digitFont[s[i]]
+		if !ok {
+			continue
+		}
+		for gy := 0; gy < 5; gy++ {
+			for gx := 0; gx < 3; gx++ {
+				if glyph[gy]&(1<<(2-gx)) != 0 {
+					fb.SetFB(cx+gx, y+gy, shade)
+				}
+			}
+		}
+		cx += 4
+	}
+	return cx - x
+}
+
+// DrawPattern fills a logical rect with a deterministic pseudo-text pattern
+// derived from seed. Different seeds give visibly different pixel patterns,
+// which is how distinct text contents, album thumbnails and news stories are
+// told apart by the frame comparison stages without a full font renderer.
+func (fb *Framebuffer) DrawPattern(r Rect, seed uint64, lo, hi uint8) {
+	x0, y0, w, h := FBRect(r)
+	s := seed
+	for yy := y0; yy < y0+h; yy++ {
+		for xx := x0; xx < x0+w; xx++ {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			if s&3 == 0 {
+				fb.SetFB(xx, yy, hi)
+			} else {
+				fb.SetFB(xx, yy, lo)
+			}
+		}
+	}
+}
+
+// Clone returns a copy of the framebuffer contents as a flat byte slice —
+// the capture path hands this to the video layer.
+func (fb *Framebuffer) Clone() []uint8 {
+	out := make([]uint8, len(fb.Pix))
+	copy(out, fb.Pix[:])
+	return out
+}

@@ -1,0 +1,219 @@
+package screen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestRectContains(t *testing.T) {
+	r := Rect{X: 100, Y: 200, W: 50, H: 60}
+	cases := []struct {
+		x, y int
+		in   bool
+	}{
+		{100, 200, true}, {149, 259, true}, {125, 230, true},
+		{99, 200, false}, {150, 200, false}, {100, 260, false}, {0, 0, false},
+	}
+	for _, c := range cases {
+		if r.Contains(c.x, c.y) != c.in {
+			t.Errorf("Contains(%d,%d) = %v, want %v", c.x, c.y, !c.in, c.in)
+		}
+	}
+	cx, cy := r.Center()
+	if !r.Contains(cx, cy) {
+		t.Error("center not contained")
+	}
+}
+
+func TestFBDimensions(t *testing.T) {
+	if FBW != 54 || FBH != 96 {
+		t.Fatalf("framebuffer %dx%d, want 54x96", FBW, FBH)
+	}
+	if LogicalW/Scale != FBW || LogicalH/Scale != FBH {
+		t.Fatal("scale inconsistent with dimensions")
+	}
+}
+
+func TestFillRect(t *testing.T) {
+	var fb Framebuffer
+	fb.Fill(10)
+	fb.FillRect(Rect{X: 200, Y: 400, W: 200, H: 200}, 99)
+	if fb.At(200/Scale, 400/Scale) != 99 {
+		t.Error("inside pixel not painted")
+	}
+	if fb.At(200/Scale-1, 400/Scale) != 10 {
+		t.Error("outside pixel painted")
+	}
+	// Out-of-bounds drawing must not panic.
+	fb.FillRectFB(-10, -10, 1000, 1000, 5)
+	fb.SetFB(-1, -1, 7)
+	if fb.At(-1, -1) != 0 {
+		t.Error("At out of bounds should be 0")
+	}
+}
+
+func TestFBSpanAtLeastOnePixel(t *testing.T) {
+	f := func(off uint16, ext uint8) bool {
+		o := int(off) % LogicalW
+		e := int(ext)%100 + 1
+		return fbSpan(o, e) >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBorderDrawsOutlineOnly(t *testing.T) {
+	var fb Framebuffer
+	r := Rect{X: 100, Y: 100, W: 400, H: 400}
+	fb.Border(r, 200)
+	x, y, w, h := FBRect(r)
+	if fb.At(x, y) != 200 || fb.At(x+w-1, y+h-1) != 200 {
+		t.Error("border corners not drawn")
+	}
+	if fb.At(x+w/2, y+h/2) != 0 {
+		t.Error("border filled the interior")
+	}
+}
+
+func TestClockChangesEachMinute(t *testing.T) {
+	var a, b, c Framebuffer
+	DrawStatusBar(&a, sim.Time(10*sim.Minute))
+	DrawStatusBar(&b, sim.Time(10*sim.Minute+30*sim.Second))
+	DrawStatusBar(&c, sim.Time(11*sim.Minute))
+	if a.Pix != b.Pix {
+		t.Error("status bar changed within the same minute")
+	}
+	if a.Pix == c.Pix {
+		t.Error("status bar identical across a minute boundary (clock not live)")
+	}
+}
+
+func TestClockConfinedToClockRect(t *testing.T) {
+	var a, b Framebuffer
+	DrawStatusBar(&a, sim.Time(9*sim.Minute))
+	DrawStatusBar(&b, sim.Time(23*sim.Minute))
+	cx, cy, cw, ch := FBRect(ClockRect)
+	for y := 0; y < FBH; y++ {
+		for x := 0; x < FBW; x++ {
+			if a.At(x, y) != b.At(x, y) {
+				if x < cx || x >= cx+cw || y < cy || y >= cy+ch {
+					t.Fatalf("clock pixels leaked outside ClockRect at (%d,%d)", x, y)
+				}
+			}
+		}
+	}
+}
+
+func TestSpinnerPhasesDiffer(t *testing.T) {
+	var a, b Framebuffer
+	r := Rect{X: 400, Y: 800, W: 280, H: 280}
+	DrawSpinner(&a, r, 0)
+	DrawSpinner(&b, r, 1)
+	if a.Pix == b.Pix {
+		t.Error("spinner phases render identically; suggester would see a still period")
+	}
+	var a2 Framebuffer
+	DrawSpinner(&a2, r, 8)
+	if a.Pix != a2.Pix {
+		t.Error("spinner phase not periodic mod 8")
+	}
+}
+
+func TestProgressBar(t *testing.T) {
+	var empty, half, full Framebuffer
+	r := Rect{X: 100, Y: 900, W: 800, H: 100}
+	DrawProgressBar(&empty, r, 0)
+	DrawProgressBar(&half, r, 0.5)
+	DrawProgressBar(&full, r, 1)
+	if empty.Pix == half.Pix || half.Pix == full.Pix {
+		t.Error("progress fractions render identically")
+	}
+	// Clamping must not panic or differ from bounds.
+	var lo, hi Framebuffer
+	DrawProgressBar(&lo, r, -3)
+	DrawProgressBar(&hi, r, 7)
+	if lo.Pix != empty.Pix || hi.Pix != full.Pix {
+		t.Error("progress clamping broken")
+	}
+}
+
+func TestKeyboardLayout(t *testing.T) {
+	kb := NewKeyboard()
+	if len(kb.Keys) != 10+9+7+1 {
+		t.Fatalf("keyboard has %d keys, want 27", len(kb.Keys))
+	}
+	for _, want := range "qwertyuiopasdfghjklzxcvbnm " {
+		r, ok := kb.KeyRect(want)
+		if !ok {
+			t.Fatalf("no key for %q", want)
+		}
+		cx, cy := r.Center()
+		if got := kb.KeyAt(cx, cy); got != want {
+			t.Errorf("KeyAt center of %q = %q", want, got)
+		}
+	}
+	if kb.KeyAt(5, 5) != 0 {
+		t.Error("KeyAt outside keyboard should be 0")
+	}
+}
+
+func TestKeyboardHighlight(t *testing.T) {
+	kb := NewKeyboard()
+	var idle, pressed Framebuffer
+	kb.Draw(&idle, 0)
+	kb.Draw(&pressed, 'g')
+	if idle.Pix == pressed.Pix {
+		t.Error("pressed key renders identically to idle")
+	}
+}
+
+func TestCursorBlinks(t *testing.T) {
+	var on, off Framebuffer
+	DrawCursor(&on, 10, 50, 0)
+	DrawCursor(&off, 10, 50, sim.Time(500*sim.Millisecond))
+	if on.Pix == off.Pix {
+		t.Error("cursor does not blink")
+	}
+	var on2 Framebuffer
+	DrawCursor(&on2, 10, 50, sim.Time(sim.Second))
+	if on.Pix != on2.Pix {
+		t.Error("cursor blink not periodic at 1s")
+	}
+}
+
+func TestDrawPatternDeterministicAndSeedSensitive(t *testing.T) {
+	var a, b, c Framebuffer
+	r := Rect{X: 100, Y: 300, W: 600, H: 300}
+	a.DrawPattern(r, 42, 30, 220)
+	b.DrawPattern(r, 42, 30, 220)
+	c.DrawPattern(r, 43, 30, 220)
+	if a.Pix != b.Pix {
+		t.Error("same seed produced different patterns")
+	}
+	if a.Pix == c.Pix {
+		t.Error("different seeds produced identical patterns")
+	}
+}
+
+func TestDrawDigits(t *testing.T) {
+	var fb Framebuffer
+	w := fb.DrawDigits(2, 2, "12:45", 200)
+	if w != 5*4 {
+		t.Fatalf("digit width %d, want 20", w)
+	}
+	var fb2 Framebuffer
+	fb2.DrawDigits(2, 2, "12:46", 200)
+	if fb.Pix == fb2.Pix {
+		t.Error("different digit strings render identically")
+	}
+}
+
+func BenchmarkStatusBarRender(b *testing.B) {
+	var fb Framebuffer
+	for i := 0; i < b.N; i++ {
+		DrawStatusBar(&fb, sim.Time(i)*sim.Time(sim.Second))
+	}
+}

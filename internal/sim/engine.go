@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Callback is a function invoked when a scheduled event fires. It receives
+// the engine so it can schedule further events.
+type Callback func(e *Engine)
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID int64
+
+type event struct {
+	at   Time
+	seq  int64 // tie-breaker: FIFO among events with equal timestamps
+	id   EventID
+	fn   Callback
+	dead bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is the discrete-event simulation core. It is not safe for
+// concurrent use; the whole simulated device runs single-threaded, which is
+// both faster and deterministic.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	nextSeq int64
+	nextID  EventID
+	live    map[EventID]*event
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at zero and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{live: make(map[EventID]*event)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at the absolute time at. Scheduling in the past (or
+// at the current instant) fires the callback at the current time, after all
+// events already queued for that time.
+func (e *Engine) At(at Time, fn Callback) EventID {
+	if at < e.now {
+		at = e.now
+	}
+	ev := &event{at: at, seq: e.nextSeq, id: e.nextID, fn: fn}
+	e.nextSeq++
+	e.nextID++
+	heap.Push(&e.queue, ev)
+	e.live[ev.id] = ev
+	return ev.id
+}
+
+// After schedules fn to run d from now.
+func (e *Engine) After(d Duration, fn Callback) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an event that already fired
+// or was already cancelled is a no-op and returns false.
+func (e *Engine) Cancel(id EventID) bool {
+	ev, ok := e.live[id]
+	if !ok {
+		return false
+	}
+	ev.dead = true
+	delete(e.live, ev.id)
+	return true
+}
+
+// Pending reports the number of events still scheduled.
+func (e *Engine) Pending() int { return len(e.live) }
+
+// Stop makes the current Run or RunUntil call return after the in-flight
+// callback completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// step executes the earliest pending event, advancing the clock to its
+// timestamp. It returns false when the queue is empty.
+func (e *Engine) step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		delete(e.live, ev.id)
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		ev.fn(e)
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.step() {
+	}
+}
+
+// RunUntil executes events with timestamps at or before deadline, then
+// advances the clock to the deadline. Events scheduled beyond the deadline
+// remain queued.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 {
+			break
+		}
+		// Peek: find the earliest live event.
+		next := e.peek()
+		if next == nil || next.at > deadline {
+			break
+		}
+		e.step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+func (e *Engine) peek() *event {
+	for len(e.queue) > 0 {
+		if e.queue[0].dead {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return e.queue[0]
+	}
+	return nil
+}
+
+// String summarises engine state for debugging.
+func (e *Engine) String() string {
+	return fmt.Sprintf("sim.Engine{now: %s, pending: %d}", e.now, len(e.live))
+}

@@ -1,0 +1,276 @@
+// Package soc simulates the CPU subsystem of the study's Qualcomm
+// Dragonboard APQ8074: a single enabled Krait core (the paper switches off
+// all cores except one "to reduce statistical noise from load balancing"), a
+// 14-point DVFS ladder, a round-robin run queue, and cpufreq-style busy-time
+// accounting that frequency governors sample to compute load.
+//
+// Execution is cycle-accurate in the discrete-event sense: a task is a CPU
+// burst of N cycles; running for t microseconds at f kHz consumes f·t/1000
+// cycles. All busy time is attributed to the OPP it was executed at, which
+// is exactly the frequency/load trace the paper collects in the background
+// of every run.
+package soc
+
+import (
+	"fmt"
+
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// Cycles counts CPU work in clock cycles.
+type Cycles int64
+
+// TimeSlice is the round-robin scheduling quantum, matching a typical
+// CFS-era Android kernel's effective interactive slice.
+const TimeSlice = 10 * sim.Millisecond
+
+// Task is a runnable CPU burst. Tasks are created via Core.Submit and run to
+// completion (possibly interleaved with other tasks) unless cancelled.
+type Task struct {
+	Name      string
+	remaining Cycles
+	onDone    func(at sim.Time)
+	cancelled bool
+	done      bool
+}
+
+// Done reports whether the task has finished executing.
+func (t *Task) Done() bool { return t.done }
+
+// Remaining returns the cycles the task still needs.
+func (t *Task) Remaining() Cycles { return t.remaining }
+
+// Core is the simulated CPU core plus its frequency domain.
+type Core struct {
+	eng *sim.Engine
+	tbl power.Table
+
+	oppIdx int
+
+	runq       []*Task
+	cur        *Task
+	sliceEnd   sim.Time
+	lastSettle sim.Time
+
+	pending     sim.EventID
+	havePending bool
+
+	cumBusy   sim.Duration
+	busyByOPP []sim.Duration
+
+	// OnFreqChange, if set, observes every OPP transition (trace capture).
+	OnFreqChange func(at sim.Time, oppIdx int)
+}
+
+// NewCore returns a core attached to the engine, clocked at the lowest OPP.
+func NewCore(eng *sim.Engine, tbl power.Table) *Core {
+	if err := tbl.Validate(); err != nil {
+		panic(fmt.Sprintf("soc: invalid OPP table: %v", err))
+	}
+	return &Core{
+		eng:       eng,
+		tbl:       tbl,
+		busyByOPP: make([]sim.Duration, len(tbl)),
+	}
+}
+
+// Now returns current virtual time.
+func (c *Core) Now() sim.Time { return c.eng.Now() }
+
+// After schedules fn after d; governors use this for their sample timers.
+func (c *Core) After(d sim.Duration, fn func()) {
+	c.eng.After(d, func(*sim.Engine) { fn() })
+}
+
+// Table exposes the OPP table.
+func (c *Core) Table() power.Table { return c.tbl }
+
+// OPPIndex returns the index of the current operating point.
+func (c *Core) OPPIndex() int { return c.oppIdx }
+
+// KHz returns the current clock in kHz.
+func (c *Core) KHz() int { return c.tbl[c.oppIdx].KHz }
+
+// CumulativeBusy returns total busy time since boot. Governors compute load
+// as Δbusy/Δwall over their sampling window, like cpufreq's
+// get_cpu_idle_time-based accounting.
+func (c *Core) CumulativeBusy() sim.Duration {
+	c.settle()
+	return c.cumBusy
+}
+
+// BusyByOPP returns a copy of the per-OPP busy-time histogram — the input to
+// the power model's energy integration.
+func (c *Core) BusyByOPP() []sim.Duration {
+	c.settle()
+	out := make([]sim.Duration, len(c.busyByOPP))
+	copy(out, c.busyByOPP)
+	return out
+}
+
+// Busy reports whether a task is executing right now.
+func (c *Core) Busy() bool { return c.cur != nil }
+
+// QueueLen returns the number of runnable tasks excluding the current one.
+func (c *Core) QueueLen() int { return len(c.runq) }
+
+// SetOPPIndex changes the operating point, settling in-flight execution so
+// cycles before the change are attributed to the old frequency.
+func (c *Core) SetOPPIndex(i int) {
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(c.tbl) {
+		i = len(c.tbl) - 1
+	}
+	if i == c.oppIdx {
+		return
+	}
+	c.settle()
+	c.oppIdx = i
+	if c.OnFreqChange != nil {
+		c.OnFreqChange(c.eng.Now(), i)
+	}
+	c.reschedule()
+}
+
+// Submit enqueues a CPU burst. onDone, if non-nil, fires at the completion
+// instant. Zero-cycle tasks complete immediately.
+func (c *Core) Submit(name string, cycles Cycles, onDone func(at sim.Time)) *Task {
+	t := &Task{Name: name, remaining: cycles, onDone: onDone}
+	if cycles <= 0 {
+		t.done = true
+		if onDone != nil {
+			// Complete through the event queue to keep callback ordering
+			// consistent with non-empty tasks.
+			c.eng.After(0, func(e *sim.Engine) { onDone(e.Now()) })
+		}
+		return t
+	}
+	c.settle()
+	c.runq = append(c.runq, t)
+	c.reschedule()
+	return t
+}
+
+// Cancel removes a task from the core. A running task is stopped with its
+// work unfinished; its onDone callback never fires.
+func (c *Core) Cancel(t *Task) {
+	if t == nil || t.done || t.cancelled {
+		return
+	}
+	t.cancelled = true
+	c.settle()
+	if c.cur == t {
+		c.cur = nil
+	} else {
+		for i, q := range c.runq {
+			if q == t {
+				c.runq = append(c.runq[:i], c.runq[i+1:]...)
+				break
+			}
+		}
+	}
+	c.reschedule()
+}
+
+// settle attributes execution since lastSettle to the current task and OPP.
+func (c *Core) settle() {
+	now := c.eng.Now()
+	if c.cur == nil {
+		c.lastSettle = now
+		return
+	}
+	elapsed := now.Sub(c.lastSettle)
+	if elapsed <= 0 {
+		return
+	}
+	consumed := Cycles(int64(elapsed) * int64(c.tbl[c.oppIdx].KHz) / 1000)
+	if consumed > c.cur.remaining {
+		consumed = c.cur.remaining
+	}
+	c.cur.remaining -= consumed
+	c.cumBusy += elapsed
+	c.busyByOPP[c.oppIdx] += elapsed
+	c.lastSettle = now
+}
+
+// completionIn returns the time needed to finish the current task at the
+// current frequency, rounded up to whole microseconds.
+func (c *Core) completionIn() sim.Duration {
+	khz := int64(c.tbl[c.oppIdx].KHz)
+	rem := int64(c.cur.remaining)
+	return sim.Duration((rem*1000 + khz - 1) / khz)
+}
+
+// reschedule re-arms the next execution event (task completion or slice
+// expiry), dispatching a queued task if the core is idle.
+func (c *Core) reschedule() {
+	if c.havePending {
+		c.eng.Cancel(c.pending)
+		c.havePending = false
+	}
+	now := c.eng.Now()
+	if c.cur == nil {
+		if len(c.runq) == 0 {
+			c.lastSettle = now
+			return
+		}
+		c.cur = c.runq[0]
+		c.runq = c.runq[1:]
+		c.sliceEnd = now.Add(TimeSlice)
+		c.lastSettle = now
+	}
+	if c.cur.remaining <= 0 {
+		c.finishCurrent()
+		return
+	}
+	next := now.Add(c.completionIn())
+	if c.sliceEnd < next && len(c.runq) > 0 {
+		next = c.sliceEnd
+	}
+	c.pending = c.eng.At(next, func(*sim.Engine) {
+		c.havePending = false
+		c.onExecEvent()
+	})
+	c.havePending = true
+}
+
+func (c *Core) onExecEvent() {
+	c.settle()
+	if c.cur != nil && c.cur.remaining <= 0 {
+		c.finishCurrent()
+		return
+	}
+	// Slice expiry: round-robin rotation.
+	if c.cur != nil && c.eng.Now() >= c.sliceEnd && len(c.runq) > 0 {
+		c.runq = append(c.runq, c.cur)
+		c.cur = nil
+	}
+	if c.cur != nil {
+		c.sliceEnd = c.eng.Now().Add(TimeSlice)
+	}
+	c.reschedule()
+}
+
+func (c *Core) finishCurrent() {
+	t := c.cur
+	c.cur = nil
+	t.done = true
+	if t.onDone != nil {
+		t.onDone(c.eng.Now())
+	}
+	c.reschedule()
+}
+
+// IdleTime returns total idle time since boot (wall clock minus busy).
+func (c *Core) IdleTime() sim.Duration {
+	c.settle()
+	return c.eng.Now().Sub(0) - c.cumBusy
+}
+
+// String summarises core state.
+func (c *Core) String() string {
+	return fmt.Sprintf("soc.Core{%s, busy=%v, runq=%d}", c.tbl[c.oppIdx].Label(), c.Busy(), len(c.runq))
+}

@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantile(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.125, 1.5},
+	}
+	for _, c := range cases {
+		if got := Quantile(data, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+	if Quantile([]float64{7}, 0.9) != 7 {
+		t.Error("singleton quantile")
+	}
+}
+
+func TestBoxAgainstKnownSample(t *testing.T) {
+	// Sample with one obvious outlier.
+	sample := []float64{10, 12, 14, 16, 18, 20, 22, 24, 100}
+	b := NewBox(sample)
+	if b.N != 9 || b.Min != 10 || b.Max != 100 {
+		t.Fatalf("basic stats wrong: %+v", b)
+	}
+	if b.Median != 18 {
+		t.Errorf("median = %v, want 18", b.Median)
+	}
+	if len(b.Fliers) != 1 || b.Fliers[0] != 100 {
+		t.Errorf("fliers = %v, want [100]", b.Fliers)
+	}
+	if b.WhiskerHi != 24 {
+		t.Errorf("upper whisker = %v, want 24 (largest non-flier)", b.WhiskerHi)
+	}
+	if b.WhiskerLo != 10 {
+		t.Errorf("lower whisker = %v, want 10", b.WhiskerLo)
+	}
+}
+
+func TestBoxProperties(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		sample := make([]float64, len(raw))
+		for i, v := range raw {
+			sample[i] = float64(v)
+		}
+		b := NewBox(sample)
+		ok := b.Min <= b.Q1 && b.Q1 <= b.Median && b.Median <= b.Q3 && b.Q3 <= b.Max
+		ok = ok && b.WhiskerLo >= b.Min && b.WhiskerHi <= b.Max
+		ok = ok && b.WhiskerLo <= b.WhiskerHi
+		// every flier lies outside the whiskers
+		for _, fl := range b.Fliers {
+			if fl >= b.Q1-1.5*(b.Q3-b.Q1) && fl <= b.Q3+1.5*(b.Q3-b.Q1) {
+				return false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if Mean([]float64{2, 4, 6}) != 4 {
+		t.Error("mean")
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Error("singleton stddev")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.138089935299395) > 1e-12 {
+		t.Errorf("stddev = %v", got)
+	}
+}
+
+func TestMeanCI95ShrinksWithN(t *testing.T) {
+	small := []float64{10, 12, 14, 16, 18}
+	var large []float64
+	for i := 0; i < 4; i++ {
+		large = append(large, small...)
+	}
+	_, hwSmall := MeanCI95(small)
+	_, hwLarge := MeanCI95(large)
+	if hwLarge >= hwSmall {
+		t.Errorf("CI did not shrink: %v -> %v", hwSmall, hwLarge)
+	}
+}
+
+func TestKDEIntegratesToOne(t *testing.T) {
+	sample := []float64{400, 450, 500, 520, 560, 600, 1200, 3000}
+	grid := Grid(-2000, 8000, 2001)
+	dens := KDE(sample, grid)
+	step := grid[1] - grid[0]
+	var integral float64
+	for _, d := range dens {
+		integral += d * step
+	}
+	if math.Abs(integral-1) > 0.02 {
+		t.Errorf("KDE integral = %v, want ~1", integral)
+	}
+	// Density must peak near the sample mass around 500, not at 3000.
+	peakIdx := 0
+	for i, d := range dens {
+		if d > dens[peakIdx] {
+			peakIdx = i
+		}
+	}
+	if grid[peakIdx] < 300 || grid[peakIdx] > 800 {
+		t.Errorf("KDE peak at %v, want near 500", grid[peakIdx])
+	}
+}
+
+func TestKDEEmptyAndConstant(t *testing.T) {
+	grid := Grid(0, 10, 11)
+	if dens := KDE(nil, grid); dens[0] != 0 {
+		t.Error("empty KDE should be zero")
+	}
+	dens := KDE([]float64{5, 5, 5, 5}, grid)
+	peak := 0
+	for i := range dens {
+		if dens[i] > dens[peak] {
+			peak = i
+		}
+	}
+	if grid[peak] != 5 {
+		t.Errorf("constant-sample KDE peak at %v", grid[peak])
+	}
+}
+
+func TestSilvermanBandwidthPositive(t *testing.T) {
+	f := func(raw []uint16) bool {
+		sample := make([]float64, len(raw))
+		for i, v := range raw {
+			sample[i] = float64(v)
+		}
+		return SilvermanBandwidth(sample) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(0, 10, 11)
+	if len(g) != 11 || g[0] != 0 || g[10] != 10 || g[5] != 5 {
+		t.Fatalf("grid = %v", g)
+	}
+	if len(Grid(3, 9, 1)) != 1 {
+		t.Fatal("degenerate grid")
+	}
+	if !sort.Float64sAreSorted(g) {
+		t.Fatal("grid not sorted")
+	}
+}

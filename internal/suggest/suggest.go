@@ -1,0 +1,136 @@
+// Package suggest implements the paper's suggester algorithm (§II-D,
+// Fig. 7): it maps successive video frames to a sequence of ones and zeros —
+// "a zero is assigned to a frame that looks equal to its predecessor and a
+// one to each frame that differs from it" — and suggests "each one preceding
+// a zero", i.e. the first frame of every period of still-standing images.
+//
+// The per-lag tuning knobs are the ones the paper's workload-creation GUI
+// exposes: a pixel-difference allowance for blinking cursors, masks for
+// small animations, and the required length of the still period.
+package suggest
+
+import (
+	"repro/internal/video"
+)
+
+// Config tunes the suggester for one interaction lag.
+type Config struct {
+	// Tolerance is the per-pixel intensity difference treated as equal.
+	Tolerance uint8
+	// MaxDiffPixels is how many pixels may exceed Tolerance while two
+	// frames still count as equal ("the suggester can be set to allow a
+	// certain amount of pixel difference between frames").
+	MaxDiffPixels int
+	// Mask hides regions that animate independently ("if a small animation
+	// prevents the suggester from finding still standing images, a mask can
+	// be applied to hide it").
+	Mask *video.Mask
+	// MinStill is the number of zeros required after a one ("the amount of
+	// zeros following a one can be specified to control the expected length
+	// of a still period"). Minimum 1.
+	MinStill int
+}
+
+func (c Config) minStill() int {
+	if c.MinStill < 1 {
+		return 1
+	}
+	return c.MinStill
+}
+
+// equal applies the config's fuzzy frame equality.
+func (c Config) equal(a, b *video.Frame) bool {
+	return video.Similar(a, b, c.Mask, c.Tolerance, c.MaxDiffPixels)
+}
+
+// ChangeBits renders the paper's ones-and-zeros representation for frames
+// (start, end] — bit i corresponds to frame start+1+i and is 1 when the
+// frame differs from its predecessor. Exposed for tests and the Fig. 7
+// illustration.
+func ChangeBits(v *video.Video, start, end int, cfg Config) []byte {
+	if start < 0 {
+		start = 0
+	}
+	if end >= v.Len() {
+		end = v.Len() - 1
+	}
+	var bits []byte
+	for i := start + 1; i <= end; i++ {
+		if cfg.equal(v.FrameAt(i-1), v.FrameAt(i)) {
+			bits = append(bits, '0')
+		} else {
+			bits = append(bits, '1')
+		}
+	}
+	return bits
+}
+
+// Suggest returns the candidate lag-ending frame indices in (start, end]:
+// every frame that differs from its predecessor and is followed by at least
+// MinStill unchanged frames. It walks the video's run-length encoding,
+// comparing one pair of frames per run boundary rather than per frame.
+func Suggest(v *video.Video, start, end int, cfg Config) []int {
+	if v.Len() == 0 {
+		return nil
+	}
+	if start < 0 {
+		start = 0
+	}
+	if end >= v.Len() {
+		end = v.Len() - 1
+	}
+	if end <= start {
+		return nil
+	}
+	runs := v.Runs()
+	firstRun := v.RunIndexOf(start)
+	lastRun := v.RunIndexOf(end)
+
+	// boundaryOne[k] records whether the first frame of run k differs from
+	// its predecessor under the fuzzy equality.
+	var out []int
+	for k := firstRun; k <= lastRun; k++ {
+		r := runs[k]
+		oneIdx := r.Start
+		if oneIdx <= start {
+			continue // the input frame itself is not an ending
+		}
+		if k == 0 {
+			continue
+		}
+		if cfg.equal(runs[k-1].Frame, r.Frame) {
+			continue // fuzzy-equal to predecessor: a zero, not a one
+		}
+		// Count zeros following the one: the rest of this run, plus whole
+		// following runs while their boundary is fuzzy-equal.
+		zeros := r.Count - 1
+		for j := k + 1; j < len(runs) && zeros < cfg.minStill(); j++ {
+			if !cfg.equal(runs[j-1].Frame, runs[j].Frame) {
+				break
+			}
+			zeros += runs[j].Count
+		}
+		// Truncate at the search end: zeros beyond end don't count.
+		if avail := end - oneIdx; zeros > avail {
+			zeros = avail
+		}
+		if zeros >= cfg.minStill() {
+			out = append(out, oneIdx)
+		}
+	}
+	return out
+}
+
+// ReductionFactor reports how many times fewer frames the user inspects
+// thanks to the suggester (the paper quotes ~20× for the Fig. 7 example).
+func ReductionFactor(v *video.Video, start, end int, cfg Config) float64 {
+	n := end - start
+	if n <= 0 {
+		return 1
+	}
+	s := len(Suggest(v, start, end, cfg))
+	if s == 0 {
+		return float64(n)
+	}
+	return float64(n) / float64(s)
+}

@@ -1,0 +1,191 @@
+package suggest
+
+import (
+	"testing"
+
+	"repro/internal/screen"
+	"repro/internal/video"
+)
+
+// frame builds a solid frame with one distinguishing pixel value.
+func frame(stamp uint8) *video.Frame {
+	pix := make([]uint8, screen.FBW*screen.FBH)
+	for i := range pix {
+		pix[i] = 10
+	}
+	pix[100] = stamp
+	return video.NewFrame(pix)
+}
+
+// buildVideo appends frames according to a pattern of (stamp, count) pairs.
+func buildVideo(pattern ...[2]int) *video.Video {
+	v := video.New(30)
+	for _, p := range pattern {
+		f := frame(uint8(p[0]))
+		for i := 0; i < p[1]; i++ {
+			v.Append(f)
+		}
+	}
+	return v
+}
+
+func TestSuggestFindsStillPeriodStarts(t *testing.T) {
+	// Paper Fig. 7: input, changing frames, still period, more changes,
+	// still period. Suggestions are the first frame of each still period.
+	v := buildVideo([2]int{1, 10}, [2]int{2, 1}, [2]int{3, 1}, [2]int{4, 20}, [2]int{5, 1}, [2]int{6, 30})
+	// Frames: 0-9 (1), 10 (2), 11 (3), 12-31 (4), 32 (5), 33-62 (6).
+	got := Suggest(v, 0, v.Len()-1, Config{})
+	// Ones at 10,11,12,32,33. Zeros follow at 12 (19 zeros), 33 (29 zeros).
+	want := []int{12, 33}
+	if len(got) != len(want) {
+		t.Fatalf("suggestions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("suggestions = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSuggestMinStillFiltersShortPeriods(t *testing.T) {
+	// A 2-frame still period is filtered out when MinStill is 5 — the
+	// paper's example of requiring 30 zeros to cut suggestions from 10 to 2.
+	v := buildVideo([2]int{1, 10}, [2]int{2, 3}, [2]int{3, 1}, [2]int{4, 40})
+	loose := Suggest(v, 0, v.Len()-1, Config{MinStill: 1})
+	strict := Suggest(v, 0, v.Len()-1, Config{MinStill: 5})
+	if len(loose) != 2 {
+		t.Fatalf("loose suggestions = %v, want 2 entries", loose)
+	}
+	if len(strict) != 1 || strict[0] != 14 {
+		t.Fatalf("strict suggestions = %v, want [14]", strict)
+	}
+}
+
+func TestSuggestGalleryLoadShape(t *testing.T) {
+	// The paper's Fig. 7 numbers: a ~200-frame gallery load with progressive
+	// element loading yields 8-10 suggestions, a ~20x reduction.
+	pattern := [][2]int{{0, 5}} // pre-input stillness
+	stamp := 1
+	for chunk := 0; chunk < 9; chunk++ {
+		pattern = append(pattern, [2]int{stamp, 1}) // chunk render (change)
+		stamp++
+		pattern = append(pattern, [2]int{stamp - 1, 21}) // still until next chunk
+	}
+	pattern = append(pattern, [2]int{99, 100}) // loaded, long still
+	v := buildVideo(pattern...)
+	got := Suggest(v, 4, v.Len()-1, Config{})
+	if len(got) < 8 || len(got) > 11 {
+		t.Fatalf("gallery-style load gave %d suggestions, want 8-10 (paper Fig. 7)", len(got))
+	}
+	red := ReductionFactor(v, 4, v.Len()-1, Config{})
+	if red < 15 {
+		t.Fatalf("reduction factor %.1f, want ~20x", red)
+	}
+}
+
+func TestSuggestToleranceHidesBlinkingCursor(t *testing.T) {
+	// Alternating frames that differ by a tiny intensity step (a cursor
+	// against a similar background) suggest everywhere at tolerance 0 but
+	// nowhere once tolerance covers the delta.
+	a := frame(100)
+	pixB := make([]uint8, screen.FBW*screen.FBH)
+	copy(pixB, a.Pix())
+	pixB[100] = 103 // +3 blink
+	b := video.NewFrame(pixB)
+	v := video.New(30)
+	for i := 0; i < 40; i++ {
+		if i%2 == 0 {
+			v.Append(a)
+		} else {
+			v.Append(b)
+		}
+	}
+	if got := Suggest(v, 0, v.Len()-1, Config{}); len(got) != 0 {
+		// Each blink is a one followed by zero zeros -> nothing suggested,
+		// but ChangeBits must be all ones.
+		t.Fatalf("blinking with no still period suggested %v", got)
+	}
+	bits := ChangeBits(v, 0, v.Len()-1, Config{})
+	ones := 0
+	for _, c := range bits {
+		if c == '1' {
+			ones++
+		}
+	}
+	if ones != len(bits) {
+		t.Fatalf("blink bits = %s", bits)
+	}
+	bitsTol := ChangeBits(v, 0, v.Len()-1, Config{Tolerance: 4, MaxDiffPixels: 0})
+	for _, c := range bitsTol {
+		if c != '0' {
+			t.Fatalf("tolerance failed to suppress blink: %s", bitsTol)
+		}
+	}
+}
+
+func TestSuggestMaskHidesAnimation(t *testing.T) {
+	// An animation confined to a known region is hidden by a mask (paper:
+	// "if a small animation prevents the suggester from finding still
+	// standing images, a mask can be applied").
+	animRect := screen.Rect{X: 0, Y: 0, W: 100, H: 100}
+	mkFrame := func(phase uint8) *video.Frame {
+		pix := make([]uint8, screen.FBW*screen.FBH)
+		pix[0] = phase // inside animRect at fb (0,0)
+		return video.NewFrame(pix)
+	}
+	v := video.New(30)
+	for i := 0; i < 30; i++ {
+		v.Append(mkFrame(uint8(i)))
+	}
+	still := mkFrame(99)
+	for i := 0; i < 30; i++ {
+		v.Append(still)
+	}
+	noMask := Suggest(v, 0, v.Len()-1, Config{})
+	if len(noMask) != 1 {
+		t.Fatalf("unmasked suggestions = %v, want only the final still", noMask)
+	}
+	masked := Suggest(v, 0, v.Len()-1, Config{Mask: video.NewMask(animRect)})
+	if len(masked) != 0 {
+		t.Fatalf("masked suggestions = %v; animation region should be invisible", masked)
+	}
+}
+
+func TestSuggestRangeClamping(t *testing.T) {
+	v := buildVideo([2]int{1, 5}, [2]int{2, 5})
+	if got := Suggest(v, -10, 1000, Config{}); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("clamped suggest = %v", got)
+	}
+	if got := Suggest(v, 8, 3, Config{}); got != nil {
+		t.Fatalf("inverted range should be empty, got %v", got)
+	}
+	empty := video.New(30)
+	if got := Suggest(empty, 0, 10, Config{}); got != nil {
+		t.Fatalf("empty video suggest = %v", got)
+	}
+}
+
+func TestSuggestEndTruncation(t *testing.T) {
+	// A still period that extends past the search end still counts only the
+	// zeros inside the range.
+	v := buildVideo([2]int{1, 10}, [2]int{2, 100})
+	// Search ends right at the change: zero zeros inside range.
+	if got := Suggest(v, 0, 10, Config{}); len(got) != 0 {
+		t.Fatalf("truncated still period suggested %v", got)
+	}
+	if got := Suggest(v, 0, 12, Config{}); len(got) != 1 {
+		t.Fatalf("2-zero truncated period should suggest: %v", got)
+	}
+}
+
+func BenchmarkSuggestLongVideo(b *testing.B) {
+	pattern := [][2]int{}
+	for i := 0; i < 200; i++ {
+		pattern = append(pattern, [2]int{i % 250, 1}, [2]int{(i % 250) + 1, 30})
+	}
+	v := buildVideo(pattern...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Suggest(v, 0, v.Len()-1, Config{})
+	}
+}

@@ -1,0 +1,126 @@
+// Package trace records what the paper collects "in the background for each
+// run": the CPU frequency trace (every DVFS transition) and a cumulative
+// busy-time curve. Together with the per-OPP busy histogram these are the
+// inputs for energy accounting, oracle construction and the Fig. 3 overlay.
+package trace
+
+import (
+	"sort"
+
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// FreqPoint is one DVFS transition.
+type FreqPoint struct {
+	At       sim.Time `json:"at"`
+	OPPIndex int      `json:"opp"`
+}
+
+// FreqTrace is the sequence of DVFS transitions of a run. A trace always
+// conceptually starts at time 0 with the first point's predecessor state;
+// Append a point at t=0 to anchor the initial frequency.
+type FreqTrace struct {
+	Points []FreqPoint `json:"points"`
+}
+
+// Append records a transition. Out-of-order appends are ignored.
+func (ft *FreqTrace) Append(at sim.Time, opp int) {
+	if n := len(ft.Points); n > 0 {
+		if at < ft.Points[n-1].At {
+			return
+		}
+		if ft.Points[n-1].At == at {
+			ft.Points[n-1].OPPIndex = opp
+			return
+		}
+		if ft.Points[n-1].OPPIndex == opp {
+			return
+		}
+	}
+	ft.Points = append(ft.Points, FreqPoint{At: at, OPPIndex: opp})
+}
+
+// IndexAt returns the OPP index in effect at time t (the last transition at
+// or before t; 0 if the trace is empty or t precedes the first point).
+func (ft *FreqTrace) IndexAt(t sim.Time) int {
+	i := sort.Search(len(ft.Points), func(k int) bool { return ft.Points[k].At > t })
+	if i == 0 {
+		return 0
+	}
+	return ft.Points[i-1].OPPIndex
+}
+
+// Series samples the trace at a fixed step over [t0, t1) — the data behind
+// the Fig. 3 frequency-over-time snapshot.
+func (ft *FreqTrace) Series(t0, t1 sim.Time, step sim.Duration, tbl power.Table) []float64 {
+	if step <= 0 {
+		step = 50 * sim.Millisecond
+	}
+	var out []float64
+	for t := t0; t < t1; t = t.Add(step) {
+		out = append(out, tbl[ft.IndexAt(t)].GHz())
+	}
+	return out
+}
+
+// TransitionCount returns the number of recorded DVFS transitions — a cheap
+// proxy for how "nervous" a governor is.
+func (ft *FreqTrace) TransitionCount() int { return len(ft.Points) }
+
+// BusyCurve is cumulative CPU busy time sampled at a fixed period. It
+// answers "how much CPU work happened between t0 and t1" with linear
+// interpolation between samples — the primitive oracle construction uses to
+// attribute work to lag windows.
+type BusyCurve struct {
+	Step sim.Duration   `json:"step"`
+	Cum  []sim.Duration `json:"cum"` // Cum[i] = busy time accumulated by i*Step
+}
+
+// NewBusyCurve creates an empty curve with the given sampling period.
+func NewBusyCurve(step sim.Duration) *BusyCurve {
+	if step <= 0 {
+		step = 33333 * sim.Microsecond
+	}
+	return &BusyCurve{Step: step}
+}
+
+// AppendSample records the cumulative busy value at the next sample slot.
+func (c *BusyCurve) AppendSample(cum sim.Duration) {
+	c.Cum = append(c.Cum, cum)
+}
+
+// At returns cumulative busy time at t, interpolating linearly and clamping
+// beyond the recorded range.
+func (c *BusyCurve) At(t sim.Time) sim.Duration {
+	if len(c.Cum) == 0 {
+		return 0
+	}
+	if t <= 0 {
+		return c.Cum[0]
+	}
+	pos := float64(t) / float64(c.Step)
+	i := int(pos)
+	if i >= len(c.Cum)-1 {
+		return c.Cum[len(c.Cum)-1]
+	}
+	frac := pos - float64(i)
+	a, b := c.Cum[i], c.Cum[i+1]
+	return a + sim.Duration(frac*float64(b-a))
+}
+
+// Between returns busy time accumulated in [t0, t1].
+func (c *BusyCurve) Between(t0, t1 sim.Time) sim.Duration {
+	if t1 < t0 {
+		t0, t1 = t1, t0
+	}
+	return c.At(t1) - c.At(t0)
+}
+
+// Total returns the total busy time recorded.
+func (c *BusyCurve) Total() sim.Duration {
+	if len(c.Cum) == 0 {
+		return 0
+	}
+	return c.Cum[len(c.Cum)-1]
+}

@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+func TestFreqTraceAppendAndLookup(t *testing.T) {
+	var ft FreqTrace
+	ft.Append(0, 0)
+	ft.Append(sim.Time(sim.Second), 13)
+	ft.Append(sim.Time(2*sim.Second), 5)
+	if ft.IndexAt(-1) != 0 {
+		t.Error("before first point")
+	}
+	if ft.IndexAt(sim.Time(500*sim.Millisecond)) != 0 {
+		t.Error("first interval")
+	}
+	if ft.IndexAt(sim.Time(sim.Second)) != 13 {
+		t.Error("exactly at transition")
+	}
+	if ft.IndexAt(sim.Time(3*sim.Second)) != 5 {
+		t.Error("after last point")
+	}
+}
+
+func TestFreqTraceDedupAndOrder(t *testing.T) {
+	var ft FreqTrace
+	ft.Append(0, 3)
+	ft.Append(100, 3) // same OPP: dropped
+	if ft.TransitionCount() != 1 {
+		t.Fatalf("dedup failed: %d points", ft.TransitionCount())
+	}
+	ft.Append(100, 7)
+	ft.Append(100, 9) // same timestamp: overwritten
+	if ft.TransitionCount() != 2 || ft.Points[1].OPPIndex != 9 {
+		t.Fatalf("same-timestamp overwrite failed: %+v", ft.Points)
+	}
+	ft.Append(50, 1) // out of order: ignored
+	if ft.TransitionCount() != 2 {
+		t.Fatal("out-of-order append accepted")
+	}
+}
+
+func TestFreqTraceSeries(t *testing.T) {
+	tbl := power.Snapdragon8074()
+	var ft FreqTrace
+	ft.Append(0, 0)
+	ft.Append(sim.Time(sim.Second), 13)
+	s := ft.Series(0, sim.Time(2*sim.Second), 500*sim.Millisecond, tbl)
+	if len(s) != 4 {
+		t.Fatalf("series length %d, want 4", len(s))
+	}
+	if s[0] != 0.3 || s[1] != 0.3 {
+		t.Errorf("first second should be 0.30 GHz: %v", s[:2])
+	}
+	if s[2] != tbl[13].GHz() || s[3] != tbl[13].GHz() {
+		t.Errorf("second second should be 2.15 GHz: %v", s[2:])
+	}
+}
+
+func TestBusyCurveInterpolation(t *testing.T) {
+	c := NewBusyCurve(100 * sim.Millisecond)
+	// 0ms: 0 busy; 100ms: 50ms busy; 200ms: 50ms busy (idle window).
+	c.AppendSample(0)
+	c.AppendSample(50 * sim.Millisecond)
+	c.AppendSample(50 * sim.Millisecond)
+	if got := c.At(sim.Time(100 * sim.Millisecond)); got != 50*sim.Millisecond {
+		t.Fatalf("At(100ms) = %v", got)
+	}
+	if got := c.At(sim.Time(50 * sim.Millisecond)); got != 25*sim.Millisecond {
+		t.Fatalf("At(50ms) = %v, want 25ms (linear)", got)
+	}
+	if got := c.Between(sim.Time(100*sim.Millisecond), sim.Time(200*sim.Millisecond)); got != 0 {
+		t.Fatalf("idle window busy = %v", got)
+	}
+	if c.Total() != 50*sim.Millisecond {
+		t.Fatalf("total = %v", c.Total())
+	}
+	// Clamping beyond the recorded range.
+	if c.At(sim.Time(sim.Hour)) != 50*sim.Millisecond {
+		t.Fatal("beyond-range clamp")
+	}
+	if c.At(-5) != 0 {
+		t.Fatal("negative time clamp")
+	}
+}
+
+func TestBusyCurveBetweenProperties(t *testing.T) {
+	c := NewBusyCurve(10 * sim.Millisecond)
+	var cum sim.Duration
+	r := sim.NewRand(5)
+	for i := 0; i < 1000; i++ {
+		cum += sim.Duration(r.Intn(10)) * sim.Millisecond
+		c.AppendSample(cum)
+	}
+	f := func(a, b uint16) bool {
+		t0 := sim.Time(a) * sim.Time(sim.Millisecond)
+		t1 := sim.Time(b) * sim.Time(sim.Millisecond)
+		// Non-negative and symmetric under swap.
+		d := c.Between(t0, t1)
+		return d >= 0 && d == c.Between(t1, t0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Additivity: Between(a,c) = Between(a,b) + Between(b,c) for a<=b<=c.
+	g := func(x, y, z uint16) bool {
+		ts := []sim.Time{
+			sim.Time(x) * sim.Time(sim.Millisecond),
+			sim.Time(y) * sim.Time(sim.Millisecond),
+			sim.Time(z) * sim.Time(sim.Millisecond),
+		}
+		if ts[0] > ts[1] {
+			ts[0], ts[1] = ts[1], ts[0]
+		}
+		if ts[1] > ts[2] {
+			ts[1], ts[2] = ts[2], ts[1]
+		}
+		if ts[0] > ts[1] {
+			ts[0], ts[1] = ts[1], ts[0]
+		}
+		lhs := c.Between(ts[0], ts[2])
+		rhs := c.Between(ts[0], ts[1]) + c.Between(ts[1], ts[2])
+		diff := lhs - rhs
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 1 // 1µs rounding slack
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBusyCurveEmpty(t *testing.T) {
+	c := NewBusyCurve(0)
+	if c.At(100) != 0 || c.Total() != 0 {
+		t.Fatal("empty curve should be all zero")
+	}
+	if c.Step != 33333*sim.Microsecond {
+		t.Fatalf("default step = %v", c.Step)
+	}
+}

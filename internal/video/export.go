@@ -1,0 +1,68 @@
+package video
+
+import (
+	"bufio"
+	"fmt"
+	"image"
+	"image/png"
+	"io"
+
+	"repro/internal/screen"
+)
+
+// WritePGM writes a frame as a binary PGM (P5) image — the simplest format
+// that any image viewer opens, useful when inspecting annotation databases
+// or debugging matcher mismatches.
+func WritePGM(w io.Writer, f *Frame) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", screen.FBW, screen.FBH); err != nil {
+		return err
+	}
+	if _, err := bw.Write(f.Pix()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WritePNG writes a frame as a greyscale PNG, upscaled by scale (>=1) so the
+// 54×96 framebuffer is comfortably visible.
+func WritePNG(w io.Writer, f *Frame, scale int) error {
+	if scale < 1 {
+		scale = 1
+	}
+	img := image.NewGray(image.Rect(0, 0, screen.FBW*scale, screen.FBH*scale))
+	pix := f.Pix()
+	for y := 0; y < screen.FBH; y++ {
+		for x := 0; x < screen.FBW; x++ {
+			v := pix[y*screen.FBW+x]
+			for dy := 0; dy < scale; dy++ {
+				row := (y*scale + dy) * img.Stride
+				for dx := 0; dx < scale; dx++ {
+					img.Pix[row+x*scale+dx] = v
+				}
+			}
+		}
+	}
+	return png.Encode(w, img)
+}
+
+// ReadPGM parses a binary PGM written by WritePGM back into a frame.
+func ReadPGM(r io.Reader) (*Frame, error) {
+	br := bufio.NewReader(r)
+	var magic string
+	var w, h, max int
+	if _, err := fmt.Fscan(br, &magic, &w, &h, &max); err != nil {
+		return nil, fmt.Errorf("video: pgm header: %w", err)
+	}
+	if magic != "P5" || w != screen.FBW || h != screen.FBH || max != 255 {
+		return nil, fmt.Errorf("video: unsupported pgm %s %dx%d max %d", magic, w, h, max)
+	}
+	if _, err := br.ReadByte(); err != nil { // single whitespace after header
+		return nil, err
+	}
+	pix := make([]uint8, w*h)
+	if _, err := io.ReadFull(br, pix); err != nil {
+		return nil, fmt.Errorf("video: pgm pixels: %w", err)
+	}
+	return NewFrame(pix), nil
+}

@@ -1,0 +1,82 @@
+package video
+
+import (
+	"bytes"
+	"image/png"
+	"testing"
+
+	"repro/internal/screen"
+)
+
+func patternFrame() *Frame {
+	pix := make([]uint8, screen.FBW*screen.FBH)
+	for i := range pix {
+		pix[i] = uint8(i * 7)
+	}
+	return NewFrame(pix)
+}
+
+func TestPGMRoundTrip(t *testing.T) {
+	f := patternFrame()
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(f, back) {
+		t.Fatal("PGM round trip altered pixels")
+	}
+}
+
+func TestReadPGMRejectsBadHeaders(t *testing.T) {
+	cases := []string{
+		"",
+		"P6\n54 96\n255\n",
+		"P5\n10 10\n255\n",
+		"P5\n54 96\n65535\n",
+		"P5\n54 96\n255\nshort",
+	}
+	for _, c := range cases {
+		if _, err := ReadPGM(bytes.NewBufferString(c)); err == nil {
+			t.Errorf("accepted malformed pgm %q", c[:min(len(c), 20)])
+		}
+	}
+}
+
+func TestWritePNGDecodes(t *testing.T) {
+	f := patternFrame()
+	var buf bytes.Buffer
+	if err := WritePNG(&buf, f, 4); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := img.Bounds()
+	if b.Dx() != screen.FBW*4 || b.Dy() != screen.FBH*4 {
+		t.Fatalf("png size %dx%d", b.Dx(), b.Dy())
+	}
+	// Scale clamping.
+	buf.Reset()
+	if err := WritePNG(&buf, f, 0); err != nil {
+		t.Fatal(err)
+	}
+	img, err = png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != screen.FBW {
+		t.Fatal("scale 0 should clamp to 1")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

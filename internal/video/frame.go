@@ -1,0 +1,259 @@
+// Package video plays the role of the paper's HDMI capture pipeline
+// (Fig. 6): it records the device framebuffer at 30 fps into an in-memory
+// video, provides frame comparison with per-pixel tolerance and masks
+// (Fig. 8), and stores the result run-length encoded so that consecutive
+// identical frames — the "still periods" central to the suggester — cost one
+// frame of storage regardless of length. That is what makes the 24-hour
+// workload tractable.
+package video
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/screen"
+	"repro/internal/sim"
+)
+
+// FPS is the capture rate used throughout the paper (30 frames/second).
+const FPS = 30
+
+// Frame is one captured framebuffer image with a cached content hash for
+// fast equality tests.
+type Frame struct {
+	pix  []uint8
+	hash uint64
+}
+
+// NewFrame wraps pixel data (not copied; callers hand over ownership).
+// The data length must be screen.FBW*screen.FBH.
+func NewFrame(pix []uint8) *Frame {
+	if len(pix) != screen.FBW*screen.FBH {
+		panic(fmt.Sprintf("video: frame size %d, want %d", len(pix), screen.FBW*screen.FBH))
+	}
+	return &Frame{pix: pix, hash: fnv1a(pix)}
+}
+
+// Pix exposes the raw pixels (do not mutate).
+func (f *Frame) Pix() []uint8 { return f.pix }
+
+// Hash returns the FNV-1a content hash.
+func (f *Frame) Hash() uint64 { return f.hash }
+
+func fnv1a(b []uint8) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Equal reports exact pixel equality, short-circuiting on pointer identity
+// and hash mismatch.
+func Equal(a, b *Frame) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	if a.hash != b.hash {
+		return false
+	}
+	for i := range a.pix {
+		if a.pix[i] != b.pix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Mask marks framebuffer pixels to ignore during comparison — the paper
+// masks the status-bar clock and advertisement regions (Fig. 8).
+type Mask struct {
+	skip []bool
+}
+
+// NewMask builds a mask covering the given logical-coordinate rects.
+func NewMask(rects ...screen.Rect) *Mask {
+	m := &Mask{skip: make([]bool, screen.FBW*screen.FBH)}
+	for _, r := range rects {
+		x, y, w, h := screen.FBRect(r)
+		for yy := y; yy < y+h && yy < screen.FBH; yy++ {
+			if yy < 0 {
+				continue
+			}
+			for xx := x; xx < x+w && xx < screen.FBW; xx++ {
+				if xx >= 0 {
+					m.skip[yy*screen.FBW+xx] = true
+				}
+			}
+		}
+	}
+	return m
+}
+
+// Union returns a mask that skips pixels covered by either input. A nil
+// receiver or argument acts as an empty mask.
+func (m *Mask) Union(o *Mask) *Mask {
+	if m == nil {
+		return o
+	}
+	if o == nil {
+		return m
+	}
+	out := &Mask{skip: make([]bool, len(m.skip))}
+	for i := range m.skip {
+		out.skip[i] = m.skip[i] || o.skip[i]
+	}
+	return out
+}
+
+// Skips reports whether pixel i is masked out. Nil masks skip nothing.
+func (m *Mask) Skips(i int) bool { return m != nil && m.skip[i] }
+
+// MaskedCount returns how many pixels the mask removes from comparison.
+func (m *Mask) MaskedCount() int {
+	if m == nil {
+		return 0
+	}
+	n := 0
+	for _, s := range m.skip {
+		if s {
+			n++
+		}
+	}
+	return n
+}
+
+// DiffCount counts pixels that differ by more than tol, ignoring masked
+// pixels. This is the primitive behind both the suggester's change detector
+// and the matcher's image comparison.
+func DiffCount(a, b *Frame, mask *Mask, tol uint8) int {
+	if a == b {
+		return 0
+	}
+	n := 0
+	for i := range a.pix {
+		if mask.Skips(i) {
+			continue
+		}
+		d := int(a.pix[i]) - int(b.pix[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > int(tol) {
+			n++
+		}
+	}
+	return n
+}
+
+// Similar reports whether two frames match under a mask, per-pixel
+// tolerance, and a maximum count of deviating pixels. The paper's suggester
+// "can be set to allow a certain amount of pixel difference between frames".
+func Similar(a, b *Frame, mask *Mask, tol uint8, maxDiffPixels int) bool {
+	if a == b {
+		return true
+	}
+	if mask == nil && maxDiffPixels == 0 && tol == 0 {
+		return Equal(a, b)
+	}
+	return DiffCount(a, b, mask, tol) <= maxDiffPixels
+}
+
+// Run is a maximal sequence of identical consecutive frames.
+type Run struct {
+	Frame *Frame
+	Start int // index of the first frame of the run
+	Count int // number of consecutive identical frames
+}
+
+// Video is a run-length-encoded sequence of frames captured at a fixed rate.
+type Video struct {
+	fps  int
+	runs []Run
+}
+
+// New returns an empty video at the given capture rate (0 → FPS).
+func New(fps int) *Video {
+	if fps <= 0 {
+		fps = FPS
+	}
+	return &Video{fps: fps}
+}
+
+// FPSRate returns the capture rate.
+func (v *Video) FPSRate() int { return v.fps }
+
+// Append adds the next captured frame. Identical consecutive frames extend
+// the current run and share storage.
+func (v *Video) Append(f *Frame) {
+	if n := len(v.runs); n > 0 && Equal(v.runs[n-1].Frame, f) {
+		v.runs[n-1].Count++
+		return
+	}
+	v.runs = append(v.runs, Run{Frame: f, Start: v.Len(), Count: 1})
+}
+
+// Len returns the number of frames.
+func (v *Video) Len() int {
+	if len(v.runs) == 0 {
+		return 0
+	}
+	last := v.runs[len(v.runs)-1]
+	return last.Start + last.Count
+}
+
+// Runs exposes the run-length encoding; the suggester and matcher iterate
+// runs instead of frames, comparing once per distinct image.
+func (v *Video) Runs() []Run { return v.runs }
+
+// RunIndexOf returns the index into Runs of the run containing frame i.
+func (v *Video) RunIndexOf(i int) int {
+	if i < 0 || i >= v.Len() {
+		return -1
+	}
+	return sort.Search(len(v.runs), func(k int) bool {
+		return v.runs[k].Start+v.runs[k].Count > i
+	})
+}
+
+// FrameAt returns frame i (nil if out of range).
+func (v *Video) FrameAt(i int) *Frame {
+	k := v.RunIndexOf(i)
+	if k < 0 {
+		return nil
+	}
+	return v.runs[k].Frame
+}
+
+// TimeOf returns the capture time of frame i.
+func (v *Video) TimeOf(i int) sim.Time {
+	return sim.Time(int64(i) * 1_000_000 / int64(v.fps))
+}
+
+// IndexAt returns the index of the frame visible at time t: the largest i
+// with TimeOf(i) <= t. The ±1 adjustment keeps it the exact inverse of
+// TimeOf under integer flooring.
+func (v *Video) IndexAt(t sim.Time) int {
+	if t < 0 {
+		return 0
+	}
+	i := int(int64(t) * int64(v.fps) / 1_000_000)
+	for v.TimeOf(i+1) <= t {
+		i++
+	}
+	for i > 0 && v.TimeOf(i) > t {
+		i--
+	}
+	if max := v.Len() - 1; i > max {
+		i = max
+	}
+	return i
+}
+
+// DistinctFrames returns the number of stored (distinct consecutive) frames,
+// a measure of the RLE compression the 24-hour workload depends on.
+func (v *Video) DistinctFrames() int { return len(v.runs) }

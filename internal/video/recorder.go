@@ -1,0 +1,43 @@
+package video
+
+import "repro/internal/sim"
+
+// Recorder samples a frame source at the capture rate, appending to a Video.
+// It is the simulation's HDMI capture card: the device exposes its
+// framebuffer through source, and the recorder ticks at 30 fps on the
+// simulation engine.
+type Recorder struct {
+	eng    *sim.Engine
+	video  *Video
+	source func() *Frame
+	frame  int
+	stop   bool
+}
+
+// NewRecorder creates a recorder capturing from source into a fresh Video.
+func NewRecorder(eng *sim.Engine, fps int, source func() *Frame) *Recorder {
+	return &Recorder{eng: eng, video: New(fps), source: source}
+}
+
+// Video returns the recording (valid at any point; grows as capture runs).
+func (r *Recorder) Video() *Video { return r.video }
+
+// Start schedules capture ticks beginning at time zero-offset from now.
+// Frame i is captured at i/fps seconds from the start call.
+func (r *Recorder) Start() {
+	start := r.eng.Now()
+	var tick func(e *sim.Engine)
+	tick = func(e *sim.Engine) {
+		if r.stop {
+			return
+		}
+		r.video.Append(r.source())
+		r.frame++
+		next := start.Add(sim.Duration(int64(r.frame) * 1_000_000 / int64(r.video.fps)))
+		e.At(next, tick)
+	}
+	r.eng.At(start, tick)
+}
+
+// Stop halts capture after the current frame.
+func (r *Recorder) Stop() { r.stop = true }

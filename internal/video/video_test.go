@@ -1,0 +1,233 @@
+package video
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/screen"
+	"repro/internal/sim"
+)
+
+func solidFrame(shade uint8) *Frame {
+	pix := make([]uint8, screen.FBW*screen.FBH)
+	for i := range pix {
+		pix[i] = shade
+	}
+	return NewFrame(pix)
+}
+
+func TestFrameEquality(t *testing.T) {
+	a, b, c := solidFrame(10), solidFrame(10), solidFrame(11)
+	if !Equal(a, b) {
+		t.Error("identical content not equal")
+	}
+	if Equal(a, c) {
+		t.Error("different content equal")
+	}
+	if !Equal(a, a) {
+		t.Error("self equality")
+	}
+	if Equal(a, nil) || Equal(nil, a) {
+		t.Error("nil comparisons should be false")
+	}
+}
+
+func TestNewFramePanicsOnWrongSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for wrong-size frame")
+		}
+	}()
+	NewFrame(make([]uint8, 10))
+}
+
+func TestDiffCountAndTolerance(t *testing.T) {
+	a := solidFrame(100)
+	pix := make([]uint8, screen.FBW*screen.FBH)
+	for i := range pix {
+		pix[i] = 100
+	}
+	pix[0] = 110 // +10
+	pix[1] = 103 // +3
+	b := NewFrame(pix)
+	if got := DiffCount(a, b, nil, 0); got != 2 {
+		t.Errorf("tol 0: diff = %d, want 2", got)
+	}
+	if got := DiffCount(a, b, nil, 5); got != 1 {
+		t.Errorf("tol 5: diff = %d, want 1", got)
+	}
+	if got := DiffCount(a, b, nil, 10); got != 0 {
+		t.Errorf("tol 10: diff = %d, want 0", got)
+	}
+}
+
+func TestMaskHidesRegion(t *testing.T) {
+	a := solidFrame(50)
+	pix := a.Pix()
+	cp := make([]uint8, len(pix))
+	copy(cp, pix)
+	// Change a pixel inside the clock region.
+	cx, cy, _, _ := screen.FBRect(screen.ClockRect)
+	cp[cy*screen.FBW+cx] = 200
+	b := NewFrame(cp)
+	if DiffCount(a, b, nil, 0) != 1 {
+		t.Fatal("unmasked diff should see the clock change")
+	}
+	mask := NewMask(screen.ClockRect)
+	if DiffCount(a, b, mask, 0) != 0 {
+		t.Fatal("clock mask did not hide the change (paper Fig. 8 behaviour)")
+	}
+	if !Similar(a, b, mask, 0, 0) {
+		t.Fatal("Similar with mask should accept")
+	}
+}
+
+func TestMaskUnion(t *testing.T) {
+	m1 := NewMask(screen.ClockRect)
+	m2 := NewMask(screen.NavBarRect)
+	u := m1.Union(m2)
+	if u.MaskedCount() != m1.MaskedCount()+m2.MaskedCount() {
+		t.Fatalf("union masks %d pixels, want %d (disjoint rects)",
+			u.MaskedCount(), m1.MaskedCount()+m2.MaskedCount())
+	}
+	if m1.Union(nil) != m1 || (*Mask)(nil).Union(m2) != m2 {
+		t.Fatal("nil union identities broken")
+	}
+}
+
+func TestSimilarMaxDiffPixels(t *testing.T) {
+	a := solidFrame(0)
+	pix := make([]uint8, screen.FBW*screen.FBH)
+	pix[5], pix[6], pix[7] = 255, 255, 255
+	b := NewFrame(pix)
+	if Similar(a, b, nil, 0, 2) {
+		t.Error("3 changed pixels accepted with budget 2")
+	}
+	if !Similar(a, b, nil, 0, 3) {
+		t.Error("3 changed pixels rejected with budget 3")
+	}
+}
+
+func TestVideoRLE(t *testing.T) {
+	v := New(30)
+	a, b := solidFrame(1), solidFrame(2)
+	for i := 0; i < 100; i++ {
+		v.Append(a)
+	}
+	v.Append(b)
+	for i := 0; i < 50; i++ {
+		v.Append(a)
+	}
+	if v.Len() != 151 {
+		t.Fatalf("len = %d, want 151", v.Len())
+	}
+	if v.DistinctFrames() != 3 {
+		t.Fatalf("runs = %d, want 3", v.DistinctFrames())
+	}
+	if !Equal(v.FrameAt(0), a) || !Equal(v.FrameAt(100), b) || !Equal(v.FrameAt(150), a) {
+		t.Fatal("FrameAt returned wrong frames")
+	}
+	if v.FrameAt(151) != nil || v.FrameAt(-1) != nil {
+		t.Fatal("FrameAt out of range should be nil")
+	}
+	runs := v.Runs()
+	if runs[0].Count != 100 || runs[1].Count != 1 || runs[2].Count != 50 {
+		t.Fatalf("run counts %d,%d,%d", runs[0].Count, runs[1].Count, runs[2].Count)
+	}
+}
+
+func TestVideoIndexTimeRoundTrip(t *testing.T) {
+	v := New(30)
+	a := solidFrame(1)
+	for i := 0; i < 300; i++ {
+		v.Append(a)
+	}
+	f := func(idx uint16) bool {
+		i := int(idx) % 300
+		// A frame is visible from its capture time until the next capture.
+		return v.IndexAt(v.TimeOf(i)) == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if v.IndexAt(-5) != 0 {
+		t.Error("negative time should clamp to 0")
+	}
+	if v.IndexAt(sim.Time(sim.Hour)) != 299 {
+		t.Error("beyond-end time should clamp to last frame")
+	}
+}
+
+func TestVideoRunIndexOfProperty(t *testing.T) {
+	v := New(30)
+	frames := []*Frame{solidFrame(1), solidFrame(2), solidFrame(3)}
+	// Runs of varying lengths.
+	lens := []int{7, 1, 13, 2, 31, 5}
+	for i, n := range lens {
+		f := frames[i%3]
+		for j := 0; j < n; j++ {
+			v.Append(f)
+		}
+	}
+	for i := 0; i < v.Len(); i++ {
+		k := v.RunIndexOf(i)
+		r := v.Runs()[k]
+		if i < r.Start || i >= r.Start+r.Count {
+			t.Fatalf("frame %d mapped to run [%d,%d)", i, r.Start, r.Start+r.Count)
+		}
+	}
+}
+
+func TestRecorderCapturesAtRate(t *testing.T) {
+	eng := sim.NewEngine()
+	shade := uint8(0)
+	rec := NewRecorder(eng, 30, func() *Frame { return solidFrame(shade) })
+	rec.Start()
+	// Change the content at t=1s.
+	eng.At(sim.Time(sim.Second), func(*sim.Engine) { shade = 99 })
+	eng.RunUntil(sim.Time(2 * sim.Second))
+	v := rec.Video()
+	// 2 seconds at 30 fps: 61 frames (t=0 .. t=2s inclusive).
+	if v.Len() < 60 || v.Len() > 61 {
+		t.Fatalf("captured %d frames in 2s, want 60-61", v.Len())
+	}
+	if v.DistinctFrames() != 2 {
+		t.Fatalf("distinct frames = %d, want 2", v.DistinctFrames())
+	}
+	// The change at t=1s must appear at frame 30.
+	if v.FrameAt(29).Pix()[0] != 0 || v.FrameAt(30).Pix()[0] != 99 {
+		t.Fatal("content change not captured at the right frame")
+	}
+}
+
+func TestRecorderStop(t *testing.T) {
+	eng := sim.NewEngine()
+	rec := NewRecorder(eng, 30, func() *Frame { return solidFrame(1) })
+	rec.Start()
+	eng.RunUntil(sim.Time(sim.Second))
+	rec.Stop()
+	n := rec.Video().Len()
+	eng.RunUntil(sim.Time(2 * sim.Second))
+	if rec.Video().Len() != n {
+		t.Fatal("recorder kept capturing after Stop")
+	}
+}
+
+func BenchmarkDiffCount(b *testing.B) {
+	x := solidFrame(10)
+	y := solidFrame(12)
+	mask := NewMask(screen.ClockRect)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DiffCount(x, y, mask, 1)
+	}
+}
+
+func BenchmarkVideoAppendRLE(b *testing.B) {
+	f := solidFrame(7)
+	v := New(30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Append(f)
+	}
+}

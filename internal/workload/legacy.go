@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"repro/internal/apps"
+	"repro/internal/device"
+	"repro/internal/evdev"
+	"repro/internal/sim"
+)
+
+// LegacyBench reproduces the legacy mobile benchmark suite the paper's
+// motivating section evaluates and rejects (§I-B, after Gutierrez et al.):
+// a BBench-style browser benchmark that "automatically loads a web page,
+// scrolls to the bottom and loads the next one", plus one minute of audio
+// playback and one minute of video playback that "only require a single
+// interaction for the whole workload".
+//
+// It exists to demonstrate *why* the paper needed a new methodology: the
+// browser part is repeatable but "none of our users found that it
+// represents a realistic mobile workload", and the playback parts yield too
+// few interaction lags to analyse. LegacyLagDensity quantifies exactly
+// that against the Table I datasets.
+func LegacyBench() *Workload {
+	return &Workload{
+		Name:        "legacybench",
+		Description: "BBench-style browser benchmark plus audio and video playback.",
+		Profile:     device.DefaultProfile(),
+		Duration:    5 * sim.Minute,
+		Script:      legacyBenchScript,
+	}
+}
+
+func legacyBenchScript() []Step {
+	b := newBuilder(0x1e9)
+	b.pause(2 * sim.Second)
+
+	// BBench: open the browser once, then mechanical load-scroll cycles
+	// with fixed pacing — automated, not a human.
+	b.launchIcon(apps.BrowserName, 1500*sim.Millisecond)
+	for page := 0; page < 6; page++ {
+		b.tapRect("loadPage", apps.BrowserURLBar, 1200*sim.Millisecond)
+		for s := 0; s < 3; s++ {
+			b.steps = append(b.steps, Step{
+				Name:  "autoScroll",
+				Think: 800 * sim.Millisecond,
+				Gesture: func(*device.Device) *evdev.Gesture {
+					return &evdev.Gesture{Kind: evdev.Swipe, Duration: 250 * sim.Millisecond,
+						X0: 540, Y0: 1400, X1: 540, Y1: 500}
+				},
+			})
+		}
+	}
+	b.home(1 * sim.Second)
+
+	// Audio playback: a single interaction, then a minute of listening.
+	b.launchIcon(apps.MusicPlayerName, 1500*sim.Millisecond)
+	b.tapRect("play", apps.MusicPlayButton, 1*sim.Second)
+	b.pause(1 * sim.Minute)
+	b.tapRect("pause", apps.MusicPlayButton, 800*sim.Millisecond)
+	b.home(1 * sim.Second)
+
+	// "Video playback": a single game session stands in for the suite's
+	// continuous-render workload — again one start and one stop input.
+	b.launchIcon(apps.RetroRunnerName, 1500*sim.Millisecond)
+	b.tapRect("start", apps.GamePlayButton, 1*sim.Second)
+	b.pause(1 * sim.Minute)
+	b.tapRect("stop", apps.GameStopButton, 800*sim.Millisecond)
+	b.home(1 * sim.Second)
+	return b.steps
+}
+
+// LagDensity summarises how much interaction-lag signal a recording offers:
+// actual lags per minute of workload.
+func LagDensity(truths []device.GroundTruth, duration sim.Duration) float64 {
+	if duration <= 0 {
+		return 0
+	}
+	actual := 0
+	for _, gt := range truths {
+		if !gt.Spurious {
+			actual++
+		}
+	}
+	return float64(actual) / (duration.Seconds() / 60)
+}

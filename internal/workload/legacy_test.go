@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestLegacyBenchRecordsButLacksLagSignal(t *testing.T) {
+	// The paper's complaint about the legacy suite: the playback phases
+	// "only require a single interaction for the whole workload which is
+	// not enough to analyze interaction lag".
+	legacy := LegacyBench()
+	rec, truths, err := legacy.Record(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Events) == 0 {
+		t.Fatal("legacy bench recorded nothing")
+	}
+	legacyDensity := LagDensity(truths, legacy.Duration)
+
+	ds2 := Dataset02()
+	_, truths2, err := ds2.Record(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	realDensity := LagDensity(truths2, ds2.Duration)
+
+	// The realistic recorded workload must offer several times the lag
+	// signal per minute.
+	if realDensity < 2*legacyDensity {
+		t.Fatalf("dataset02 density %.1f lags/min not well above legacy %.1f lags/min",
+			realDensity, legacyDensity)
+	}
+	// The playback phases contribute exactly two interactions each (start,
+	// stop): over two minutes of playback the density collapses.
+	if legacyDensity > 8 {
+		t.Fatalf("legacy density %.1f lags/min, expected sparse", legacyDensity)
+	}
+}
+
+func TestLagDensityEdgeCases(t *testing.T) {
+	if LagDensity(nil, 0) != 0 {
+		t.Fatal("zero duration should give zero density")
+	}
+	if LagDensity(nil, sim.Minute) != 0 {
+		t.Fatal("no lags should give zero density")
+	}
+}
+
+func TestLegacyBenchReplaysInSync(t *testing.T) {
+	// Mechanical pacing or not, the recording must still replay in sync —
+	// the repeatability half of the paper's critique concerned *manual*
+	// replays of the game, not recorded ones.
+	if testing.Short() {
+		t.Skip("5-minute replay")
+	}
+	legacy := LegacyBench()
+	rec, truths, err := legacy.Record(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := Replay(legacy, rec, nil, "0.30 GHz", 2, false)
+	if len(art.Truths) != len(truths) {
+		t.Fatalf("replay produced %d interactions, recorded %d", len(art.Truths), len(truths))
+	}
+	for i := range truths {
+		if art.Truths[i].Spurious != truths[i].Spurious {
+			t.Errorf("interaction %d (%s) classification diverged", i, truths[i].Label)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"repro/internal/screen"
+	"repro/internal/sim"
+)
+
+// ScriptBuilder is the public authoring surface for custom workloads: it
+// assembles the step lists the driver performs during recording. It wraps
+// the same primitives the built-in Table I datasets use.
+//
+// Typical use:
+//
+//	var b workload.ScriptBuilder
+//	b.Init(seed)
+//	b.LaunchIcon(apps.GalleryName, time)
+//	b.TapRect("openAlbum", apps.GalleryAlbumRects[0], time)
+//	steps := b.Steps()
+type ScriptBuilder struct {
+	b *builder
+}
+
+// Init seeds the builder's think-time generator. Must be called first.
+func (s *ScriptBuilder) Init(seed uint64) { s.b = newBuilder(seed) }
+
+func (s *ScriptBuilder) ensure() *builder {
+	if s.b == nil {
+		s.b = newBuilder(1)
+	}
+	return s.b
+}
+
+// Steps returns the accumulated step list.
+func (s *ScriptBuilder) Steps() []Step { return s.ensure().steps }
+
+// Pause inserts a reading/idle gap with no input.
+func (s *ScriptBuilder) Pause(d sim.Duration) { s.ensure().pause(d) }
+
+// TapRect taps the centre of a logical-coordinate rect and waits think time
+// after the interaction completes.
+func (s *ScriptBuilder) TapRect(name string, r screen.Rect, think sim.Duration) {
+	s.ensure().tapRect(name, r, think)
+}
+
+// TapXY taps a logical coordinate.
+func (s *ScriptBuilder) TapXY(name string, x, y int, think sim.Duration) {
+	s.ensure().tapXY(name, x, y, think)
+}
+
+// SwipeUp scrolls content upward.
+func (s *ScriptBuilder) SwipeUp(name string, think sim.Duration) {
+	s.ensure().swipeUp(name, think)
+}
+
+// MissTap deliberately taps a dead zone (a spurious input).
+func (s *ScriptBuilder) MissTap(think sim.Duration) { s.ensure().missTap(think) }
+
+// LaunchIcon taps an app's launcher icon.
+func (s *ScriptBuilder) LaunchIcon(app string, think sim.Duration) {
+	s.ensure().launchIcon(app, think)
+}
+
+// Home taps the navigation bar's home button.
+func (s *ScriptBuilder) Home(think sim.Duration) { s.ensure().home(think) }
+
+// Back taps the navigation bar's back button.
+func (s *ScriptBuilder) Back(think sim.Duration) { s.ensure().back(think) }
+
+// TypeWord taps each character of word on the on-screen keyboard.
+func (s *ScriptBuilder) TypeWord(word string) { s.ensure().typeWord(word) }

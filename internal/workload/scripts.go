@@ -1,0 +1,550 @@
+package workload
+
+import (
+	"repro/internal/apps"
+	"repro/internal/device"
+	"repro/internal/evdev"
+	"repro/internal/screen"
+	"repro/internal/sim"
+)
+
+// builder assembles step lists with deterministic, human-looking pacing.
+type builder struct {
+	steps []Step
+	rnd   *sim.Rand
+}
+
+func newBuilder(seed uint64) *builder { return &builder{rnd: sim.NewRand(seed)} }
+
+// think draws a human think time in [lo, hi] milliseconds.
+func (b *builder) think(loMS, hiMS int) sim.Duration {
+	return sim.Duration(loMS+b.rnd.Intn(hiMS-loMS+1)) * sim.Millisecond
+}
+
+func (b *builder) tapRect(name string, r screen.Rect, think sim.Duration) {
+	cx, cy := r.Center()
+	b.tapXY(name, cx, cy, think)
+}
+
+func (b *builder) tapXY(name string, x, y int, think sim.Duration) {
+	b.steps = append(b.steps, Step{
+		Name:  name,
+		Think: think,
+		Gesture: func(*device.Device) *evdev.Gesture {
+			return &evdev.Gesture{Kind: evdev.Tap, Duration: evdev.TapDuration, X0: x, Y0: y, X1: x, Y1: y}
+		},
+	})
+}
+
+// tapFn aims at a rect resolved against the live device.
+func (b *builder) tapFn(name string, think sim.Duration, fn func(d *device.Device) (screen.Rect, bool)) {
+	b.steps = append(b.steps, Step{
+		Name:  name,
+		Think: think,
+		Gesture: func(d *device.Device) *evdev.Gesture {
+			r, ok := fn(d)
+			if !ok {
+				return nil
+			}
+			cx, cy := r.Center()
+			return &evdev.Gesture{Kind: evdev.Tap, Duration: evdev.TapDuration, X0: cx, Y0: cy, X1: cx, Y1: cy}
+		},
+	})
+}
+
+// swipeUp scrolls content upward (finger moves up).
+func (b *builder) swipeUp(name string, think sim.Duration) {
+	dur := 200*sim.Millisecond + sim.Duration(b.rnd.Intn(120))*sim.Millisecond
+	b.steps = append(b.steps, Step{
+		Name:  name,
+		Think: think,
+		Gesture: func(*device.Device) *evdev.Gesture {
+			return &evdev.Gesture{Kind: evdev.Swipe, Duration: dur, X0: 540, Y0: 1400, X1: 540, Y1: 500}
+		},
+	})
+}
+
+// missTap is a deliberate dead-zone tap — the paper's spurious input ("if
+// the user taps next to a button ... the system will just ignore the
+// input"). The right-edge column is target-free in every app screen.
+func (b *builder) missTap(think sim.Duration) {
+	b.tapXY("miss", 1052, 1004, think)
+}
+
+// launchIcon taps an app's launcher icon (resolved live).
+func (b *builder) launchIcon(app string, think sim.Duration) {
+	b.tapFn("launch."+app, think, func(d *device.Device) (screen.Rect, bool) {
+		return d.Launcher().IconRect(app)
+	})
+}
+
+// home taps the nav-bar home button.
+func (b *builder) home(think sim.Duration) {
+	b.tapRect("nav.home", screen.HomeButtonRect, think)
+}
+
+// back taps the nav-bar back button.
+func (b *builder) back(think sim.Duration) {
+	b.tapRect("nav.back", screen.BackButtonRect, think)
+}
+
+// pause inserts a reading/idle gap with no input.
+func (b *builder) pause(d sim.Duration) {
+	b.steps = append(b.steps, Step{Name: "pause", Think: d})
+}
+
+// typeWord taps each character on the foreground app's keyboard (all apps
+// share the NewKeyboard layout). Keystrokes are safe to pace naturally: apps
+// accept keys even while a previous key is processing, so the worst-case
+// wait factor does not apply.
+func (b *builder) typeWord(word string) {
+	kb := screen.NewKeyboard()
+	for _, c := range word {
+		r, ok := kb.KeyRect(c)
+		if !ok {
+			continue
+		}
+		cx, cy := r.Center()
+		x, y := cx, cy
+		b.steps = append(b.steps, Step{
+			Name:   "key",
+			Think:  b.think(130, 320),
+			Factor: 1.2,
+			Gesture: func(*device.Device) *evdev.Gesture {
+				return &evdev.Gesture{Kind: evdev.Tap, Duration: evdev.TapDuration, X0: x, Y0: y, X1: x, Y1: y}
+			},
+		})
+	}
+}
+
+// Dataset01 is Table I: "Image manipulation with Gallery application."
+func Dataset01() *Workload {
+	return &Workload{
+		Name:        "dataset01",
+		Description: "Image manipulation with Gallery application.",
+		Profile: device.Profile{
+			MusicAutoPlay: true,
+			AccountSync:   true,
+			Telemetry:     true,
+		},
+		Duration: 10 * sim.Minute,
+		Script:   dataset01Script,
+	}
+}
+
+func dataset01Script() []Step {
+	b := newBuilder(0x01)
+	b.pause(2 * sim.Second)
+	b.launchIcon(apps.GalleryName, b.think(1500, 2500)) // cold launch
+
+	// Three editing passes over different albums/photos.
+	for pass := 0; pass < 3; pass++ {
+		album := pass % len(apps.GalleryAlbumRects)
+		b.tapRect("openAlbum", apps.GalleryAlbumRects[album], b.think(1200, 2200))
+		b.swipeUp("browse", b.think(800, 1500))
+		b.swipeUp("browse", b.think(800, 1500))
+		for p := 0; p < 2; p++ {
+			b.tapRect("openPhoto", apps.GalleryPhotoRects[(pass*2+p)%6], b.think(1000, 2000))
+			b.tapRect("enterEdit", apps.GalleryEditButton, b.think(900, 1600))
+			b.tapRect("applyFilter", apps.GalleryFilterButton, b.think(1200, 2400))
+			if p == 0 && pass < 2 {
+				// Two saves over the session: the long CPU+IO lags of
+				// Fig. 11's fliers.
+				b.tapRect("saveImage", apps.GallerySaveButton, b.think(1500, 2500))
+			} else {
+				b.tapRect("applyFilter", apps.GalleryFilterButton, b.think(900, 1800))
+			}
+			b.back(b.think(600, 1200)) // exit edit
+			b.back(b.think(600, 1200)) // back to album
+			if p == 0 {
+				b.missTap(b.think(700, 1400))
+			}
+		}
+		b.swipeUp("browse", b.think(700, 1400))
+		b.back(b.think(800, 1500)) // back to albums
+		if pass == 1 {
+			b.pause(15 * sim.Second) // stare at the album grid
+			b.missTap(b.think(500, 1000))
+		}
+	}
+
+	// A second round of lighter browsing.
+	for i := 0; i < 3; i++ {
+		b.tapRect("openAlbum", apps.GalleryAlbumRects[i%3], b.think(1000, 1800))
+		b.tapRect("openPhoto", apps.GalleryPhotoRects[i%6], b.think(1200, 2200))
+		b.back(b.think(600, 1100))
+		b.swipeUp("browse", b.think(700, 1300))
+		b.back(b.think(700, 1300))
+		if i%2 == 0 {
+			b.missTap(b.think(500, 1000))
+		}
+	}
+	b.pause(10 * sim.Second)
+	for i := 0; i < 2; i++ {
+		b.tapRect("openAlbum", apps.GalleryAlbumRects[(i+1)%3], b.think(900, 1700))
+		b.swipeUp("browse", b.think(650, 1200))
+		b.tapRect("openPhoto", apps.GalleryPhotoRects[(i+3)%6], b.think(1000, 1900))
+		b.back(b.think(600, 1100))
+		b.back(b.think(650, 1200))
+		b.missTap(b.think(450, 900))
+	}
+	b.home(b.think(800, 1500))
+	return b.steps
+}
+
+// Dataset02 is Table I: "Logo Quiz game." — the typing-heavy dataset with
+// the suite's highest lag count.
+func Dataset02() *Workload {
+	return &Workload{
+		Name:        "dataset02",
+		Description: "Logo Quiz game.",
+		Profile: device.Profile{
+			AccountSync: true,
+			Telemetry:   true,
+			// The game's advertisement framework refreshes banners in the
+			// background — classic load the user never asked for.
+			ExtraServices: []func() apps.Service{
+				func() apps.Service {
+					return apps.NewPeriodicService("quiz.ads", 70_000_000, 3500*sim.Millisecond)
+				},
+			},
+		},
+		Duration: 10 * sim.Minute,
+		Script:   dataset02Script,
+	}
+}
+
+func dataset02Script() []Step {
+	b := newBuilder(0x02)
+	words := []string{"nike", "shell", "apple", "ford", "puma", "lego",
+		"visa", "bmw", "kodak", "sony", "ikea", "mtv", "cnn", "fedex",
+		"adidas", "pepsi", "gucci", "rolex", "canon", "casio", "intel",
+		"asus", "samsung", "toyota", "nestle", "amazon", "google", "adobe"}
+	b.pause(2 * sim.Second)
+	b.launchIcon(apps.LogoQuizName, b.think(1500, 2500))
+	b.tapRect("play", apps.QuizPlayButton, b.think(1200, 2000))
+
+	for round, w := range words {
+		b.pause(b.think(1500, 3500)) // look at the logo
+		b.typeWord(w)
+		if round%4 == 1 {
+			b.tapRect("hint", apps.QuizHintButton, b.think(900, 1700))
+		}
+		if round%5 == 2 {
+			b.missTap(b.think(500, 1100))
+		}
+		b.tapRect("submit", apps.QuizSubmitButton, b.think(1400, 2600))
+	}
+	b.missTap(b.think(500, 1000))
+	b.home(b.think(800, 1400))
+	return b.steps
+}
+
+// Dataset03 is Table I: "Pulse News widget and multimedia text messaging."
+func Dataset03() *Workload {
+	return &Workload{
+		Name:        "dataset03",
+		Description: "Pulse News widget and multimedia text messaging.",
+		Profile: device.Profile{
+			NewsSync:      true,
+			NewsSyncEvery: 12 * sim.Second,
+			AccountSync:   true,
+			Telemetry:     true,
+		},
+		Duration: 10 * sim.Minute,
+		Script:   dataset03Script,
+	}
+}
+
+func dataset03Script() []Step {
+	b := newBuilder(0x03)
+	b.pause(2 * sim.Second)
+
+	// News reading through the widget-backed app.
+	b.launchIcon(apps.PulseNewsName, b.think(1500, 2500))
+	b.tapRect("refresh", apps.PulseRefreshButton, b.think(1500, 2600))
+	for i := 0; i < 3; i++ {
+		b.tapRect("openStory", apps.PulseTileRects[i%6], b.think(1500, 2500))
+		b.swipeUp("read", b.think(2500, 5000))
+		b.swipeUp("read", b.think(2500, 5000))
+		b.back(b.think(800, 1500))
+		if i == 1 {
+			b.missTap(b.think(600, 1200))
+		}
+	}
+	b.home(b.think(900, 1600))
+
+	// Multimedia messaging.
+	b.launchIcon(apps.MessagingName, b.think(1400, 2400))
+	for msg := 0; msg < 3; msg++ {
+		b.tapRect("openThread", apps.MessagingThreadRects[msg%3], b.think(1200, 2200))
+		b.typeWord([]string{"hey there", "see pic", "call me"}[msg])
+		if msg == 1 {
+			b.tapRect("attach", apps.MessagingAttachButton, b.think(1000, 1800))
+			b.tapRect("pickImage", apps.MessagingPickerRects[1], b.think(1100, 2000))
+		}
+		b.tapRect("send", apps.MessagingSendButton, b.think(1800, 3200))
+		b.back(b.think(800, 1500))
+		b.missTap(b.think(500, 1000))
+	}
+	b.home(b.think(900, 1600))
+
+	// Back to the news for a skim.
+	b.launchIcon(apps.PulseNewsName, b.think(1200, 2000))
+	b.tapRect("refresh", apps.PulseRefreshButton, b.think(1500, 2500))
+	for i := 0; i < 2; i++ {
+		b.tapRect("openStory", apps.PulseTileRects[(i+3)%6], b.think(1400, 2400))
+		b.swipeUp("read", b.think(2500, 4500))
+		b.back(b.think(800, 1500))
+	}
+	b.missTap(b.think(500, 1000))
+	b.home(b.think(900, 1500))
+
+	// One more messaging exchange and a final news check.
+	b.launchIcon(apps.MessagingName, b.think(1300, 2200))
+	b.tapRect("openThread", apps.MessagingThreadRects[1], b.think(1100, 2000))
+	b.typeWord("on my way")
+	b.tapRect("send", apps.MessagingSendButton, b.think(1700, 3000))
+	b.missTap(b.think(500, 1000))
+	b.typeWord("bye")
+	b.tapRect("send", apps.MessagingSendButton, b.think(1600, 2800))
+	b.back(b.think(800, 1400))
+	b.missTap(b.think(500, 900))
+	b.home(b.think(900, 1500))
+	b.pause(8 * sim.Second)
+	b.launchIcon(apps.PulseNewsName, b.think(1200, 2000))
+	b.tapRect("openStory", apps.PulseTileRects[5], b.think(1400, 2400))
+	b.swipeUp("read", b.think(2400, 4200))
+	b.swipeUp("read", b.think(2400, 4200))
+	b.back(b.think(800, 1400))
+	b.missTap(b.think(500, 900))
+	b.home(b.think(900, 1400))
+	return b.steps
+}
+
+// Dataset04 is Table I: "Movie Studio video creation." — the heaviest
+// dataset, with long render/export lags.
+func Dataset04() *Workload {
+	return &Workload{
+		Name:        "dataset04",
+		Description: "Movie Studio video creation.",
+		Profile: device.Profile{
+			AccountSync: true,
+			Telemetry:   true,
+			// Movie Studio transcodes low-resolution proxy footage in the
+			// background while the project is open.
+			ExtraServices: []func() apps.Service{
+				func() apps.Service {
+					return apps.NewPeriodicService("studio.proxy", 180_000_000, 4*sim.Second)
+				},
+			},
+		},
+		Duration: 10 * sim.Minute,
+		Script:   dataset04Script,
+	}
+}
+
+func dataset04Script() []Step {
+	b := newBuilder(0x04)
+	b.pause(2 * sim.Second)
+	b.launchIcon(apps.MovieStudioName, b.think(1500, 2500))
+	b.tapRect("openProject", apps.StudioProjectRect, b.think(1300, 2300))
+
+	for clip := 0; clip < 3; clip++ {
+		b.tapRect("addClip", apps.StudioAddClipBtn, b.think(1200, 2200))
+		b.swipeUp("scrub", b.think(800, 1500))
+		b.swipeUp("scrub", b.think(800, 1500))
+		if clip == 1 {
+			b.missTap(b.think(600, 1200))
+		}
+		b.tapRect("preview", apps.StudioPreviewBtn, b.think(2000, 3500))
+	}
+	b.tapRect("export", apps.StudioExportBtn, b.think(2500, 4000))
+
+	// Review cycle: scrub, tweak, preview again, second export.
+	for i := 0; i < 2; i++ {
+		b.swipeUp("scrub", b.think(900, 1600))
+		b.swipeUp("scrub", b.think(900, 1600))
+		b.tapRect("addClip", apps.StudioAddClipBtn, b.think(1200, 2000))
+		b.tapRect("preview", apps.StudioPreviewBtn, b.think(2200, 3600))
+		b.missTap(b.think(600, 1100))
+	}
+	b.tapRect("export", apps.StudioExportBtn, b.think(2500, 4000))
+
+	// Fine editing: long scrubbing sessions with occasional clip additions
+	// and previews — the bulk of dataset 04's 114 lags.
+	for block := 0; block < 6; block++ {
+		for i := 0; i < 12; i++ {
+			b.swipeUp("scrub", b.think(800, 1500))
+			if i%4 == 2 {
+				b.missTap(b.think(450, 900))
+			}
+		}
+		if block < 4 {
+			b.tapRect("addClip", apps.StudioAddClipBtn, b.think(1100, 1900))
+		}
+		if block == 1 || block == 4 {
+			b.tapRect("preview", apps.StudioPreviewBtn, b.think(2000, 3400))
+		}
+	}
+	b.back(b.think(900, 1600))
+	b.tapRect("openProject", apps.StudioProjectRect, b.think(1200, 2000))
+	for i := 0; i < 6; i++ {
+		b.swipeUp("scrub", b.think(900, 1600))
+	}
+	b.home(b.think(900, 1500))
+	return b.steps
+}
+
+// Dataset05 is Table I: "Pulse News application."
+func Dataset05() *Workload {
+	return &Workload{
+		Name:        "dataset05",
+		Description: "Pulse News application.",
+		Profile: device.Profile{
+			NewsSync:      true,
+			NewsSyncEvery: 15 * sim.Second,
+			MusicAutoPlay: true,
+			AccountSync:   true,
+			Telemetry:     true,
+		},
+		Duration: 10 * sim.Minute,
+		Script:   dataset05Script,
+	}
+}
+
+func dataset05Script() []Step {
+	b := newBuilder(0x05)
+	b.pause(2 * sim.Second)
+	b.launchIcon(apps.PulseNewsName, b.think(1500, 2500))
+	for session := 0; session < 5; session++ {
+		b.tapRect("refresh", apps.PulseRefreshButton, b.think(1500, 2800))
+		for i := 0; i < 3; i++ {
+			tile := (session*3 + i) % 6
+			b.tapRect("openStory", apps.PulseTileRects[tile], b.think(1400, 2400))
+			b.swipeUp("read", b.think(2800, 5200))
+			b.swipeUp("read", b.think(2800, 5200))
+			if i == 1 {
+				b.swipeUp("read", b.think(2200, 4200))
+			}
+			b.back(b.think(800, 1500))
+			if i == 0 {
+				b.missTap(b.think(500, 1000))
+			}
+		}
+		b.swipeUp("skimFeed", b.think(1200, 2200))
+		b.swipeUp("skimFeed", b.think(1100, 2000))
+		b.missTap(b.think(600, 1200))
+		if session == 2 {
+			b.pause(20 * sim.Second)
+		}
+	}
+	b.home(b.think(900, 1500))
+	return b.steps
+}
+
+// Datasets returns the five 10-minute workloads of Table I.
+func Datasets() []*Workload {
+	return []*Workload{Dataset01(), Dataset02(), Dataset03(), Dataset04(), Dataset05()}
+}
+
+// ByName returns a workload by dataset name (including the 24-hour,
+// quickstart and legacy-benchmark workloads), or nil.
+func ByName(name string) *Workload {
+	for _, w := range append(Datasets(), TwentyFourHour(), Quickstart(), LegacyBench()) {
+		if w.Name == name {
+			return w
+		}
+	}
+	return nil
+}
+
+// TwentyFourHour is the paper's 24-hour recording: sparse bursts of activity
+// separated by long idle stretches ("to demonstrate the capabilities of our
+// system, one user recorded a workload for a full timespan of 24 hours").
+func TwentyFourHour() *Workload {
+	return &Workload{
+		Name:        "24hour",
+		Description: "Full-day recording with sparse interaction bursts.",
+		Profile: device.Profile{
+			NewsSync:      true,
+			NewsSyncEvery: 120 * sim.Second,
+			AccountSync:   true,
+			AccountEvery:  90 * sim.Second,
+			Telemetry:     true,
+		},
+		Duration: 24 * sim.Hour,
+		Script:   twentyFourHourScript,
+	}
+}
+
+func twentyFourHourScript() []Step {
+	b := newBuilder(0x24)
+	// 26 activity bursts across the day, gaps of 25–80 minutes.
+	for burst := 0; burst < 26; burst++ {
+		switch burst % 4 {
+		case 0: // check mail
+			b.launchIcon(apps.GmailName, b.think(1500, 2500))
+			for i := 0; i < 3; i++ {
+				b.tapRect("openMail", apps.GmailMailRects[i%4], b.think(2500, 5000))
+				b.back(b.think(900, 1700))
+			}
+			b.swipeUp("inbox", b.think(1000, 2000))
+			b.missTap(b.think(600, 1200))
+			b.home(b.think(800, 1500))
+		case 1: // browse news
+			b.launchIcon(apps.PulseNewsName, b.think(1500, 2500))
+			b.tapRect("refresh", apps.PulseRefreshButton, b.think(1500, 2800))
+			b.tapRect("openStory", apps.PulseTileRects[burst%6], b.think(1500, 2500))
+			b.swipeUp("read", b.think(3000, 6000))
+			b.swipeUp("read", b.think(3000, 6000))
+			b.back(b.think(900, 1600))
+			b.home(b.think(800, 1500))
+		case 2: // social
+			b.launchIcon(apps.FacebookName, b.think(1500, 2500))
+			for i := 0; i < 4; i++ {
+				b.swipeUp("feed", b.think(2500, 5000))
+			}
+			b.tapRect("like", apps.FacebookLikeButton, b.think(1200, 2200))
+			b.missTap(b.think(600, 1200))
+			b.home(b.think(800, 1500))
+		case 3: // quick calculation and a browse
+			b.launchIcon(apps.CalculatorName, b.think(1300, 2200))
+			for _, d := range []int{3, 7, 4, 1} {
+				b.tapRect("digit", apps.CalcKeyRect(d), b.think(400, 900))
+			}
+			b.home(b.think(800, 1400))
+			b.launchIcon(apps.BrowserName, b.think(1400, 2400))
+			b.tapRect("loadPage", apps.BrowserURLBar, b.think(1800, 3200))
+			b.swipeUp("read", b.think(2500, 5000))
+			b.home(b.think(800, 1500))
+		}
+		// The idle stretch until the user picks the phone up again.
+		gap := sim.Duration(25+b.rnd.Intn(55)) * sim.Minute
+		b.pause(gap)
+	}
+	return b.steps
+}
+
+// Quickstart is a small two-minute workload used by tests and the
+// quickstart example: one app launch, a few interactions, one miss.
+func Quickstart() *Workload {
+	return &Workload{
+		Name:        "quickstart",
+		Description: "Two-minute smoke workload: gallery browse and edit.",
+		Profile:     device.DefaultProfile(),
+		Duration:    2 * sim.Minute,
+		Script: func() []Step {
+			b := newBuilder(0xACE)
+			b.pause(1 * sim.Second)
+			b.launchIcon(apps.GalleryName, b.think(1200, 1800))
+			b.tapRect("openAlbum", apps.GalleryAlbumRects[0], b.think(1000, 1500))
+			b.tapRect("openPhoto", apps.GalleryPhotoRects[0], b.think(1000, 1500))
+			b.missTap(b.think(600, 900))
+			b.back(b.think(700, 1100))
+			b.swipeUp("browse", b.think(800, 1200))
+			b.home(b.think(700, 1000))
+			return b.steps
+		},
+	}
+}

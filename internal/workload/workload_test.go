@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/evdev"
+	"repro/internal/governor"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+func TestQuickstartRecordReplay(t *testing.T) {
+	w := Quickstart()
+	rec, truths, err := w.Record(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Events) == 0 {
+		t.Fatal("empty recording")
+	}
+	// 7 gestures in the quickstart script.
+	gestures := evdev.Classify(rec.Events)
+	if len(gestures) != 7 {
+		t.Fatalf("recorded %d gestures, want 7", len(gestures))
+	}
+	if len(truths) != 7 {
+		t.Fatalf("ground truths = %d, want 7", len(truths))
+	}
+	spurious := 0
+	for _, gt := range truths {
+		if gt.Spurious {
+			spurious++
+		}
+	}
+	if spurious != 1 {
+		t.Fatalf("spurious = %d, want exactly 1 (the missTap)", spurious)
+	}
+
+	// Replay at a fixed frequency: same gesture count, same spurious set,
+	// slower lags at min frequency than max.
+	tbl := power.Snapdragon8074()
+	artSlow := Replay(w, rec, governor.NewFixed(tbl, 0), "0.30 GHz", 2, false)
+	artFast := Replay(w, rec, governor.NewFixed(tbl, 13), "2.15 GHz", 2, false)
+	if len(artSlow.Truths) != len(truths) || len(artFast.Truths) != len(truths) {
+		t.Fatalf("replay gesture counts differ: %d / %d vs %d",
+			len(artSlow.Truths), len(artFast.Truths), len(truths))
+	}
+	for i := range truths {
+		if artSlow.Truths[i].Spurious != truths[i].Spurious {
+			t.Fatalf("spurious classification differs at %d", i)
+		}
+		if !artSlow.Truths[i].Complete {
+			t.Fatalf("interaction %d (%s) incomplete at 0.30 GHz — script out of sync", i, artSlow.Truths[i].Label)
+		}
+	}
+	var slowTotal, fastTotal sim.Duration
+	for i := range truths {
+		if truths[i].Spurious {
+			continue
+		}
+		slowTotal += artSlow.Truths[i].CompleteTime.Sub(artSlow.Truths[i].InputTime)
+		fastTotal += artFast.Truths[i].CompleteTime.Sub(artFast.Truths[i].InputTime)
+	}
+	if slowTotal < 2*fastTotal {
+		t.Fatalf("total lag at 0.30 GHz (%v) should far exceed 2.15 GHz (%v)", slowTotal, fastTotal)
+	}
+}
+
+func TestRecordingRoundTripsThroughGetevent(t *testing.T) {
+	w := Quickstart()
+	rec, _, err := w.Record(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := evdev.MarshalGetevent(&buf, "", rec.Events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := evdev.UnmarshalGetevent(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(rec.Events) {
+		t.Fatalf("round trip: %d vs %d events", len(back), len(rec.Events))
+	}
+	for i := range back {
+		if back[i] != rec.Events[i] {
+			t.Fatalf("event %d differs after round trip", i)
+		}
+	}
+}
+
+func TestReplayStaysInSyncAtMinFrequency(t *testing.T) {
+	// The §II-E sync requirement: every interaction must land on the right
+	// screen even at the slowest configuration. Non-spurious at record time
+	// must be non-spurious at 0.30 GHz.
+	if testing.Short() {
+		t.Skip("10-minute dataset replay")
+	}
+	w := Dataset01()
+	rec, truths, err := w.Record(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := Replay(w, rec, governor.NewFixed(power.Snapdragon8074(), 0), "0.30 GHz", 3, false)
+	if len(art.Truths) != len(truths) {
+		t.Fatalf("gesture count: %d vs %d", len(art.Truths), len(truths))
+	}
+	for i := range truths {
+		if art.Truths[i].Spurious != truths[i].Spurious {
+			t.Errorf("gesture %d (%s): spurious %v at record, %v at 0.30 GHz",
+				i, truths[i].Label, truths[i].Spurious, art.Truths[i].Spurious)
+		}
+		if !art.Truths[i].Complete {
+			t.Errorf("gesture %d (%s) incomplete at 0.30 GHz", i, truths[i].Label)
+		}
+	}
+}
+
+func TestDatasetLagCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("records all five datasets")
+	}
+	// Fig. 10 reports 68/149/76/114/83 actual lags. Our scripts must land in
+	// the same ballpark and preserve the ordering (dataset02 typing-heavy
+	// highest, dataset01/03/05 moderate).
+	wants := map[string][2]int{
+		"dataset01": {45, 95},
+		"dataset02": {110, 190},
+		"dataset03": {50, 105},
+		"dataset04": {28, 150},
+		"dataset05": {55, 110},
+	}
+	for _, w := range Datasets() {
+		rec, truths, err := w.Record(1)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		actual, spurious := 0, 0
+		for _, gt := range truths {
+			if gt.Spurious {
+				spurious++
+			} else {
+				actual++
+			}
+		}
+		bounds := wants[w.Name]
+		if actual < bounds[0] || actual > bounds[1] {
+			t.Errorf("%s: %d actual lags, want in [%d,%d]", w.Name, actual, bounds[0], bounds[1])
+		}
+		if spurious == 0 {
+			t.Errorf("%s: no spurious inputs; Fig. 10 needs some", w.Name)
+		}
+		if rec.Duration != w.Duration {
+			t.Errorf("%s: recording duration %v", w.Name, rec.Duration)
+		}
+		// The script must fit inside the recording window with the paper's
+		// natural interaction density.
+		last := truths[len(truths)-1]
+		if last.CompleteTime > sim.Time(w.Duration) {
+			t.Errorf("%s: last interaction at %v overruns the window", w.Name, last.CompleteTime)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("dataset03") == nil || ByName("24hour") == nil || ByName("quickstart") == nil {
+		t.Fatal("ByName misses known workloads")
+	}
+	if ByName("nope") != nil {
+		t.Fatal("ByName invents workloads")
+	}
+}
+
+func TestScriptsAreDeterministic(t *testing.T) {
+	a, _, err := Quickstart().Record(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Quickstart().Record(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs between identical recordings", i)
+		}
+	}
+}
