@@ -6,7 +6,7 @@
 // Usage:
 //
 //	qoereplay -workload dataset01 -trace dataset01.trace -db dataset01.adb \
-//	          -config ondemand [-seed 2] [-o profile.json]
+//	          -config ondemand [-soc dragonboard|biglittle] [-seed 2] [-o profile.json]
 package main
 
 import (
@@ -21,8 +21,9 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/governor"
 	"repro/internal/match"
-	"repro/internal/power"
+	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/soc"
 	"repro/internal/workload"
 )
 
@@ -31,6 +32,7 @@ func main() {
 	tracePath := flag.String("trace", "", "getevent trace recorded by qoerecord")
 	dbPath := flag.String("db", "", "annotation DB built by qoeannotate")
 	config := flag.String("config", "interactive", "configuration: governor name or frequency label like '0.96 GHz'")
+	socName := flag.String("soc", "dragonboard", "SoC spec: dragonboard (paper, single Krait core) or biglittle (4+4)")
 	seed := flag.Uint64("seed", 2, "replay seed")
 	out := flag.String("o", "", "write the lag profile as JSON")
 	flag.Parse()
@@ -38,6 +40,20 @@ func main() {
 	w := workload.ByName(*name)
 	if w == nil {
 		fatal(fmt.Errorf("unknown workload %q", *name))
+	}
+	var spec soc.Spec
+	switch *socName {
+	case "dragonboard":
+		spec = soc.Dragonboard()
+	case "biglittle":
+		spec = soc.BigLittle44()
+	default:
+		fatal(fmt.Errorf("unknown SoC spec %q (use dragonboard or biglittle)", *socName))
+	}
+	w.Profile.SoC = spec
+	socModel, err := spec.Calibrate(0)
+	if err != nil {
+		fatal(err)
 	}
 	rec, err := loadTrace(w, *tracePath)
 	if err != nil {
@@ -48,12 +64,11 @@ func main() {
 		fatal(err)
 	}
 
-	model, err := power.Calibrate(power.Snapdragon8074(), power.DefaultSilicon(), 0)
-	if err != nil {
-		fatal(err)
-	}
+	// Config names (governor names and fixed-frequency labels) refer to the
+	// big/Krait ladder — the last cluster of either spec.
+	bigTbl := spec.Clusters[len(spec.Clusters)-1].Table
 	var cfg *experiment.Config
-	for _, c := range experiment.AllConfigs(model.Table) {
+	for _, c := range experiment.AllConfigs(bigTbl) {
 		if c.Name == *config {
 			c := c
 			cfg = &c
@@ -62,16 +77,26 @@ func main() {
 	}
 	if cfg == nil {
 		fatal(fmt.Errorf("unknown config %q (use a governor name or an OPP label such as %q)",
-			*config, model.Table[5].Label()))
+			*config, bigTbl[5].Label()))
+	}
+	govs := cfg.Governors(w.Profile)
+	if cfg.OPPIndex >= 0 && len(spec.Clusters) > 1 {
+		// Fixed configs pin each cluster at the lowest OPP at or above the
+		// labelled frequency on its own ladder (cpufreq RELATION_L), clamped
+		// to the ladder's top.
+		khz := bigTbl[cfg.OPPIndex].KHz
+		for i, cs := range spec.Clusters {
+			govs[i] = governor.NewFixed(cs.Table, cs.Table.IndexAtLeast(khz))
+		}
 	}
 
 	gestures := match.Gestures(rec.Events)
-	art := workload.Replay(w, rec, cfg.NewGovernor(), cfg.Name, *seed, true)
+	art := workload.ReplayMulti(w, rec, govs, cfg.Name, *seed, true)
 	profile, err := match.Match(art.Video, db, gestures, cfg.Name, match.Options{Strict: true})
 	if err != nil {
 		fatal(err)
 	}
-	energy, err := model.Energy(art.BusyByOPP)
+	energy, err := socModel.Energy(art.BusyByCluster)
 	if err != nil {
 		fatal(err)
 	}
@@ -86,6 +111,12 @@ func main() {
 	fmt.Printf("total lag time: %s\n", total)
 	fmt.Printf("user irritation (HCI thresholds): %s\n", irritation)
 	fmt.Printf("dynamic energy: %.2f J\n", energy)
+	if len(art.Clusters) > 1 {
+		fmt.Println()
+		if err := report.ClusterSummary(os.Stdout, art, socModel); err != nil {
+			fatal(err)
+		}
+	}
 
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -130,7 +161,7 @@ func loadDB(w *workload.Workload, rec *workload.Recording, path string) (*annota
 	}
 	// Build on the fly for convenience.
 	gestures := match.Gestures(rec.Events)
-	art := workload.Replay(w, rec, governor.NewInteractive(), "annotation", 0xA11, true)
+	art := workload.ReplayMulti(w, rec, workload.StockGovernors(w.Profile), "annotation", 0xA11, true)
 	return annotate.Build(w.Name, art.Video, gestures, art.Truths, annotate.BuildOptions{MinStill: 1})
 }
 

@@ -1,0 +1,95 @@
+// Biglittle runs the paper's QoE methodology end to end on a heterogeneous
+// 4+4 big.LITTLE SoC and compares two per-cluster governor assignments:
+// interactive on both clusters (the stock setup) versus powersave on the
+// little cluster with interactive on the big cluster. It demonstrates the
+// multi-cluster simulator: HMP little-first scheduling with up-migration,
+// one governor instance per frequency domain, per-cluster frequency traces
+// and per-cluster energy attribution.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/annotate"
+	"repro/internal/core"
+	"repro/internal/governor"
+	"repro/internal/match"
+	"repro/internal/report"
+	"repro/internal/soc"
+	"repro/internal/workload"
+)
+
+func main() {
+	// 1. The platform: four little cores on a low-voltage ladder plus four
+	//    big cores on the Snapdragon 8074 ladder, and a calibrated power
+	//    model per cluster.
+	spec := soc.BigLittle44()
+	model, err := spec.Calibrate(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("platform %s: %s\n", spec.Name, model)
+	for i, name := range model.Names {
+		tbl := model.Cluster(i).Table
+		fmt.Printf("  %-7s %d cores, %d OPPs (%s..%s), most efficient %s\n",
+			name, spec.Clusters[i].NumCores, len(tbl),
+			tbl[0].Label(), tbl[len(tbl)-1].Label(),
+			tbl[model.Cluster(i).MostEfficientOPP()].Label())
+	}
+
+	// 2. Record the workload once on the big.LITTLE device under the stock
+	//    per-cluster interactive governors.
+	w := workload.Quickstart()
+	w.Profile.SoC = spec
+	rec, _, err := w.Record(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gestures := match.Gestures(rec.Events)
+	fmt.Printf("\nrecorded %q: %d input events, %d gestures\n",
+		w.Name, len(rec.Events), len(gestures))
+
+	// 3. Annotate once (Part A of the paper's pipeline).
+	annRun := workload.ReplayMulti(w, rec, workload.StockGovernors(w.Profile), "annotation", 2, true)
+	db, err := annotate.Build(w.Name, annRun.Video, gestures, annRun.Truths,
+		annotate.BuildOptions{MinStill: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("annotated %d interaction lags\n\n", len(db.Entries))
+
+	// 4. Replay under the two per-cluster governor assignments and compare
+	//    QoE (user irritation) against per-cluster energy.
+	configs := []struct {
+		name string
+		govs func() []governor.Governor
+	}{
+		{"interactive/interactive", func() []governor.Governor {
+			return []governor.Governor{governor.NewInteractive(), governor.NewInteractive()}
+		}},
+		{"powersave-little/interactive-big", func() []governor.Governor {
+			return []governor.Governor{governor.Powersave(spec.Clusters[0].Table), governor.NewInteractive()}
+		}},
+	}
+	for _, cfg := range configs {
+		art := workload.ReplayMulti(w, rec, cfg.govs(), cfg.name, 3, true)
+		profile, err := match.Match(art.Video, db, gestures, cfg.name, match.Options{Strict: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		energy, err := model.Energy(art.BusyByCluster)
+		if err != nil {
+			log.Fatal(err)
+		}
+		irritation := core.Irritation(profile, db.Thresholds())
+		fmt.Printf("config %s:\n", cfg.name)
+		fmt.Printf("  irritation %v, dynamic energy %.2f J, %d migrations\n",
+			irritation, energy, art.Migrations)
+		if err := report.ClusterSummary(os.Stdout, art, model); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+}

@@ -17,7 +17,6 @@ import (
 	"repro/internal/evdev"
 	"repro/internal/governor"
 	"repro/internal/netproxy"
-	"repro/internal/power"
 	"repro/internal/screen"
 	"repro/internal/sim"
 	"repro/internal/soc"
@@ -67,6 +66,20 @@ type Profile struct {
 	IOJitterFrac float64
 	// WorkJitterFrac scales CPU burst sizes per repetition (default 0.02).
 	WorkJitterFrac float64
+	// SoC selects the simulated silicon. The zero value boots the paper's
+	// single-core Dragonboard APQ8074; multi-cluster specs (for example
+	// soc.BigLittle44) route app and service work through the HMP scheduler
+	// and need one governor per cluster (NewMulti).
+	SoC soc.Spec
+}
+
+// SoCSpec returns the profile's SoC spec, defaulting to the paper's
+// Dragonboard when unset.
+func (p Profile) SoCSpec() soc.Spec {
+	if len(p.SoC.Clusters) == 0 {
+		return soc.Dragonboard()
+	}
+	return p.SoC
 }
 
 // DefaultProfile returns the standard image: telemetry plus account sync.
@@ -76,8 +89,16 @@ func DefaultProfile() Profile {
 
 // Device is the simulated phone.
 type Device struct {
-	Eng  *sim.Engine
-	Core *soc.Core
+	Eng *sim.Engine
+	// SoC is the simulated silicon: one or more clusters plus the task
+	// scheduler.
+	SoC *soc.SoC
+	// Core is the first (littlest) cluster — on the paper's Dragonboard spec,
+	// the one enabled Krait core.
+	Core *soc.Cluster
+	// Govs holds one governor per cluster, in cluster order. Gov aliases
+	// Govs[0] for the single-cluster call sites.
+	Govs []governor.Governor
 	Gov  governor.Governor
 
 	prof Profile
@@ -104,13 +125,34 @@ type Device struct {
 	dispatchIdx   int // index of gesture being dispatched, -1 otherwise
 	OnInteraction func(gt GroundTruth)
 
-	FreqTrace *trace.FreqTrace
-	BusyCurve *trace.BusyCurve
+	// ClusterTraces holds the per-cluster frequency and busy traces, in
+	// cluster order. FreqTrace aliases the first cluster's transition trace;
+	// BusyCurve is the SoC-aggregate busy curve (equal to the first cluster's
+	// on single-cluster specs) that oracle construction consumes.
+	ClusterTraces []*trace.ClusterTraces
+	FreqTrace     *trace.FreqTrace
+	BusyCurve     *trace.BusyCurve
 }
 
-// New boots a device with the given governor and profile. The paper resets
-// the device to a known state before recording; New is that reset.
+// New boots a single-cluster device with the given governor and profile. The
+// paper resets the device to a known state before recording; New is that
+// reset. Profiles selecting a multi-cluster SoC need one governor per
+// cluster — boot those through NewMulti.
 func New(eng *sim.Engine, seed uint64, gov governor.Governor, prof Profile) *Device {
+	spec := prof.SoCSpec()
+	if len(spec.Clusters) > 1 {
+		panic(fmt.Sprintf("device: spec %q has %d clusters; boot it with NewMulti and one governor per cluster",
+			spec.Name, len(spec.Clusters)))
+	}
+	return NewMulti(eng, seed, []governor.Governor{gov}, prof)
+}
+
+// NewMulti boots a device on the profile's SoC spec with one governor per
+// cluster (a nil entry leaves that cluster at its lowest OPP). App and
+// service work is routed through the SoC scheduler: on the Dragonboard spec
+// that degenerates to the original single-core submission path, so the
+// paper's runs reproduce bit for bit.
+func NewMulti(eng *sim.Engine, seed uint64, govs []governor.Governor, prof Profile) *Device {
 	if prof.AnimFrameWork == 0 {
 		prof.AnimFrameWork = 1_500_000
 	}
@@ -120,27 +162,41 @@ func New(eng *sim.Engine, seed uint64, gov governor.Governor, prof Profile) *Dev
 	if prof.WorkJitterFrac == 0 {
 		prof.WorkJitterFrac = 0.02
 	}
+	spec := prof.SoCSpec()
+	if len(govs) != len(spec.Clusters) {
+		panic(fmt.Sprintf("device: spec %q has %d clusters but %d governors were supplied",
+			spec.Name, len(spec.Clusters), len(govs)))
+	}
 	d := &Device{
 		Eng:         eng,
-		Core:        soc.NewCore(eng, power.Snapdragon8074()),
-		Gov:         gov,
+		SoC:         soc.New(eng, spec),
+		Govs:        govs,
+		Gov:         govs[0],
 		prof:        prof,
 		rand:        sim.NewRand(seed),
 		appsByName:  make(map[string]apps.App),
 		anims:       make(map[string]bool),
 		dispatchIdx: -1,
-		FreqTrace:   &trace.FreqTrace{},
 		BusyCurve:   trace.NewBusyCurve(33333 * sim.Microsecond),
 	}
-	d.FreqTrace.Append(0, d.Core.OPPIndex())
-	d.Core.OnFreqChange = func(at sim.Time, idx int) { d.FreqTrace.Append(at, idx) }
+	d.Core = d.SoC.Cluster(0)
+	for _, cl := range d.SoC.Clusters() {
+		ct := trace.NewClusterTraces(cl.Name(), d.BusyCurve.Step)
+		ct.Freq.Append(0, cl.OPPIndex())
+		ctf := ct.Freq
+		cl.OnFreqChange = func(at sim.Time, idx int) { ctf.Append(at, idx) }
+		d.ClusterTraces = append(d.ClusterTraces, ct)
+	}
+	d.FreqTrace = d.ClusterTraces[0].Freq
 
 	d.music = apps.NewMusicService(prof.MusicAutoPlay)
 	d.installApps()
 	d.startServices()
 
-	if gov != nil {
-		gov.Start(d.Core)
+	for i, gov := range govs {
+		if gov != nil {
+			gov.Start(d.SoC.Cluster(i))
+		}
 	}
 	d.foreground = d.launcher
 	d.foreground.Enter(nil)
@@ -227,7 +283,7 @@ func (d *Device) SpawnWork(name string, cycles int64, onDone func()) {
 	if jittered < 1 {
 		jittered = 1
 	}
-	d.Core.Submit(name, soc.Cycles(jittered), func(sim.Time) {
+	d.SoC.Submit(name, soc.Cycles(jittered), func(sim.Time) {
 		if onDone != nil {
 			onDone()
 		}
@@ -328,8 +384,12 @@ func (d *Device) Inject(ev evdev.Event) {
 	for _, fn := range d.subscribers {
 		fn(ev)
 	}
-	if d.Gov != nil && !ev.IsSyn() {
-		d.Gov.OnInput(ev.Time)
+	if !ev.IsSyn() {
+		for _, gov := range d.Govs {
+			if gov != nil {
+				gov.OnInput(ev.Time)
+			}
+		}
 	}
 	d.assemble(ev)
 }
@@ -456,7 +516,10 @@ func (d *Device) vsyncLoop() {
 	var tick func(e *sim.Engine)
 	n := 0
 	tick = func(e *sim.Engine) {
-		d.BusyCurve.AppendSample(d.Core.CumulativeBusy())
+		d.BusyCurve.AppendSample(d.SoC.CumulativeBusy())
+		for i, ct := range d.ClusterTraces {
+			ct.Busy.AppendSample(d.SoC.Cluster(i).CumulativeBusy())
+		}
 		if d.animating() {
 			d.SpawnWork("ui.anim", d.prof.AnimFrameWork, nil)
 			d.dirty = true
@@ -495,5 +558,5 @@ func (d *Device) Frame() *video.Frame {
 
 // String summarises device state.
 func (d *Device) String() string {
-	return fmt.Sprintf("device.Device{fg=%s, %s}", d.foreground.Name(), d.Core)
+	return fmt.Sprintf("device.Device{fg=%s, %s}", d.foreground.Name(), d.SoC)
 }

@@ -22,11 +22,29 @@ import (
 	"repro/internal/workload"
 )
 
-// Config is one system configuration of the sweep.
+// Config is one system configuration of the sweep: a per-cluster governor
+// assignment under one name.
 type Config struct {
 	Name        string
 	OPPIndex    int // >= 0 for fixed frequencies, -1 for governors
 	NewGovernor func() governor.Governor
+	// NewGovernors, when set, supplies one fresh governor per cluster for
+	// multi-cluster SoC specs (e.g. powersave on little, interactive on big).
+	// When nil, NewGovernor is invoked once per cluster.
+	NewGovernors func() []governor.Governor
+}
+
+// Governors builds the per-cluster governor instances for a device profile.
+func (c Config) Governors(prof device.Profile) []governor.Governor {
+	if c.NewGovernors != nil {
+		return c.NewGovernors()
+	}
+	spec := prof.SoCSpec()
+	govs := make([]governor.Governor, len(spec.Clusters))
+	for i := range govs {
+		govs[i] = c.NewGovernor()
+	}
+	return govs
 }
 
 // AllConfigs returns the paper's 17 configurations in its figures' x-axis
@@ -61,6 +79,11 @@ type Run struct {
 	EnergyJ   float64
 	BusyCurve *trace.BusyCurve
 	FreqTrace *trace.FreqTrace
+	// Clusters and Migrations carry the per-cluster traces and scheduler
+	// migration count for multi-cluster SoC specs (one entry, zero
+	// migrations on the paper's Dragonboard).
+	Clusters   []*trace.ClusterTraces
+	Migrations int
 }
 
 // DatasetResult holds everything the figures need for one workload.
@@ -108,7 +131,7 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-func (o Options) progress(format string, args ...interface{}) {
+func (o Options) progress(format string, args ...any) {
 	if o.Progress != nil {
 		o.Progress(fmt.Sprintf(format, args...))
 	}
@@ -126,6 +149,17 @@ func RunDataset(w *workload.Workload, model *power.Model, opts Options) (*Datase
 		Runs:     make(map[string][]*Run),
 	}
 
+	// On a multi-cluster profile, energy must be attributed per cluster with
+	// per-cluster tables; the single model only describes the paper's one
+	// Krait ladder.
+	var socModel *power.SoCModel
+	if spec := w.Profile.SoCSpec(); len(spec.Clusters) > 1 {
+		var err error
+		if socModel, err = spec.Calibrate(0); err != nil {
+			return nil, fmt.Errorf("experiment: calibrate %s: %w", spec.Name, err)
+		}
+	}
+
 	opts.progress("[%s] recording workload", w.Name)
 	rec, truths, err := w.Record(opts.Seed)
 	if err != nil {
@@ -136,7 +170,7 @@ func RunDataset(w *workload.Workload, model *power.Model, opts Options) (*Datase
 	res.Gestures = match.Gestures(rec.Events)
 
 	opts.progress("[%s] annotating (Part A)", w.Name)
-	annArt := workload.Replay(w, rec, governor.NewInteractive(), "annotation", opts.Seed^0xA11, true)
+	annArt := workload.ReplayMulti(w, rec, workload.StockGovernors(w.Profile), "annotation", opts.Seed^0xA11, true)
 	db, err := annotate.Build(w.Name, annArt.Video, res.Gestures, annArt.Truths, annotate.BuildOptions{MinStill: 1})
 	if err != nil {
 		return nil, fmt.Errorf("experiment: annotate %s: %w", w.Name, err)
@@ -170,7 +204,7 @@ func RunDataset(w *workload.Workload, model *power.Model, opts Options) (*Datase
 			defer func() { <-sem }()
 			j := jobs[ji]
 			seed := opts.Seed ^ (uint64(ji+1) * 0x9e3779b9)
-			runs[ji], errs[ji] = executeRun(w, rec, db, res.Gestures, model, j.cfg, j.rep, seed)
+			runs[ji], errs[ji] = executeRun(w, rec, db, res.Gestures, model, socModel, j.cfg, j.rep, seed)
 		}()
 	}
 	wg.Wait()
@@ -191,23 +225,31 @@ func RunDataset(w *workload.Workload, model *power.Model, opts Options) (*Datase
 }
 
 func executeRun(w *workload.Workload, rec *workload.Recording, db *annotate.DB,
-	gestures []evdev.Gesture, model *power.Model, cfg Config, rep int, seed uint64) (*Run, error) {
-	art := workload.Replay(w, rec, cfg.NewGovernor(), cfg.Name, seed, true)
+	gestures []evdev.Gesture, model *power.Model, socModel *power.SoCModel,
+	cfg Config, rep int, seed uint64) (*Run, error) {
+	art := workload.ReplayMulti(w, rec, cfg.Governors(w.Profile), cfg.Name, seed, true)
 	profile, err := match.Match(art.Video, db, gestures, cfg.Name, match.Options{Strict: true})
 	if err != nil {
 		return nil, err
 	}
-	energy, err := model.Energy(art.BusyByOPP)
+	var energy float64
+	if socModel != nil {
+		energy, err = socModel.Energy(art.BusyByCluster)
+	} else {
+		energy, err = model.Energy(art.BusyByOPP)
+	}
 	if err != nil {
 		return nil, err
 	}
 	return &Run{
-		Config:    cfg.Name,
-		Rep:       rep,
-		Profile:   profile,
-		EnergyJ:   energy,
-		BusyCurve: art.BusyCurve,
-		FreqTrace: art.FreqTrace,
+		Config:     cfg.Name,
+		Rep:        rep,
+		Profile:    profile,
+		EnergyJ:    energy,
+		BusyCurve:  art.BusyCurve,
+		FreqTrace:  art.FreqTrace,
+		Clusters:   art.Clusters,
+		Migrations: art.Migrations,
 	}, nil
 }
 

@@ -18,16 +18,22 @@ import (
 	"repro/internal/sim"
 )
 
-// CPU is the view a governor has of the frequency domain it manages. It is
+// CPU is the view a governor has of the frequency domain it manages — one
+// cluster of the SoC, with one governor instance attached per cluster. It is
 // deliberately narrow: current OPP, the OPP table, cumulative busy time for
-// load computation, and a timer facility.
+// load computation, the number of cores sharing the domain, and a timer
+// facility.
 type CPU interface {
 	Now() sim.Time
 	After(d sim.Duration, fn func())
 	SetOPPIndex(i int)
 	OPPIndex() int
 	Table() power.Table
+	// CumulativeBusy is total core-busy time of the domain: a domain with k
+	// busy cores accumulates k seconds of busy per wall second.
 	CumulativeBusy() sim.Duration
+	// NumCores is the number of cores sharing the domain's clock.
+	NumCores() int
 }
 
 // Governor is a DVFS policy driving one CPU.
@@ -55,17 +61,24 @@ func (m *loadMeter) reset(cpu CPU) {
 	m.lastWall = cpu.Now()
 }
 
-// sample returns load in percent (0..100) since the previous sample.
+// sample returns load in percent (0..100) since the previous sample,
+// averaged over the domain's cores. A busy-counter reset (cluster hotplug or
+// task migration landing mid-window) can make dBusy negative; that clamps to
+// 0 rather than returning a nonsense negative percent.
 func (m *loadMeter) sample() int {
 	busy := m.cpu.CumulativeBusy()
 	wall := m.cpu.Now()
 	dBusy := busy - m.lastBusy
 	dWall := wall.Sub(m.lastWall)
 	m.lastBusy, m.lastWall = busy, wall
-	if dWall <= 0 {
+	if dWall <= 0 || dBusy <= 0 {
 		return 0
 	}
-	load := int(100 * int64(dBusy) / int64(dWall))
+	cores := m.cpu.NumCores()
+	if cores < 1 {
+		cores = 1
+	}
+	load := int(100 * int64(dBusy) / (int64(dWall) * int64(cores)))
 	if load > 100 {
 		load = 100
 	}

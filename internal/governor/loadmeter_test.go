@@ -1,0 +1,75 @@
+package governor
+
+import (
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// fakeCPU drives a loadMeter with hand-set busy counters, simulating
+// conditions a live cluster produces only in corner cases (counter resets
+// after hotplug/migration, multi-core domains).
+type fakeCPU struct {
+	now   sim.Time
+	busy  sim.Duration
+	cores int
+	opp   int
+	tbl   power.Table
+}
+
+func (f *fakeCPU) Now() sim.Time                   { return f.now }
+func (f *fakeCPU) After(d sim.Duration, fn func()) {}
+func (f *fakeCPU) SetOPPIndex(i int)               { f.opp = i }
+func (f *fakeCPU) OPPIndex() int                   { return f.opp }
+func (f *fakeCPU) Table() power.Table              { return f.tbl }
+func (f *fakeCPU) CumulativeBusy() sim.Duration    { return f.busy }
+func (f *fakeCPU) NumCores() int                   { return f.cores }
+
+func newFakeCPU(cores int) *fakeCPU {
+	return &fakeCPU{cores: cores, tbl: power.Snapdragon8074()}
+}
+
+func TestLoadMeterClampsNegativeLoad(t *testing.T) {
+	cpu := newFakeCPU(1)
+	cpu.busy = 500 * sim.Millisecond
+	var m loadMeter
+	m.reset(cpu)
+	// A busy-counter reset (cluster hotplug / migration) makes the next
+	// delta negative; the meter must report 0, not a negative percent.
+	cpu.now = cpu.now.Add(100 * sim.Millisecond)
+	cpu.busy = 100 * sim.Millisecond
+	if load := m.sample(); load != 0 {
+		t.Fatalf("load after counter reset = %d, want 0", load)
+	}
+	// The meter re-bases on the reset counter and keeps working.
+	cpu.now = cpu.now.Add(100 * sim.Millisecond)
+	cpu.busy += 50 * sim.Millisecond
+	if load := m.sample(); load != 50 {
+		t.Fatalf("load after re-base = %d, want 50", load)
+	}
+}
+
+func TestLoadMeterNormalizesPerCore(t *testing.T) {
+	cpu := newFakeCPU(4)
+	var m loadMeter
+	m.reset(cpu)
+	// 4 cores, 2 of them busy for the whole window: 200ms of core-time over
+	// 100ms of wall time is 50% domain load, not a clamped 100%.
+	cpu.now = cpu.now.Add(100 * sim.Millisecond)
+	cpu.busy = 200 * sim.Millisecond
+	if load := m.sample(); load != 50 {
+		t.Fatalf("load = %d, want 50 (2 of 4 cores busy)", load)
+	}
+}
+
+func TestLoadMeterCapsAtHundred(t *testing.T) {
+	cpu := newFakeCPU(1)
+	var m loadMeter
+	m.reset(cpu)
+	cpu.now = cpu.now.Add(100 * sim.Millisecond)
+	cpu.busy = 150 * sim.Millisecond // over-attribution from rounding
+	if load := m.sample(); load != 100 {
+		t.Fatalf("load = %d, want capped 100", load)
+	}
+}

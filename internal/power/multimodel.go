@@ -1,0 +1,101 @@
+package power
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// LittleCortex returns the 8-point OPP ladder of an in-order little cluster
+// (Cortex-A53 class): low voltages across the whole range and a modest top
+// clock, so background work is cheap but heavy interaction bursts need the
+// big cluster.
+func LittleCortex() Table {
+	return Table{
+		{KHz: 400000, Volt: 0.700},
+		{KHz: 533300, Volt: 0.700},
+		{KHz: 666600, Volt: 0.720},
+		{KHz: 800000, Volt: 0.750},
+		{KHz: 933300, Volt: 0.780},
+		{KHz: 1066600, Volt: 0.820},
+		{KHz: 1200000, Volt: 0.870},
+		{KHz: 1401600, Volt: 0.950},
+	}
+}
+
+// LittleSilicon returns physical constants for the little cluster: roughly a
+// third of the big cluster's switched capacitance and a much smaller active
+// floor, which is what makes parking background work there worthwhile.
+func LittleSilicon() Silicon {
+	return Silicon{CnJPerV2: 0.35, BaseActiveW: 0.012, PlatformIdleW: 1.25}
+}
+
+// BigSilicon returns physical constants for the big (Krait/A57-class)
+// cluster — the paper's calibrated silicon.
+func BigSilicon() Silicon { return DefaultSilicon() }
+
+// SoCModel is the calibrated power model of a multi-cluster SoC: one per-OPP
+// dynamic model per cluster, in the SoC's little-to-big cluster order. It
+// attributes energy per cluster, which is what the big.LITTLE experiments
+// report.
+type SoCModel struct {
+	Names  []string
+	Models []*Model
+}
+
+// CalibrateClusters runs the paper's microbenchmark calibration once per
+// cluster. names, tables and silicon run parallel; benchDur <= 0 uses the
+// calibration default.
+func CalibrateClusters(names []string, tables []Table, silicon []Silicon, benchDur sim.Duration) (*SoCModel, error) {
+	if len(tables) == 0 || len(tables) != len(silicon) || len(tables) != len(names) {
+		return nil, fmt.Errorf("power: calibrate clusters: %d names, %d tables, %d silicon", len(names), len(tables), len(silicon))
+	}
+	m := &SoCModel{Names: append([]string(nil), names...)}
+	for i, tbl := range tables {
+		cm, err := Calibrate(tbl, silicon[i], benchDur)
+		if err != nil {
+			return nil, fmt.Errorf("power: calibrate cluster %s: %w", names[i], err)
+		}
+		m.Models = append(m.Models, cm)
+	}
+	return m, nil
+}
+
+// Cluster returns the calibrated model of cluster i.
+func (m *SoCModel) Cluster(i int) *Model { return m.Models[i] }
+
+// ClusterEnergy computes the dynamic energy of one cluster from its per-OPP
+// busy histogram.
+func (m *SoCModel) ClusterEnergy(i int, busyByOPP []sim.Duration) (float64, error) {
+	if i < 0 || i >= len(m.Models) {
+		return 0, fmt.Errorf("power: no cluster %d in %d-cluster model", i, len(m.Models))
+	}
+	e, err := m.Models[i].Energy(busyByOPP)
+	if err != nil {
+		return 0, fmt.Errorf("power: cluster %s: %w", m.Names[i], err)
+	}
+	return e, nil
+}
+
+// Energy sums dynamic energy over all clusters. busyByCluster must have one
+// per-OPP histogram per cluster, in model order.
+func (m *SoCModel) Energy(busyByCluster [][]sim.Duration) (float64, error) {
+	if len(busyByCluster) != len(m.Models) {
+		return 0, fmt.Errorf("power: busy histograms for %d clusters, model has %d", len(busyByCluster), len(m.Models))
+	}
+	var total float64
+	for i, busy := range busyByCluster {
+		e, err := m.ClusterEnergy(i, busy)
+		if err != nil {
+			return 0, err
+		}
+		total += e
+	}
+	return total, nil
+}
+
+// String summarises the model.
+func (m *SoCModel) String() string {
+	return fmt.Sprintf("power.SoCModel{%s}", strings.Join(m.Names, "+"))
+}

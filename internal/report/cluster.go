@@ -1,0 +1,55 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// ClusterSummary prints the per-cluster view of one replay on a
+// multi-cluster SoC: busy time, dynamic energy attribution, DVFS transition
+// counts and the frequency-residency histogram of every cluster, plus the
+// scheduler's migration count. On the paper's single-cluster Dragonboard it
+// degenerates to a one-row table.
+func ClusterSummary(w io.Writer, art *workload.RunArtifacts, model *power.SoCModel) error {
+	if len(art.Clusters) != len(model.Models) {
+		return fmt.Errorf("report: replay has %d clusters, model has %d", len(art.Clusters), len(model.Models))
+	}
+	end := sim.Time(art.Window)
+	fmt.Fprintf(w, "PER-CLUSTER SUMMARY, %s / %s (window %.0fs, %d migrations)\n",
+		art.Workload, art.Config, art.Window.Seconds(), art.Migrations)
+	fmt.Fprintf(w, "%-8s %14s %12s %8s\n", "cluster", "busy (core-s)", "energy (J)", "trans")
+
+	var totalE float64
+	for i, ct := range art.Clusters {
+		var busy sim.Duration
+		for _, d := range art.BusyByCluster[i] {
+			busy += d
+		}
+		energy, err := model.ClusterEnergy(i, art.BusyByCluster[i])
+		if err != nil {
+			return err
+		}
+		totalE += energy
+		fmt.Fprintf(w, "%-8s %14.2f %12.2f %8d\n",
+			ct.Name, busy.Seconds(), energy, ct.Freq.TransitionCount())
+	}
+	fmt.Fprintf(w, "%-8s %14s %12.2f\n\n", "total", "", totalE)
+
+	for i, ct := range art.Clusters {
+		tbl := model.Cluster(i).Table
+		res := ct.Freq.Residency(end, len(tbl))
+		fmt.Fprintf(w, "frequency residency, %s:\n", ct.Name)
+		for idx, d := range res {
+			if d == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  %-10s %8.1fs |%s\n", tbl[idx].Label(), d.Seconds(),
+				bar(d.Seconds(), art.Window.Seconds(), 40))
+		}
+	}
+	return nil
+}

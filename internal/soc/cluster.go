@@ -1,0 +1,397 @@
+// Package soc simulates the CPU subsystem of a mobile SoC as a set of
+// frequency domains ("clusters"), each with its own OPP table, run queue and
+// cpufreq-style busy-time accounting that frequency governors sample to
+// compute load. The paper's Qualcomm Dragonboard APQ8074 — a single enabled
+// Krait core (the paper switches off all cores except one "to reduce
+// statistical noise from load balancing") with a 14-point DVFS ladder — is
+// the single-cluster Dragonboard spec; heterogeneous big.LITTLE platforms
+// are specs with several clusters glued together by the SoC task scheduler.
+//
+// Execution is cycle-accurate in the discrete-event sense: a task is a CPU
+// burst of N cycles; running for t microseconds at f kHz consumes f·t/1000
+// cycles. All busy time is attributed to the OPP it was executed at, which
+// is exactly the frequency/load trace the paper collects in the background
+// of every run.
+package soc
+
+import (
+	"fmt"
+
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// Cycles counts CPU work in clock cycles.
+type Cycles int64
+
+// TimeSlice is the round-robin scheduling quantum, matching a typical
+// CFS-era Android kernel's effective interactive slice.
+const TimeSlice = 10 * sim.Millisecond
+
+// AnyCluster marks a task as migratable to any cluster by the scheduler.
+const AnyCluster = -1
+
+// Task is a runnable CPU burst. Tasks are created via Cluster.Submit or
+// SoC.Submit and run to completion (possibly interleaved with other tasks)
+// unless cancelled.
+type Task struct {
+	Name      string
+	remaining Cycles
+	onDone    func(at sim.Time)
+	cancelled bool
+	done      bool
+
+	// affinity pins the task to one cluster index; AnyCluster lets the SoC
+	// scheduler migrate it between clusters while it is queued.
+	affinity int
+	// owner is the cluster currently holding the task (nil once finished).
+	owner *Cluster
+}
+
+// Done reports whether the task has finished executing.
+func (t *Task) Done() bool { return t.done }
+
+// Remaining returns the cycles the task still needs.
+func (t *Task) Remaining() Cycles { return t.remaining }
+
+// Affinity returns the cluster index the task is pinned to, or AnyCluster.
+func (t *Task) Affinity() int { return t.affinity }
+
+// Cluster is one CPU frequency domain: NumCores identical cores sharing a
+// clock, a run queue, and per-OPP busy accounting. The paper's single
+// enabled Krait core is a Cluster with NumCores=1.
+type Cluster struct {
+	eng    *sim.Engine
+	tbl    power.Table
+	name   string
+	id     int
+	nCores int
+
+	oppIdx int
+
+	runq       []*Task
+	running    []*Task    // tasks executing right now, one per busy core
+	sliceEnds  []sim.Time // round-robin slice expiry, parallel to running
+	lastSettle sim.Time
+
+	pending     sim.EventID
+	havePending bool
+
+	cumBusy   sim.Duration // core-time: sums across simultaneously busy cores
+	busyByOPP []sim.Duration
+
+	// OnFreqChange, if set, observes every OPP transition (trace capture).
+	OnFreqChange func(at sim.Time, oppIdx int)
+	// onIdleCore, if set, notifies the SoC scheduler that a core slot became
+	// free (used to pull queued work from sibling clusters immediately).
+	onIdleCore func()
+}
+
+// Core is the pre-multi-cluster name of Cluster, kept so single-core call
+// sites and tests read naturally.
+type Core = Cluster
+
+// NewCluster returns a cluster attached to the engine, clocked at the lowest
+// OPP. A NumCores below 1 is treated as 1.
+func NewCluster(eng *sim.Engine, spec ClusterSpec) *Cluster {
+	if err := spec.Table.Validate(); err != nil {
+		panic(fmt.Sprintf("soc: invalid OPP table for cluster %q: %v", spec.Name, err))
+	}
+	n := spec.NumCores
+	if n < 1 {
+		n = 1
+	}
+	return &Cluster{
+		eng:       eng,
+		tbl:       spec.Table,
+		name:      spec.Name,
+		nCores:    n,
+		busyByOPP: make([]sim.Duration, len(spec.Table)),
+	}
+}
+
+// NewCore returns a single-core cluster — the paper's one enabled Krait core.
+func NewCore(eng *sim.Engine, tbl power.Table) *Cluster {
+	return NewCluster(eng, ClusterSpec{Name: "cpu0", NumCores: 1, Table: tbl})
+}
+
+// Now returns current virtual time.
+func (c *Cluster) Now() sim.Time { return c.eng.Now() }
+
+// After schedules fn after d; governors use this for their sample timers.
+func (c *Cluster) After(d sim.Duration, fn func()) {
+	c.eng.After(d, func(*sim.Engine) { fn() })
+}
+
+// Table exposes the OPP table.
+func (c *Cluster) Table() power.Table { return c.tbl }
+
+// Name returns the cluster name, e.g. "little".
+func (c *Cluster) Name() string { return c.name }
+
+// ID returns the cluster's index within its SoC (0 when standalone).
+func (c *Cluster) ID() int { return c.id }
+
+// NumCores returns the number of cores sharing this frequency domain.
+func (c *Cluster) NumCores() int { return c.nCores }
+
+// OPPIndex returns the index of the current operating point.
+func (c *Cluster) OPPIndex() int { return c.oppIdx }
+
+// KHz returns the current clock in kHz.
+func (c *Cluster) KHz() int { return c.tbl[c.oppIdx].KHz }
+
+// CumulativeBusy returns total core-busy time since boot (a cluster with k
+// busy cores accumulates k seconds of busy per wall second). Governors
+// compute load as Δbusy/(Δwall·NumCores) over their sampling window, like
+// cpufreq's get_cpu_idle_time-based accounting aggregated over a policy.
+func (c *Cluster) CumulativeBusy() sim.Duration {
+	c.settle()
+	return c.cumBusy
+}
+
+// BusyByOPP returns a copy of the per-OPP busy-time histogram — the input to
+// the power model's energy integration.
+func (c *Cluster) BusyByOPP() []sim.Duration {
+	c.settle()
+	out := make([]sim.Duration, len(c.busyByOPP))
+	copy(out, c.busyByOPP)
+	return out
+}
+
+// Busy reports whether any core is executing right now.
+func (c *Cluster) Busy() bool { return len(c.running) > 0 }
+
+// QueueLen returns the number of runnable tasks excluding the running ones.
+func (c *Cluster) QueueLen() int { return len(c.runq) }
+
+// Runnable returns running plus queued tasks — the scheduler's load signal.
+func (c *Cluster) Runnable() int { return len(c.running) + len(c.runq) }
+
+// FreeCores returns the number of idle core slots.
+func (c *Cluster) FreeCores() int { return c.nCores - len(c.running) }
+
+// SetOPPIndex changes the operating point, settling in-flight execution so
+// cycles before the change are attributed to the old frequency.
+func (c *Cluster) SetOPPIndex(i int) {
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(c.tbl) {
+		i = len(c.tbl) - 1
+	}
+	if i == c.oppIdx {
+		return
+	}
+	c.settle()
+	c.oppIdx = i
+	if c.OnFreqChange != nil {
+		c.OnFreqChange(c.eng.Now(), i)
+	}
+	c.reschedule()
+}
+
+// Submit enqueues a CPU burst pinned to this cluster. onDone, if non-nil,
+// fires at the completion instant. Zero-cycle tasks complete immediately.
+func (c *Cluster) Submit(name string, cycles Cycles, onDone func(at sim.Time)) *Task {
+	t := &Task{Name: name, remaining: cycles, onDone: onDone, affinity: c.id}
+	if cycles <= 0 {
+		t.done = true
+		if onDone != nil {
+			// Complete through the event queue to keep callback ordering
+			// consistent with non-empty tasks.
+			c.eng.After(0, func(e *sim.Engine) { onDone(e.Now()) })
+		}
+		return t
+	}
+	c.enqueue(t)
+	return t
+}
+
+// enqueue admits an existing task (fresh or migrated) to the run queue.
+func (c *Cluster) enqueue(t *Task) {
+	t.owner = c
+	c.settle()
+	c.runq = append(c.runq, t)
+	c.reschedule()
+}
+
+// Cancel removes a task from the cluster. A running task is stopped with its
+// work unfinished; its onDone callback never fires.
+func (c *Cluster) Cancel(t *Task) {
+	if t == nil || t.done || t.cancelled {
+		return
+	}
+	t.cancelled = true
+	t.owner = nil
+	c.settle()
+	if !c.removeRunning(t) {
+		for i, q := range c.runq {
+			if q == t {
+				c.runq = append(c.runq[:i], c.runq[i+1:]...)
+				break
+			}
+		}
+	}
+	c.reschedule()
+}
+
+// removeRunning takes t off its core slot, reporting whether it was running.
+func (c *Cluster) removeRunning(t *Task) bool {
+	for i, r := range c.running {
+		if r == t {
+			c.running = append(c.running[:i], c.running[i+1:]...)
+			c.sliceEnds = append(c.sliceEnds[:i], c.sliceEnds[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// stealQueued removes and returns the oldest migratable queued task, or nil.
+// It settles first: reschedule recomputes completion events from
+// task.remaining, which is only current after in-flight execution has been
+// attributed.
+func (c *Cluster) stealQueued() *Task {
+	for i, t := range c.runq {
+		if t.affinity != AnyCluster {
+			continue
+		}
+		c.settle()
+		c.runq = append(c.runq[:i], c.runq[i+1:]...)
+		c.reschedule()
+		return t
+	}
+	return nil
+}
+
+// settle attributes execution since lastSettle to the running tasks and OPP.
+func (c *Cluster) settle() {
+	now := c.eng.Now()
+	if len(c.running) == 0 {
+		c.lastSettle = now
+		return
+	}
+	elapsed := now.Sub(c.lastSettle)
+	if elapsed <= 0 {
+		return
+	}
+	for _, t := range c.running {
+		consumed := Cycles(int64(elapsed) * int64(c.tbl[c.oppIdx].KHz) / 1000)
+		if consumed > t.remaining {
+			consumed = t.remaining
+		}
+		t.remaining -= consumed
+		c.cumBusy += elapsed
+		c.busyByOPP[c.oppIdx] += elapsed
+	}
+	c.lastSettle = now
+}
+
+// completionIn returns the time needed to finish task t at the current
+// frequency, rounded up to whole microseconds.
+func (c *Cluster) completionIn(t *Task) sim.Duration {
+	khz := int64(c.tbl[c.oppIdx].KHz)
+	rem := int64(t.remaining)
+	return sim.Duration((rem*1000 + khz - 1) / khz)
+}
+
+// reschedule re-arms the next execution event (earliest task completion or
+// slice expiry), dispatching queued tasks onto free core slots.
+func (c *Cluster) reschedule() {
+	if c.havePending {
+		c.eng.Cancel(c.pending)
+		c.havePending = false
+	}
+	now := c.eng.Now()
+	// Fill idle cores from the run queue.
+	for len(c.running) < c.nCores && len(c.runq) > 0 {
+		t := c.runq[0]
+		c.runq = c.runq[1:]
+		c.running = append(c.running, t)
+		c.sliceEnds = append(c.sliceEnds, now.Add(TimeSlice))
+	}
+	if len(c.running) == 0 {
+		c.lastSettle = now
+		return
+	}
+	// Finished tasks (zero remaining after a settle) complete immediately.
+	for _, t := range c.running {
+		if t.remaining <= 0 {
+			c.finish(t)
+			return
+		}
+	}
+	next := now.Add(c.completionIn(c.running[0]))
+	for _, t := range c.running[1:] {
+		if at := now.Add(c.completionIn(t)); at < next {
+			next = at
+		}
+	}
+	if len(c.runq) > 0 {
+		for _, se := range c.sliceEnds {
+			if se < next {
+				next = se
+			}
+		}
+	}
+	c.pending = c.eng.At(next, func(*sim.Engine) {
+		c.havePending = false
+		c.onExecEvent()
+	})
+	c.havePending = true
+}
+
+func (c *Cluster) onExecEvent() {
+	c.settle()
+	now := c.eng.Now()
+	for _, t := range c.running {
+		if t.remaining <= 0 {
+			c.finish(t)
+			return
+		}
+	}
+	// Slice expiry: round-robin rotation of expired cores while others wait.
+	for i := 0; i < len(c.running); {
+		if now >= c.sliceEnds[i] && len(c.runq) > 0 {
+			t := c.running[i]
+			c.running = append(c.running[:i], c.running[i+1:]...)
+			c.sliceEnds = append(c.sliceEnds[:i], c.sliceEnds[i+1:]...)
+			c.runq = append(c.runq, t)
+			continue
+		}
+		if now >= c.sliceEnds[i] {
+			c.sliceEnds[i] = now.Add(TimeSlice)
+		}
+		i++
+	}
+	c.reschedule()
+}
+
+// finish completes one running task and re-arms execution. onDone runs after
+// the task is removed, so it may submit follow-up work.
+func (c *Cluster) finish(t *Task) {
+	c.removeRunning(t)
+	t.done = true
+	t.owner = nil
+	if t.onDone != nil {
+		t.onDone(c.eng.Now())
+	}
+	c.reschedule()
+	if c.onIdleCore != nil && c.FreeCores() > 0 {
+		c.onIdleCore()
+	}
+}
+
+// IdleTime returns total core-idle time since boot (wall clock times cores,
+// minus busy core-time).
+func (c *Cluster) IdleTime() sim.Duration {
+	c.settle()
+	return sim.Duration(int64(c.eng.Now().Sub(0))*int64(c.nCores)) - c.cumBusy
+}
+
+// String summarises cluster state.
+func (c *Cluster) String() string {
+	return fmt.Sprintf("soc.Cluster{%s, %s, busy=%d/%d, runq=%d}",
+		c.name, c.tbl[c.oppIdx].Label(), len(c.running), c.nCores, len(c.runq))
+}

@@ -124,3 +124,44 @@ func (c *BusyCurve) Total() sim.Duration {
 	}
 	return c.Cum[len(c.Cum)-1]
 }
+
+// ClusterTraces bundles the background traces of one frequency domain: the
+// DVFS transition trace and the cumulative busy curve, labelled with the
+// cluster name. A multi-cluster device produces one ClusterTraces per
+// cluster; the single-cluster Dragonboard produces exactly one, whose fields
+// are the traces the paper collects.
+type ClusterTraces struct {
+	Name string     `json:"name"`
+	Freq *FreqTrace `json:"freq"`
+	Busy *BusyCurve `json:"busy"`
+}
+
+// NewClusterTraces returns empty traces for one named cluster with the given
+// busy-curve sampling step.
+func NewClusterTraces(name string, step sim.Duration) *ClusterTraces {
+	return &ClusterTraces{Name: name, Freq: &FreqTrace{}, Busy: NewBusyCurve(step)}
+}
+
+// Residency returns the wall time spent at each OPP index over [0, end),
+// derived from the transition trace — the per-cluster frequency-residency
+// histogram the big.LITTLE reports print.
+func (ft *FreqTrace) Residency(end sim.Time, nOPP int) []sim.Duration {
+	out := make([]sim.Duration, nOPP)
+	if end <= 0 {
+		return out
+	}
+	cur, last := 0, sim.Time(0)
+	for _, p := range ft.Points {
+		if p.At >= end {
+			break
+		}
+		if p.At > last && cur < nOPP {
+			out[cur] += p.At.Sub(last)
+		}
+		cur, last = p.OPPIndex, p.At
+	}
+	if end > last && cur < nOPP {
+		out[cur] += end.Sub(last)
+	}
+	return out
+}

@@ -145,3 +145,43 @@ func TestBusyCurveEmpty(t *testing.T) {
 		t.Fatalf("default step = %v", c.Step)
 	}
 }
+
+func TestFreqTraceResidency(t *testing.T) {
+	ft := &FreqTrace{}
+	ft.Append(0, 0)
+	ft.Append(sim.Time(100*sim.Millisecond), 3)
+	ft.Append(sim.Time(250*sim.Millisecond), 1)
+	res := ft.Residency(sim.Time(400*sim.Millisecond), 5)
+	if res[0] != 100*sim.Millisecond {
+		t.Errorf("OPP0 residency = %v, want 100ms", res[0])
+	}
+	if res[3] != 150*sim.Millisecond {
+		t.Errorf("OPP3 residency = %v, want 150ms", res[3])
+	}
+	if res[1] != 150*sim.Millisecond {
+		t.Errorf("OPP1 residency = %v, want 150ms", res[1])
+	}
+	var total sim.Duration
+	for _, d := range res {
+		total += d
+	}
+	if total != 400*sim.Millisecond {
+		t.Errorf("residency sums to %v, want the full window", total)
+	}
+	// A window ending before the first transition attributes everything to
+	// the initial OPP.
+	early := ft.Residency(sim.Time(50*sim.Millisecond), 5)
+	if early[0] != 50*sim.Millisecond {
+		t.Errorf("early window OPP0 = %v, want 50ms", early[0])
+	}
+}
+
+func TestNewClusterTraces(t *testing.T) {
+	ct := NewClusterTraces("little", 0)
+	if ct.Name != "little" || ct.Freq == nil || ct.Busy == nil {
+		t.Fatalf("bad cluster traces: %+v", ct)
+	}
+	if ct.Busy.Step <= 0 {
+		t.Fatal("busy curve step not defaulted")
+	}
+}

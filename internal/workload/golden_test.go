@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"repro/internal/governor"
+)
+
+// TestDragonboardGoldenTraces pins the multi-cluster refactor's central
+// compatibility guarantee at the system level: recording the quickstart
+// workload and replaying it under each load-based governor on the default
+// (Dragonboard) profile produces traces byte-identical to the
+// pre-multi-cluster simulator. The hashes below were captured on the seed
+// commit, before soc.SoC existed, with exactly this procedure; they cover
+// the frequency transition trace, the per-OPP busy histogram and the busy
+// curve. If a deliberate behaviour change invalidates them, regenerate with
+// the same record/replay seeds and update the constants alongside the
+// change that justifies it.
+func TestDragonboardGoldenTraces(t *testing.T) {
+	golden := map[string]string{
+		"ondemand":     "f19b5d51cf77cb12",
+		"interactive":  "ea4394ae0591dd5a",
+		"conservative": "c6cb57817aacf33d",
+	}
+	w := Quickstart()
+	rec, _, err := w.Record(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []struct {
+		name string
+		gov  governor.Governor
+	}{
+		{"ondemand", governor.NewOndemand()},
+		{"interactive", governor.NewInteractive()},
+		{"conservative", governor.NewConservative()},
+	} {
+		art := Replay(w, rec, cfg.gov, cfg.name, 42, false)
+		h := sha256.New()
+		for _, p := range art.FreqTrace.Points {
+			fmt.Fprintf(h, "%d:%d;", p.At, p.OPPIndex)
+		}
+		for _, d := range art.BusyByOPP {
+			fmt.Fprintf(h, "%d,", d)
+		}
+		for _, c := range art.BusyCurve.Cum {
+			fmt.Fprintf(h, "%d.", c)
+		}
+		if got := fmt.Sprintf("%x", h.Sum(nil)[:8]); got != golden[cfg.name] {
+			t.Errorf("%s trace hash = %s, want pre-refactor %s", cfg.name, got, golden[cfg.name])
+		}
+		if len(art.Clusters) != 1 {
+			t.Errorf("%s: %d cluster traces on Dragonboard, want 1", cfg.name, len(art.Clusters))
+		}
+		if art.Migrations != 0 {
+			t.Errorf("%s: %d migrations on a single-cluster SoC", cfg.name, art.Migrations)
+		}
+	}
+}

@@ -153,7 +153,7 @@ func (drv *driver) onInteraction(gt device.GroundTruth) {
 // external hardware support, it is executed on the user's device".
 func (w *Workload) Record(seed uint64) (*Recording, []device.GroundTruth, error) {
 	eng := sim.NewEngine()
-	dev := device.New(eng, seed, governor.NewInteractive(), w.Profile)
+	dev := device.NewMulti(eng, seed, StockGovernors(w.Profile), w.Profile)
 	rec := record.Attach(dev)
 	runScript(dev, w.Script())
 	eng.RunUntil(sim.Time(w.Duration))
@@ -166,28 +166,56 @@ func (w *Workload) Record(seed uint64) (*Recording, []device.GroundTruth, error)
 	return &Recording{Workload: w.Name, Duration: w.Duration, Events: rec.Events()}, truths, nil
 }
 
+// StockGovernors returns one fresh interactive governor per cluster of the
+// profile's SoC — the stock configuration of the paper's Android image,
+// applied per frequency domain.
+func StockGovernors(prof device.Profile) []governor.Governor {
+	spec := prof.SoCSpec()
+	govs := make([]governor.Governor, len(spec.Clusters))
+	for i := range govs {
+		govs[i] = governor.NewInteractive()
+	}
+	return govs
+}
+
 // RunArtifacts bundles everything one replay produces: the screen video (if
 // captured), the device ground truth (used only by annotation/validation),
 // and the frequency/busy traces the paper collects "in the background for
 // each run" for energy accounting.
 type RunArtifacts struct {
-	Workload  string
-	Config    string
-	Video     *video.Video
-	Truths    []device.GroundTruth
+	Workload string
+	Config   string
+	Video    *video.Video
+	Truths   []device.GroundTruth
+	// FreqTrace, BusyCurve and BusyByOPP describe the first cluster (the
+	// whole SoC on single-cluster specs): the transition trace, the
+	// SoC-aggregate busy curve, and the per-OPP busy histogram.
 	FreqTrace *trace.FreqTrace
 	BusyCurve *trace.BusyCurve
 	BusyByOPP []sim.Duration
-	Window    sim.Duration
+	// Clusters and BusyByCluster carry the per-cluster traces and per-OPP
+	// busy histograms of every frequency domain, in cluster order.
+	Clusters      []*trace.ClusterTraces
+	BusyByCluster [][]sim.Duration
+	Migrations    int
+	Window        sim.Duration
 }
 
-// Replay re-executes a recording on a fresh device under the given governor,
-// capturing a video when capture is true. This is Part B of the paper's
-// Fig. 4: "fully repeatable and can be executed an arbitrary number of times
-// for the same workload with different system configurations".
+// Replay re-executes a recording on a fresh single-cluster device under the
+// given governor, capturing a video when capture is true. This is Part B of
+// the paper's Fig. 4: "fully repeatable and can be executed an arbitrary
+// number of times for the same workload with different system
+// configurations". Multi-cluster profiles replay through ReplayMulti.
 func Replay(w *Workload, rec *Recording, gov governor.Governor, configName string, seed uint64, capture bool) *RunArtifacts {
+	return ReplayMulti(w, rec, []governor.Governor{gov}, configName, seed, capture)
+}
+
+// ReplayMulti re-executes a recording with one governor per cluster of the
+// workload profile's SoC spec — the per-cluster governor assignment of a
+// big.LITTLE configuration.
+func ReplayMulti(w *Workload, rec *Recording, govs []governor.Governor, configName string, seed uint64, capture bool) *RunArtifacts {
 	eng := sim.NewEngine()
-	dev := device.New(eng, seed, gov, w.Profile)
+	dev := device.NewMulti(eng, seed, govs, w.Profile)
 	agent := record.NewAgent()
 	agent.Replay(dev, rec.Events, sim.NewRand(seed^0x5eed))
 
@@ -200,13 +228,16 @@ func Replay(w *Workload, rec *Recording, gov governor.Governor, configName strin
 	eng.RunUntil(sim.Time(window))
 
 	art := &RunArtifacts{
-		Workload:  rec.Workload,
-		Config:    configName,
-		Truths:    dev.GroundTruths(),
-		FreqTrace: dev.FreqTrace,
-		BusyCurve: dev.BusyCurve,
-		BusyByOPP: dev.Core.BusyByOPP(),
-		Window:    window,
+		Workload:      rec.Workload,
+		Config:        configName,
+		Truths:        dev.GroundTruths(),
+		FreqTrace:     dev.FreqTrace,
+		BusyCurve:     dev.BusyCurve,
+		BusyByOPP:     dev.Core.BusyByOPP(),
+		Clusters:      dev.ClusterTraces,
+		BusyByCluster: dev.SoC.BusyByCluster(),
+		Migrations:    dev.SoC.Migrations(),
+		Window:        window,
 	}
 	if vrec != nil {
 		vrec.Stop()
