@@ -25,7 +25,9 @@ import (
 	"repro/internal/report"
 	"repro/internal/screen"
 	"repro/internal/sim"
+	"repro/internal/soc"
 	"repro/internal/suggest"
+	"repro/internal/thermal"
 	"repro/internal/video"
 	"repro/internal/workload"
 )
@@ -373,6 +375,72 @@ func BenchmarkReplayThroughput(b *testing.B) {
 	b.StopTimer()
 	simSeconds := res.Recording.RunWindow().Seconds() * float64(b.N)
 	b.ReportMetric(simSeconds/b.Elapsed().Seconds(), "sim-s/wall-s")
+}
+
+// BenchmarkBigLittleReplay measures multi-cluster replay speed: the
+// quickstart workload on the 4+4 big.LITTLE spec with per-cluster
+// interactive governors, reported as simulated seconds per wall second. It
+// exercises the HMP scheduler, per-cluster traces and the
+// request/arbitrate/apply frequency path with no caps active.
+func BenchmarkBigLittleReplay(b *testing.B) {
+	w := workload.Quickstart()
+	w.Profile.SoC = soc.BigLittle44()
+	rec, _, err := w.Record(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		workload.ReplayMulti(w, rec, workload.StockGovernors(w.Profile), "interactive", uint64(i), false)
+	}
+	b.StopTimer()
+	simSeconds := rec.RunWindow().Seconds() * float64(b.N)
+	b.ReportMetric(simSeconds/b.Elapsed().Seconds(), "sim-s/wall-s")
+}
+
+// BenchmarkThermalReplay measures the same replay with thermal zones and a
+// binding trip configured — the full pipeline including zone steps, cap
+// arbitration and throttle-event capture.
+func BenchmarkThermalReplay(b *testing.B) {
+	w := workload.ExportMarathon()
+	w.Profile.SoC = soc.BigLittle44()
+	w.Profile.Thermal = thermal.PhoneConfig(2, 30, 5)
+	// Pre-calibrate the power model the way real sweeps do, so the metric
+	// measures the thermal pipeline rather than per-boot calibration.
+	model, err := w.Profile.SoC.Calibrate(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.Profile.ThermalPower = model
+	rec, _, err := w.Record(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		workload.ReplayMulti(w, rec, workload.StockGovernors(w.Profile), "interactive", uint64(i), false)
+	}
+	b.StopTimer()
+	simSeconds := rec.RunWindow().Seconds() * float64(b.N)
+	b.ReportMetric(simSeconds/b.Elapsed().Seconds(), "sim-s/wall-s")
+}
+
+// BenchmarkThermalTick measures the thermal hot path in isolation: one RC
+// zone step plus one throttler evaluation per iteration, the work the device
+// performs per cluster every 100 ms of simulated time.
+func BenchmarkThermalTick(b *testing.B) {
+	zone := thermal.NewZone(thermal.ZoneParams{RThermCPerW: 16, TauS: 15})
+	th := thermal.NewThrottler(thermal.ThrottleParams{TripC: 40, ClearC: 38, MinCapIdx: 5}, 13)
+	period := 100 * sim.Millisecond
+	for i := 0; i < b.N; i++ {
+		// Alternate hot and cold phases so both throttler branches run.
+		powerW := 2.5
+		if i%256 >= 128 {
+			powerW = 0.1
+		}
+		temp := zone.Step(period, powerW, 0.5)
+		th.Update(temp)
+	}
 }
 
 // BenchmarkRecord24Hour measures recording the 24-hour workload (the Fig. 10

@@ -3,10 +3,16 @@
 // database, and emits the lag profile, user irritation and dynamic energy —
 // the paper's Fig. 4 Part B as a single tool.
 //
+// With -repeat the recording is concatenated back to back (a sustained
+// workload), and with -trip a per-cluster RC thermal model plus throttler is
+// booted: the per-cluster summary then includes peak/steady temperature,
+// throttled time and cap-change counts.
+//
 // Usage:
 //
 //	qoereplay -workload dataset01 -trace dataset01.trace -db dataset01.adb \
-//	          -config ondemand [-soc dragonboard|biglittle] [-seed 2] [-o profile.json]
+//	          -config ondemand [-soc dragonboard|biglittle] [-seed 2] [-o profile.json] \
+//	          [-repeat 3] [-trip 32] [-clear 30] [-mincap 5]
 package main
 
 import (
@@ -19,11 +25,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/evdev"
 	"repro/internal/experiment"
-	"repro/internal/governor"
 	"repro/internal/match"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/soc"
+	"repro/internal/thermal"
 	"repro/internal/workload"
 )
 
@@ -35,6 +41,10 @@ func main() {
 	socName := flag.String("soc", "dragonboard", "SoC spec: dragonboard (paper, single Krait core) or biglittle (4+4)")
 	seed := flag.Uint64("seed", 2, "replay seed")
 	out := flag.String("o", "", "write the lag profile as JSON")
+	repeat := flag.Int("repeat", 1, "replay the recording N times back to back (sustained workload)")
+	trip := flag.Float64("trip", 0, "thermal trip temperature in °C; 0 disables the thermal model")
+	clear := flag.Float64("clear", 0, "thermal clear temperature in °C (default trip-2)")
+	minCap := flag.Int("mincap", 5, "lowest OPP index the throttler may cap to")
 	flag.Parse()
 
 	w := workload.ByName(*name)
@@ -59,9 +69,38 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *repeat > 1 {
+		if *dbPath != "" {
+			// A DB built from the unrepeated trace has one entry per original
+			// gesture; the repeated recording yields repeat× as many, and the
+			// matcher rejects the mismatch. Annotation must cover the
+			// sustained recording itself.
+			fatal(fmt.Errorf("-db cannot be combined with -repeat %d: the annotation DB must be built from the repeated recording (omit -db to build it on the fly)", *repeat))
+		}
+		rec = rec.Repeat(*repeat)
+		w.Duration = rec.Duration
+	}
+	// Annotation always runs unthrottled; the thermal model applies to the
+	// measured replay only.
 	db, err := loadDB(w, rec, *dbPath)
 	if err != nil {
 		fatal(err)
+	}
+	if *trip <= 0 && (*clear > 0 || *minCap != 5) {
+		fatal(fmt.Errorf("-clear/-mincap have no effect without -trip: set a trip temperature to enable the thermal model"))
+	}
+	if *trip > 0 {
+		cfg := thermal.PhoneConfig(len(spec.Clusters), *trip, *minCap)
+		if *clear > 0 {
+			for i := range cfg.Zones {
+				cfg.Zones[i].Throttle.ClearC = *clear
+			}
+		}
+		if err := cfg.Validate(len(spec.Clusters)); err != nil {
+			fatal(err)
+		}
+		w.Profile.Thermal = cfg
+		w.Profile.ThermalPower = socModel
 	}
 
 	// Config names (governor names and fixed-frequency labels) refer to the
@@ -79,16 +118,10 @@ func main() {
 		fatal(fmt.Errorf("unknown config %q (use a governor name or an OPP label such as %q)",
 			*config, bigTbl[5].Label()))
 	}
+	// Fixed configs pin each cluster at the lowest OPP at or above the
+	// labelled frequency on its own ladder (cpufreq RELATION_L, handled by
+	// Config.Governors).
 	govs := cfg.Governors(w.Profile)
-	if cfg.OPPIndex >= 0 && len(spec.Clusters) > 1 {
-		// Fixed configs pin each cluster at the lowest OPP at or above the
-		// labelled frequency on its own ladder (cpufreq RELATION_L), clamped
-		// to the ladder's top.
-		khz := bigTbl[cfg.OPPIndex].KHz
-		for i, cs := range spec.Clusters {
-			govs[i] = governor.NewFixed(cs.Table, cs.Table.IndexAtLeast(khz))
-		}
-	}
 
 	gestures := match.Gestures(rec.Events)
 	art := workload.ReplayMulti(w, rec, govs, cfg.Name, *seed, true)
@@ -111,10 +144,16 @@ func main() {
 	fmt.Printf("total lag time: %s\n", total)
 	fmt.Printf("user irritation (HCI thresholds): %s\n", irritation)
 	fmt.Printf("dynamic energy: %.2f J\n", energy)
-	if len(art.Clusters) > 1 {
+	if len(art.Clusters) > 1 || *trip > 0 {
 		fmt.Println()
 		if err := report.ClusterSummary(os.Stdout, art, socModel); err != nil {
 			fatal(err)
+		}
+	}
+	if *trip > 0 {
+		for _, ct := range art.Clusters {
+			above := ct.Temp.TimeAbove(*trip, sim.Time(art.Window))
+			fmt.Printf("time above trip (%.0f°C), %s: %s\n", *trip, ct.Name, above)
 		}
 	}
 

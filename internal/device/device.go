@@ -17,9 +17,11 @@ import (
 	"repro/internal/evdev"
 	"repro/internal/governor"
 	"repro/internal/netproxy"
+	"repro/internal/power"
 	"repro/internal/screen"
 	"repro/internal/sim"
 	"repro/internal/soc"
+	"repro/internal/thermal"
 	"repro/internal/trace"
 	"repro/internal/video"
 )
@@ -71,6 +73,17 @@ type Profile struct {
 	// soc.BigLittle44) route app and service work through the HMP scheduler
 	// and need one governor per cluster (NewMulti).
 	SoC soc.Spec
+	// Thermal configures the per-cluster RC thermal zones and throttlers.
+	// The zero value disables thermal simulation entirely: no zones are
+	// booted, no tick runs, and existing traces are bit-for-bit unchanged.
+	Thermal thermal.Config
+	// ThermalPower, when set, is the calibrated per-cluster power model the
+	// thermal zones draw their heat input from; it must match the profile's
+	// SoC spec. When nil, a thermal-enabled boot calibrates one itself.
+	// Sweeps that boot many devices share one model here instead of paying
+	// for calibration per replay. The model is read-only and safe to share
+	// across concurrently replaying devices.
+	ThermalPower *power.SoCModel
 }
 
 // SoCSpec returns the profile's SoC spec, defaulting to the paper's
@@ -132,6 +145,20 @@ type Device struct {
 	ClusterTraces []*trace.ClusterTraces
 	FreqTrace     *trace.FreqTrace
 	BusyCurve     *trace.BusyCurve
+
+	// Zones holds one RC thermal zone per cluster on thermal-enabled
+	// profiles (nil otherwise); Power is the calibrated per-cluster power
+	// model the zones draw their heat input from.
+	Zones []*thermal.Zone
+	Power *power.SoCModel
+
+	throttlers []*thermal.Throttler
+	// prevBusy and busyScratch are per-cluster per-OPP busy histograms: the
+	// previous tick's snapshot and a reusable buffer for the current one, so
+	// the thermal tick integrates only the busy delta and never allocates.
+	prevBusy    [][]sim.Duration
+	busyScratch [][]sim.Duration
+	riseScratch []float64 // per-zone rise snapshot for coupling
 }
 
 // New boots a single-cluster device with the given governor and profile. The
@@ -198,12 +225,114 @@ func NewMulti(eng *sim.Engine, seed uint64, govs []governor.Governor, prof Profi
 			gov.Start(d.SoC.Cluster(i))
 		}
 	}
+	d.bootThermal()
 	d.foreground = d.launcher
 	d.foreground.Enter(nil)
 	d.dirty = true
 	d.vsyncLoop()
 	d.minuteClock()
 	return d
+}
+
+// bootThermal brings up one RC thermal zone and throttler per cluster and
+// starts the periodic thermal tick. Heat input is the cluster's mean dynamic
+// power over each tick window, computed from the calibrated per-cluster
+// power model exactly the way energy accounting integrates it. Throttler
+// verdicts feed the cluster's frequency-cap arbiter under the "thermal"
+// source; cap transitions land in the per-cluster throttle trace.
+func (d *Device) bootThermal() {
+	cfg := d.prof.Thermal
+	if !cfg.Enabled() {
+		return
+	}
+	if err := cfg.Validate(d.SoC.NumClusters()); err != nil {
+		panic(fmt.Sprintf("device: %v", err))
+	}
+	model := d.prof.ThermalPower
+	if model == nil {
+		var err error
+		if model, err = d.SoC.Spec().Calibrate(0); err != nil {
+			panic(fmt.Sprintf("device: thermal calibration: %v", err))
+		}
+	} else if len(model.Models) != d.SoC.NumClusters() {
+		panic(fmt.Sprintf("device: thermal power model covers %d clusters, spec has %d",
+			len(model.Models), d.SoC.NumClusters()))
+	}
+	d.Power = model
+	d.prevBusy = make([][]sim.Duration, d.SoC.NumClusters())
+	d.busyScratch = make([][]sim.Duration, d.SoC.NumClusters())
+	d.riseScratch = make([]float64, d.SoC.NumClusters())
+	for i := range d.prevBusy {
+		n := len(d.SoC.Cluster(i).Table())
+		d.prevBusy[i] = make([]sim.Duration, n)
+		d.busyScratch[i] = make([]sim.Duration, n)
+	}
+	for i, zc := range cfg.Zones {
+		d.Zones = append(d.Zones, thermal.NewZone(zc.Zone))
+		cl := d.SoC.Cluster(i)
+		th := thermal.NewThrottler(zc.Throttle, len(cl.Table())-1)
+		d.throttlers = append(d.throttlers, th)
+		tt := d.ClusterTraces[i].Throttle
+		cl.OnCapChange = func(at sim.Time, capIdx int, capped bool) {
+			tt.Append(at, capIdx, capped)
+		}
+		d.ClusterTraces[i].Temp.Append(0, d.Zones[i].TempC())
+	}
+	period := cfg.Tick()
+	n := 0
+	var tick func(e *sim.Engine)
+	tick = func(e *sim.Engine) {
+		d.thermalTick(period)
+		n++
+		e.At(sim.Time(int64(n+1)*int64(period)), tick)
+	}
+	d.Eng.At(sim.Time(period), tick)
+}
+
+// thermalTick advances every zone by one period and evaluates throttling.
+func (d *Device) thermalTick(period sim.Duration) {
+	now := d.Eng.Now()
+	// Snapshot rises first so cross-cluster coupling is order-independent
+	// within the tick.
+	rises := d.riseScratch
+	for i, z := range d.Zones {
+		rises[i] = z.RiseC()
+	}
+	for i, z := range d.Zones {
+		cl := d.SoC.Cluster(i)
+		// Mean dynamic power over the tick window, integrated from the
+		// per-OPP busy delta since the previous tick — the same integral
+		// energy accounting uses, without re-walking history or allocating.
+		cur := cl.CopyBusyByOPP(d.busyScratch[i])
+		var heatJ float64
+		dyn := d.Power.Cluster(i).DynW
+		for k, b := range cur {
+			heatJ += dyn[k] * (b - d.prevBusy[i][k]).Seconds()
+		}
+		d.prevBusy[i], d.busyScratch[i] = cur, d.prevBusy[i]
+		powerW := heatJ / period.Seconds()
+		var coupleC float64
+		if len(d.Zones) > 1 {
+			var sum float64
+			for j, r := range rises {
+				if j != i {
+					sum += r
+				}
+			}
+			coupleC = z.Params().CouplingFrac * sum / float64(len(d.Zones)-1)
+		}
+		temp := z.Step(period, powerW, coupleC)
+		d.ClusterTraces[i].Temp.Append(now, temp)
+		if th := d.throttlers[i]; th.Enabled() {
+			if capIdx, changed := th.Update(temp); changed {
+				if th.Throttled() {
+					cl.SetFreqCap("thermal", capIdx)
+				} else {
+					cl.ClearFreqCap("thermal")
+				}
+			}
+		}
+	}
 }
 
 func (d *Device) installApps() {
@@ -516,10 +645,16 @@ func (d *Device) vsyncLoop() {
 	var tick func(e *sim.Engine)
 	n := 0
 	tick = func(e *sim.Engine) {
-		d.BusyCurve.AppendSample(d.SoC.CumulativeBusy())
+		// One pass over the clusters feeds both the per-cluster curves and
+		// the SoC-aggregate curve (their sum) — this is the hottest periodic
+		// path of a replay.
+		var total sim.Duration
 		for i, ct := range d.ClusterTraces {
-			ct.Busy.AppendSample(d.SoC.Cluster(i).CumulativeBusy())
+			busy := d.SoC.Cluster(i).CumulativeBusy()
+			ct.Busy.AppendSample(busy)
+			total += busy
 		}
+		d.BusyCurve.AppendSample(total)
 		if d.animating() {
 			d.SpawnWork("ui.anim", d.prof.AnimFrameWork, nil)
 			d.dirty = true

@@ -32,15 +32,38 @@ type Config struct {
 	// multi-cluster SoC specs (e.g. powersave on little, interactive on big).
 	// When nil, NewGovernor is invoked once per cluster.
 	NewGovernors func() []governor.Governor
+	// Table is the OPP ladder the config was built against (set by
+	// AllConfigs). On multi-cluster specs, fixed-frequency configs use it to
+	// translate their label onto each cluster's own ladder.
+	Table power.Table
 }
 
 // Governors builds the per-cluster governor instances for a device profile.
+// A fixed-frequency config on a multi-cluster spec pins every cluster at the
+// lowest OPP of its own ladder at or above the labelled frequency (cpufreq
+// RELATION_L), clamped to the ladder top — applying the source-ladder index
+// verbatim would pin smaller clusters at frequencies unrelated to the label.
 func (c Config) Governors(prof device.Profile) []governor.Governor {
 	if c.NewGovernors != nil {
 		return c.NewGovernors()
 	}
 	spec := prof.SoCSpec()
 	govs := make([]governor.Governor, len(spec.Clusters))
+	if c.OPPIndex >= 0 && len(spec.Clusters) > 1 {
+		if len(c.Table) == 0 {
+			// Without the source ladder the labelled frequency cannot be
+			// translated; falling back to per-cluster NewGovernor would pin
+			// smaller clusters at an index unrelated to the label and skew
+			// results silently.
+			panic(fmt.Sprintf("experiment: fixed config %q on a %d-cluster spec needs Config.Table (use AllConfigs)",
+				c.Name, len(spec.Clusters)))
+		}
+		khz := c.Table[c.OPPIndex].KHz
+		for i, cs := range spec.Clusters {
+			govs[i] = governor.NewFixed(cs.Table, cs.Table.IndexAtLeast(khz))
+		}
+		return govs
+	}
 	for i := range govs {
 		govs[i] = c.NewGovernor()
 	}
@@ -58,6 +81,7 @@ func AllConfigs(tbl power.Table) []Config {
 			Name:        tbl[i].Label(),
 			OPPIndex:    i,
 			NewGovernor: func() governor.Governor { return governor.NewFixed(tbl, i) },
+			Table:       tbl,
 		})
 	}
 	out = append(out,

@@ -1,0 +1,306 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/annotate"
+	"repro/internal/core"
+	"repro/internal/match"
+	"repro/internal/sim"
+	"repro/internal/thermal"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// SustainedOptions configure a sustained-workload thermal sweep: the same
+// recording replayed back to back Repeats times under each configuration,
+// once with record-only thermal zones (temperatures traced, no throttling)
+// and once with the trip configured — the QoE-vs-skin-temperature trade the
+// governor rankings invert under.
+type SustainedOptions struct {
+	// Repeats is how many back-to-back passes of the recording make one
+	// sustained run (default 3).
+	Repeats int
+	// Reps is the number of repetitions per (config, arm) cell (default 2).
+	Reps int
+	// Workers bounds the replay worker pool (0 → GOMAXPROCS).
+	Workers int
+	// Thermal is the throttled arm's config; it must have a trip set on at
+	// least one zone. The unthrottled arm runs the same zones with trips
+	// removed, so both arms trace temperatures.
+	Thermal thermal.Config
+	Seed    uint64
+	// Progress receives per-phase progress messages when set.
+	Progress func(msg string)
+}
+
+func (o SustainedOptions) withDefaults() SustainedOptions {
+	if o.Repeats <= 0 {
+		o.Repeats = 3
+	}
+	if o.Reps <= 0 {
+		o.Reps = 2
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+func (o SustainedOptions) progress(format string, args ...any) {
+	if o.Progress != nil {
+		o.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// recordOnly strips every trip from a thermal config, leaving the zones
+// stepping (and tracing temperatures) without ever capping.
+func recordOnly(cfg thermal.Config) thermal.Config {
+	out := thermal.Config{TickPeriod: cfg.TickPeriod}
+	for _, zc := range cfg.Zones {
+		out.Zones = append(out.Zones, thermal.ZoneConfig{Zone: zc.Zone})
+	}
+	return out
+}
+
+// SustainedRun is the analysed outcome of one sustained replay.
+type SustainedRun struct {
+	Config    string
+	Throttled bool // which arm: trip configured or record-only
+	Rep       int
+	Profile   *core.Profile
+	EnergyJ   float64
+	Clusters  []*trace.ClusterTraces
+	Window    sim.Duration
+}
+
+// IrritationS returns the run's user irritation in seconds under th.
+func (r *SustainedRun) IrritationS(th core.Thresholds) float64 {
+	return core.Irritation(r.Profile, th).Seconds()
+}
+
+// ThrottleEvents sums cap changes across all clusters.
+func (r *SustainedRun) ThrottleEvents() int {
+	n := 0
+	for _, ct := range r.Clusters {
+		n += ct.Throttle.Len()
+	}
+	return n
+}
+
+// SustainedResult holds a full sustained sweep: for each configuration, Reps
+// runs per arm, ordered deterministically by (config, arm, rep) regardless
+// of worker interleaving.
+type SustainedResult struct {
+	Workload   string
+	Repeats    int
+	Configs    []string
+	Runs       []*SustainedRun
+	Thresholds core.Thresholds
+	// Duration is the sustained recording's active length; Window adds the
+	// replay tail margin (idle cooldown) after the last input.
+	Duration sim.Duration
+	Window   sim.Duration
+}
+
+// RunsFor returns the runs of one (config, arm) cell in rep order.
+func (res *SustainedResult) RunsFor(config string, throttled bool) []*SustainedRun {
+	var out []*SustainedRun
+	for _, r := range res.Runs {
+		if r.Config == config && r.Throttled == throttled {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// MeanIrritationS returns a cell's mean irritation in seconds.
+func (res *SustainedResult) MeanIrritationS(config string, throttled bool) float64 {
+	runs := res.RunsFor(config, throttled)
+	if len(runs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range runs {
+		s += r.IrritationS(res.Thresholds)
+	}
+	return s / float64(len(runs))
+}
+
+// MeanPeakC returns a cell's mean peak temperature of cluster i.
+func (res *SustainedResult) MeanPeakC(config string, throttled bool, cluster int) float64 {
+	runs := res.RunsFor(config, throttled)
+	if len(runs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range runs {
+		s += r.Clusters[cluster].Temp.PeakC()
+	}
+	return s / float64(len(runs))
+}
+
+// RunSustained executes the sustained thermal sweep for one workload: record
+// once, repeat the recording, annotate once (record-only thermal), then
+// replay every configuration × {record-only, throttled} × Reps across a
+// bounded worker pool. Each replay owns an independent sim engine, so the
+// pool scales to the machine while result ordering stays deterministic.
+func RunSustained(w *workload.Workload, configs []Config, opts SustainedOptions) (*SustainedResult, error) {
+	opts = opts.withDefaults()
+	spec := w.Profile.SoCSpec()
+	if !opts.Thermal.Enabled() {
+		return nil, fmt.Errorf("experiment: sustained sweep needs a thermal config")
+	}
+	if err := opts.Thermal.Validate(len(spec.Clusters)); err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
+	socModel, err := spec.Calibrate(0)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: calibrate %s: %w", spec.Name, err)
+	}
+
+	opts.progress("[%s] recording workload", w.Name)
+	rec, _, err := w.Record(opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: record %s: %w", w.Name, err)
+	}
+	sustained := rec.Repeat(opts.Repeats)
+	gestures := match.Gestures(sustained.Events)
+
+	opts.progress("[%s] annotating %d back-to-back passes", w.Name, opts.Repeats)
+	annProf := w.Profile
+	annProf.Thermal = recordOnly(opts.Thermal)
+	annProf.ThermalPower = socModel
+	annArt := workload.ReplayMulti(&workload.Workload{
+		Name: w.Name, Profile: annProf, Duration: sustained.Duration,
+	}, sustained, workload.StockGovernors(annProf), "annotation", opts.Seed^0xA11, true)
+	db, err := annotate.Build(w.Name, annArt.Video, gestures, annArt.Truths, annotate.BuildOptions{MinStill: 1})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: annotate %s: %w", w.Name, err)
+	}
+
+	res := &SustainedResult{
+		Workload: w.Name,
+		Repeats:  opts.Repeats,
+		Duration: sustained.Duration,
+		Window:   sustained.RunWindow(),
+	}
+	for _, cfg := range configs {
+		res.Configs = append(res.Configs, cfg.Name)
+	}
+
+	// The (config, arm, rep) job matrix: results land in a pre-sized slice
+	// indexed by job, so ordering is deterministic however workers
+	// interleave.
+	type job struct {
+		cfg       Config
+		throttled bool
+		rep       int
+	}
+	var jobs []job
+	for _, cfg := range configs {
+		for _, throttled := range []bool{false, true} {
+			for rep := 0; rep < opts.Reps; rep++ {
+				jobs = append(jobs, job{cfg, throttled, rep})
+			}
+		}
+	}
+	opts.progress("[%s] replaying %d configs x 2 arms x %d reps = %d sustained runs",
+		w.Name, len(configs), opts.Reps, len(jobs))
+
+	runs := make([]*SustainedRun, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opts.Workers)
+	for ji := range jobs {
+		ji := ji
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			j := jobs[ji]
+			prof := w.Profile
+			prof.ThermalPower = socModel
+			if j.throttled {
+				prof.Thermal = opts.Thermal
+			} else {
+				prof.Thermal = recordOnly(opts.Thermal)
+			}
+			sw := &workload.Workload{Name: w.Name, Profile: prof, Duration: sustained.Duration}
+			seed := opts.Seed ^ (uint64(ji+1) * 0x9e3779b9)
+			art := workload.ReplayMulti(sw, sustained, j.cfg.Governors(prof), j.cfg.Name, seed, true)
+			profile, err := match.Match(art.Video, db, gestures, j.cfg.Name, match.Options{Strict: true})
+			if err != nil {
+				errs[ji] = err
+				return
+			}
+			energy, err := socModel.Energy(art.BusyByCluster)
+			if err != nil {
+				errs[ji] = err
+				return
+			}
+			runs[ji] = &SustainedRun{
+				Config:    j.cfg.Name,
+				Throttled: j.throttled,
+				Rep:       j.rep,
+				Profile:   profile,
+				EnergyJ:   energy,
+				Clusters:  art.Clusters,
+				Window:    art.Window,
+			}
+		}()
+	}
+	wg.Wait()
+	for ji, err := range errs {
+		if err != nil {
+			arm := "record-only"
+			if jobs[ji].throttled {
+				arm = "throttled"
+			}
+			return nil, fmt.Errorf("experiment: %s %s (%s) rep %d: %w",
+				w.Name, jobs[ji].cfg.Name, arm, jobs[ji].rep, err)
+		}
+	}
+	res.Runs = runs
+	res.Thresholds = sustainedThresholds(runs)
+	return res, nil
+}
+
+// sustainedThresholds applies the paper's relative rule to the sustained
+// sweep: each lag's irritation threshold is 110% of the best duration any
+// record-only (unthrottled) run achieved for it. Throttling then registers
+// as irritation exactly where it stretches a lag beyond what the same
+// platform does with thermals unconstrained — the HCI class ceilings
+// (e.g. 12 s for a complex task) would swallow the whole effect.
+func sustainedThresholds(runs []*SustainedRun) core.Thresholds {
+	var ref *core.Profile
+	for _, r := range runs {
+		if r.Throttled {
+			continue
+		}
+		if ref == nil {
+			cp := *r.Profile
+			cp.Lags = append([]core.Lag(nil), r.Profile.Lags...)
+			ref = &cp
+			continue
+		}
+		for i := range ref.Lags {
+			if i >= len(r.Profile.Lags) || ref.Lags[i].Spurious {
+				continue
+			}
+			if d := r.Profile.Lags[i].Duration(); d < ref.Lags[i].Duration() {
+				ref.Lags[i].End = ref.Lags[i].Begin.Add(d)
+			}
+		}
+	}
+	if ref == nil {
+		return core.UniformThresholds(core.SimpleFrequent.Threshold())
+	}
+	return core.RelativeThresholds(ref, 1.10)
+}

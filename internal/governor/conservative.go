@@ -75,13 +75,13 @@ func (g *Conservative) tick() {
 		if g.requested > tbl.Max() {
 			g.requested = tbl.Max()
 		}
-		g.cpu.SetOPPIndex(tbl.IndexAtLeast(g.requested))
+		g.cpu.RequestOPPIndex(tbl.IndexAtLeast(g.requested))
 	case load < g.DownThreshold:
 		g.requested -= step
 		if g.requested < tbl.Min() {
 			g.requested = tbl.Min()
 		}
-		g.cpu.SetOPPIndex(tbl.IndexAtMost(g.requested))
+		g.cpu.RequestOPPIndex(tbl.IndexAtMost(g.requested))
 	}
 	g.cpu.After(g.SamplingRate, g.tick)
 }

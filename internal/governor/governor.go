@@ -23,11 +23,25 @@ import (
 // deliberately narrow: current OPP, the OPP table, cumulative busy time for
 // load computation, the number of cores sharing the domain, and a timer
 // facility.
+//
+// A governor proposes, it does not set: RequestOPPIndex records the
+// governor's wish, the domain's arbiter clamps it against active frequency
+// caps (thermal throttling), and OPPIndex reports what was actually applied.
+// Governors must therefore tolerate OPPIndex staying below their request.
 type CPU interface {
 	Now() sim.Time
 	After(d sim.Duration, fn func())
-	SetOPPIndex(i int)
+	// RequestOPPIndex proposes an operating point. The domain applies it
+	// clamped to any active frequency cap and remembers the request so it is
+	// restored when caps lift.
+	RequestOPPIndex(i int)
+	// OPPIndex returns the applied operating point (post-arbitration).
 	OPPIndex() int
+	// RequestedOPPIndex returns the pending request, which may sit above the
+	// applied index while a cap is active. Boost-style paths compare against
+	// this rather than OPPIndex so a boost never lowers a higher pending
+	// request that a cap is holding back.
+	RequestedOPPIndex() int
 	Table() power.Table
 	// CumulativeBusy is total core-busy time of the domain: a domain with k
 	// busy cores accumulates k seconds of busy per wall second.
@@ -108,8 +122,9 @@ func NewFixed(tbl power.Table, i int) *Fixed {
 // Name returns the OPP label, e.g. "0.96 GHz".
 func (f *Fixed) Name() string { return f.name }
 
-// Start pins the frequency.
-func (f *Fixed) Start(cpu CPU) { cpu.SetOPPIndex(f.Index) }
+// Start pins the requested frequency (the applied one may sit lower while a
+// cap is active).
+func (f *Fixed) Start(cpu CPU) { cpu.RequestOPPIndex(f.Index) }
 
 // OnInput is a no-op for fixed frequencies.
 func (f *Fixed) OnInput(sim.Time) {}

@@ -173,6 +173,33 @@ func TestInteractiveInputBoost(t *testing.T) {
 	}
 }
 
+// TestInteractiveBoostKeepsPendingRequestUnderCap pins the boost contract on
+// the request/arbitrate/apply path: with a thermal cap holding the applied
+// OPP below hispeed while the governor's pending request sits at the top,
+// an input boost must not overwrite the higher pending request.
+func TestInteractiveBoostKeepsPendingRequestUnderCap(t *testing.T) {
+	r := newRig()
+	g := NewInteractive()
+	r.start(g)
+	r.burst(0, 2*sim.Second)
+	r.eng.RunUntil(sim.Time(300 * sim.Millisecond))
+	if r.core.RequestedOPPIndex() != 13 {
+		t.Fatalf("pending request %d under sustained load, want 13", r.core.RequestedOPPIndex())
+	}
+	r.core.SetFreqCap("thermal", 5)
+	if r.core.OPPIndex() != 5 {
+		t.Fatalf("applied OPP %d under cap, want 5", r.core.OPPIndex())
+	}
+	g.OnInput(r.eng.Now())
+	if r.core.RequestedOPPIndex() != 13 {
+		t.Fatalf("input boost lowered the pending request to %d, want 13 preserved", r.core.RequestedOPPIndex())
+	}
+	r.core.ClearFreqCap("thermal")
+	if r.core.OPPIndex() != 13 {
+		t.Fatalf("cap lift restored OPP %d, want the governor's request 13", r.core.OPPIndex())
+	}
+}
+
 func TestInteractiveClimbsToMaxOnSustainedLoad(t *testing.T) {
 	r := newRig()
 	g := NewInteractive()

@@ -80,8 +80,11 @@ func (g *Interactive) OnInput(at sim.Time) {
 	}
 	tbl := g.cpu.Table()
 	boost := tbl.IndexAtLeast(g.HispeedKHz)
-	if g.cpu.OPPIndex() < boost {
-		g.cpu.SetOPPIndex(boost)
+	// Compare against the pending request, not the applied index: while a
+	// thermal cap holds the clock down, boosting over a higher pending
+	// request would overwrite the governor's last real decision.
+	if g.cpu.RequestedOPPIndex() < boost {
+		g.cpu.RequestOPPIndex(boost)
 	}
 	g.lastRaise = at
 	g.atHispeed = true
@@ -119,12 +122,12 @@ func (g *Interactive) tick() {
 	}
 
 	if target > cur {
-		g.cpu.SetOPPIndex(target)
+		g.cpu.RequestOPPIndex(target)
 		g.lastRaise = now
 	} else if target < cur {
 		// Floor: hold the raised frequency for MinSampleTime.
 		if now.Sub(g.lastRaise) >= g.MinSampleTime {
-			g.cpu.SetOPPIndex(target)
+			g.cpu.RequestOPPIndex(target)
 		}
 	}
 	g.cpu.After(g.TimerRate, g.tick)

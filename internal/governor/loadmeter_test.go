@@ -20,8 +20,9 @@ type fakeCPU struct {
 
 func (f *fakeCPU) Now() sim.Time                   { return f.now }
 func (f *fakeCPU) After(d sim.Duration, fn func()) {}
-func (f *fakeCPU) SetOPPIndex(i int)               { f.opp = i }
+func (f *fakeCPU) RequestOPPIndex(i int)           { f.opp = i }
 func (f *fakeCPU) OPPIndex() int                   { return f.opp }
+func (f *fakeCPU) RequestedOPPIndex() int          { return f.opp }
 func (f *fakeCPU) Table() power.Table              { return f.tbl }
 func (f *fakeCPU) CumulativeBusy() sim.Duration    { return f.busy }
 func (f *fakeCPU) NumCores() int                   { return f.cores }

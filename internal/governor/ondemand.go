@@ -64,13 +64,13 @@ func (g *Ondemand) tick() {
 	next := g.SamplingRate
 
 	if load >= g.UpThreshold {
-		g.cpu.SetOPPIndex(maxIdx)
+		g.cpu.RequestOPPIndex(maxIdx)
 		next = g.SamplingRate * sim.Duration(g.SamplingDownFactor)
 	} else {
 		// Proportional target: the lowest frequency that can serve the
 		// observed load below the threshold.
 		target := int(int64(load) * int64(tbl.Max()) / 100)
-		g.cpu.SetOPPIndex(tbl.IndexAtLeast(target))
+		g.cpu.RequestOPPIndex(tbl.IndexAtLeast(target))
 	}
 	g.cpu.After(next, g.tick)
 }

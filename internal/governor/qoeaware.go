@@ -80,7 +80,7 @@ func (g *QoEAware) Start(cpu CPU) {
 		g.MaxBoost = 15 * sim.Second
 	}
 	g.meter.reset(cpu)
-	g.cpu.SetOPPIndex(0)
+	g.cpu.RequestOPPIndex(0)
 	g.cpu.After(g.TimerRate, g.tick)
 }
 
@@ -92,8 +92,8 @@ func (g *QoEAware) OnInput(at sim.Time) {
 	g.boosting = true
 	g.boostStart = at
 	g.boostUntil = at.Add(g.MaxBoost)
-	if g.cpu.OPPIndex() < g.BoostIdx {
-		g.cpu.SetOPPIndex(g.BoostIdx)
+	if g.cpu.RequestedOPPIndex() < g.BoostIdx {
+		g.cpu.RequestOPPIndex(g.BoostIdx)
 	}
 }
 
@@ -111,12 +111,12 @@ func (g *QoEAware) tick() {
 	}
 	switch {
 	case g.boosting:
-		g.cpu.SetOPPIndex(g.BoostIdx)
+		g.cpu.RequestOPPIndex(g.BoostIdx)
 	case load > 3:
 		// Background work: race to idle at the efficient frequency.
-		g.cpu.SetOPPIndex(g.EfficientIdx)
+		g.cpu.RequestOPPIndex(g.EfficientIdx)
 	default:
-		g.cpu.SetOPPIndex(0)
+		g.cpu.RequestOPPIndex(0)
 	}
 	g.cpu.After(g.TimerRate, g.tick)
 }

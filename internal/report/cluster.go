@@ -19,9 +19,19 @@ func ClusterSummary(w io.Writer, art *workload.RunArtifacts, model *power.SoCMod
 		return fmt.Errorf("report: replay has %d clusters, model has %d", len(art.Clusters), len(model.Models))
 	}
 	end := sim.Time(art.Window)
+	thermal := false
+	for _, ct := range art.Clusters {
+		if ct.Temp.Len() > 0 {
+			thermal = true
+		}
+	}
 	fmt.Fprintf(w, "PER-CLUSTER SUMMARY, %s / %s (window %.0fs, %d migrations)\n",
 		art.Workload, art.Config, art.Window.Seconds(), art.Migrations)
-	fmt.Fprintf(w, "%-8s %14s %12s %8s\n", "cluster", "busy (core-s)", "energy (J)", "trans")
+	fmt.Fprintf(w, "%-8s %14s %12s %8s", "cluster", "busy (core-s)", "energy (J)", "trans")
+	if thermal {
+		fmt.Fprintf(w, " %8s %8s %9s %6s", "peak °C", "stdy °C", "thr time", "caps")
+	}
+	fmt.Fprintln(w)
 
 	var totalE float64
 	for i, ct := range art.Clusters {
@@ -34,8 +44,14 @@ func ClusterSummary(w io.Writer, art *workload.RunArtifacts, model *power.SoCMod
 			return err
 		}
 		totalE += energy
-		fmt.Fprintf(w, "%-8s %14.2f %12.2f %8d\n",
+		fmt.Fprintf(w, "%-8s %14.2f %12.2f %8d",
 			ct.Name, busy.Seconds(), energy, ct.Freq.TransitionCount())
+		if thermal {
+			fmt.Fprintf(w, " %8.1f %8.1f %8.1fs %6d",
+				ct.Temp.PeakC(), ct.Temp.SteadyC(sim.Time(art.Duration), 0.2),
+				ct.Throttle.ThrottledTime(end).Seconds(), ct.Throttle.Len())
+		}
+		fmt.Fprintln(w)
 	}
 	fmt.Fprintf(w, "%-8s %14s %12.2f\n\n", "total", "", totalE)
 

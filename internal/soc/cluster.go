@@ -60,6 +60,14 @@ func (t *Task) Affinity() int { return t.affinity }
 // Cluster is one CPU frequency domain: NumCores identical cores sharing a
 // clock, a run queue, and per-OPP busy accounting. The paper's single
 // enabled Krait core is a Cluster with NumCores=1.
+//
+// Frequency changes flow through a three-stage pipeline, mirroring cpufreq's
+// policy resolution: the governor *requests* an OPP (RequestOPPIndex), the
+// cluster's arbiter clamps it against every active frequency cap
+// (SetFreqCap — thermal throttling today, others later), and the clamped
+// index is *applied* to the clock. The request is remembered, so when a cap
+// lifts the cluster returns to what its governor last asked for without the
+// governor having to replay its decision.
 type Cluster struct {
 	eng    *sim.Engine
 	tbl    power.Table
@@ -67,7 +75,9 @@ type Cluster struct {
 	id     int
 	nCores int
 
-	oppIdx int
+	oppIdx int       // applied operating point (post-arbitration)
+	reqIdx int       // the governor's pending request (pre-arbitration)
+	caps   []freqCap // active frequency caps; the minimum wins
 
 	runq       []*Task
 	running    []*Task    // tasks executing right now, one per busy core
@@ -82,9 +92,19 @@ type Cluster struct {
 
 	// OnFreqChange, if set, observes every OPP transition (trace capture).
 	OnFreqChange func(at sim.Time, oppIdx int)
+	// OnCapChange, if set, observes every change of the effective frequency
+	// cap (throttle-event trace capture). capIdx is the new effective cap;
+	// capped is false when all caps have lifted.
+	OnCapChange func(at sim.Time, capIdx int, capped bool)
 	// onIdleCore, if set, notifies the SoC scheduler that a core slot became
 	// free (used to pull queued work from sibling clusters immediately).
 	onIdleCore func()
+}
+
+// freqCap is one named frequency ceiling, e.g. {"thermal", 7}.
+type freqCap struct {
+	source string
+	maxIdx int
 }
 
 // Core is the pre-multi-cluster name of Cluster, kept so single-core call
@@ -135,8 +155,13 @@ func (c *Cluster) ID() int { return c.id }
 // NumCores returns the number of cores sharing this frequency domain.
 func (c *Cluster) NumCores() int { return c.nCores }
 
-// OPPIndex returns the index of the current operating point.
+// OPPIndex returns the index of the applied operating point — the governor's
+// request after arbitration against active caps.
 func (c *Cluster) OPPIndex() int { return c.oppIdx }
+
+// RequestedOPPIndex returns the governor's pending request, which may sit
+// above the applied index while a cap is active.
+func (c *Cluster) RequestedOPPIndex() int { return c.reqIdx }
 
 // KHz returns the current clock in kHz.
 func (c *Cluster) KHz() int { return c.tbl[c.oppIdx].KHz }
@@ -153,10 +178,21 @@ func (c *Cluster) CumulativeBusy() sim.Duration {
 // BusyByOPP returns a copy of the per-OPP busy-time histogram — the input to
 // the power model's energy integration.
 func (c *Cluster) BusyByOPP() []sim.Duration {
+	return c.CopyBusyByOPP(nil)
+}
+
+// CopyBusyByOPP copies the per-OPP busy-time histogram into dst (reallocated
+// if too small) and returns it — the allocation-free variant for hot-path
+// callers like the thermal tick, which reads the histogram every 100 ms of
+// simulated time.
+func (c *Cluster) CopyBusyByOPP(dst []sim.Duration) []sim.Duration {
 	c.settle()
-	out := make([]sim.Duration, len(c.busyByOPP))
-	copy(out, c.busyByOPP)
-	return out
+	if cap(dst) < len(c.busyByOPP) {
+		dst = make([]sim.Duration, len(c.busyByOPP))
+	}
+	dst = dst[:len(c.busyByOPP)]
+	copy(dst, c.busyByOPP)
+	return dst
 }
 
 // Busy reports whether any core is executing right now.
@@ -171,22 +207,102 @@ func (c *Cluster) Runnable() int { return len(c.running) + len(c.runq) }
 // FreeCores returns the number of idle core slots.
 func (c *Cluster) FreeCores() int { return c.nCores - len(c.running) }
 
-// SetOPPIndex changes the operating point, settling in-flight execution so
-// cycles before the change are attributed to the old frequency.
-func (c *Cluster) SetOPPIndex(i int) {
+// RequestOPPIndex is the governor-facing entry of the frequency pipeline: it
+// records the requested operating point and applies it clamped to the
+// effective cap. With no caps active this is exactly the pre-pipeline
+// SetOPPIndex behaviour.
+func (c *Cluster) RequestOPPIndex(i int) {
 	if i < 0 {
 		i = 0
 	}
 	if i >= len(c.tbl) {
 		i = len(c.tbl) - 1
 	}
-	if i == c.oppIdx {
+	c.reqIdx = i
+	c.apply()
+}
+
+// SetOPPIndex is the pre-pipeline name of RequestOPPIndex, kept so direct
+// call sites (tests, tools) read naturally.
+func (c *Cluster) SetOPPIndex(i int) { c.RequestOPPIndex(i) }
+
+// SetFreqCap installs or updates a named frequency ceiling: the applied OPP
+// never exceeds maxIdx while the cap is active. Multiple sources may cap
+// concurrently; the arbiter applies the minimum. A cap at or above the top
+// of the ladder is equivalent to clearing it.
+func (c *Cluster) SetFreqCap(source string, maxIdx int) {
+	if maxIdx < 0 {
+		maxIdx = 0
+	}
+	top := len(c.tbl) - 1
+	if maxIdx >= top {
+		c.ClearFreqCap(source)
+		return
+	}
+	prev := c.CapIndex()
+	found := false
+	for k := range c.caps {
+		if c.caps[k].source == source {
+			c.caps[k].maxIdx = maxIdx
+			found = true
+			break
+		}
+	}
+	if !found {
+		c.caps = append(c.caps, freqCap{source: source, maxIdx: maxIdx})
+	}
+	if eff := c.CapIndex(); eff != prev && c.OnCapChange != nil {
+		c.OnCapChange(c.eng.Now(), eff, true)
+	}
+	c.apply()
+}
+
+// ClearFreqCap removes a named cap. When the last cap lifts, the cluster
+// returns to the governor's pending request.
+func (c *Cluster) ClearFreqCap(source string) {
+	prev := c.CapIndex()
+	for k := range c.caps {
+		if c.caps[k].source == source {
+			c.caps = append(c.caps[:k], c.caps[k+1:]...)
+			break
+		}
+	}
+	if eff := c.CapIndex(); eff != prev && c.OnCapChange != nil {
+		c.OnCapChange(c.eng.Now(), eff, len(c.caps) > 0)
+	}
+	c.apply()
+}
+
+// CapIndex returns the effective frequency cap: the minimum over all active
+// caps, or the top of the ladder when none are active.
+func (c *Cluster) CapIndex() int {
+	eff := len(c.tbl) - 1
+	for _, fc := range c.caps {
+		if fc.maxIdx < eff {
+			eff = fc.maxIdx
+		}
+	}
+	return eff
+}
+
+// Capped reports whether any frequency cap is currently limiting the ladder.
+func (c *Cluster) Capped() bool { return len(c.caps) > 0 }
+
+// apply arbitrates the pending request against the effective cap and applies
+// the result to the clock, settling in-flight execution so cycles before the
+// change are attributed to the old frequency.
+func (c *Cluster) apply() {
+	target := c.reqIdx
+	if cap := c.CapIndex(); target > cap {
+		target = cap
+	}
+	if target == c.oppIdx {
 		return
 	}
 	c.settle()
-	c.oppIdx = i
+	c.oppIdx = target
 	if c.OnFreqChange != nil {
-		c.OnFreqChange(c.eng.Now(), i)
+		c.OnFreqChange(c.eng.Now(), target)
 	}
 	c.reschedule()
 }

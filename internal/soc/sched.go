@@ -49,10 +49,17 @@ type scheduler struct {
 	params      SchedParams
 	migrations  int
 	tickPending bool
+	// reversed caches the clusters in big-to-little order, so the per-submit
+	// placement scan never allocates.
+	reversed []*Cluster
 }
 
 func newScheduler(s *SoC, params SchedParams) *scheduler {
 	sc := &scheduler{soc: s, params: params.withDefaults()}
+	sc.reversed = make([]*Cluster, len(s.clusters))
+	for i, c := range s.clusters {
+		sc.reversed[len(s.clusters)-1-i] = c
+	}
 	for _, c := range s.clusters {
 		c := c
 		c.onIdleCore = func() { sc.onIdle(c) }
@@ -101,14 +108,10 @@ func (sc *scheduler) submit(name string, cycles Cycles, onDone func(at sim.Time)
 }
 
 func (sc *scheduler) place(t *Task) *Cluster {
-	clusters := sc.soc.clusters
-	order := make([]*Cluster, len(clusters))
-	copy(order, clusters)
+	order := sc.soc.clusters
 	if t.remaining >= sc.params.UpCycles {
 		// Heavy: scan from the big end.
-		for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
-			order[i], order[j] = order[j], order[i]
-		}
+		order = sc.reversed
 	}
 	for _, c := range order {
 		if c.FreeCores() > 0 {

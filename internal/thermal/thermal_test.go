@@ -1,0 +1,198 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestZoneRisesTowardSteadyState(t *testing.T) {
+	z := NewZone(ZoneParams{AmbientC: 25, RThermCPerW: 10, TauS: 10})
+	const powerW = 2.0
+	steady := 25 + powerW*10 // 45°C
+
+	// One time constant of sustained power: 63.2% of the way there.
+	var temp float64
+	for i := 0; i < 100; i++ {
+		temp = z.Step(100*sim.Millisecond, powerW, 0)
+	}
+	want := 25 + (steady-25)*(1-math.Exp(-1))
+	if math.Abs(temp-want) > 0.01 {
+		t.Fatalf("after 1·tau at %gW: %.2f°C, want %.2f°C", powerW, temp, want)
+	}
+
+	// Monotone rise, asymptotically at steady state, never above it.
+	prev := temp
+	for i := 0; i < 1000; i++ {
+		temp = z.Step(100*sim.Millisecond, powerW, 0)
+		if temp < prev {
+			t.Fatalf("temperature fell during sustained load: %.3f -> %.3f", prev, temp)
+		}
+		if temp > steady+1e-9 {
+			t.Fatalf("temperature %.3f overshot steady state %.1f", temp, steady)
+		}
+		prev = temp
+	}
+	if math.Abs(temp-steady) > 0.01 {
+		t.Fatalf("after 10·tau: %.3f°C, want steady %.1f°C", temp, steady)
+	}
+}
+
+func TestZoneDecaysTowardAmbient(t *testing.T) {
+	z := NewZone(ZoneParams{AmbientC: 25, RThermCPerW: 10, TauS: 10, InitC: 55})
+	var temp float64
+	for i := 0; i < 100; i++ {
+		temp = z.Step(100*sim.Millisecond, 0, 0) // 1·tau of idle
+	}
+	want := 25 + 30*math.Exp(-1)
+	if math.Abs(temp-want) > 0.01 {
+		t.Fatalf("after 1·tau of cooling: %.2f°C, want %.2f°C", temp, want)
+	}
+	for i := 0; i < 1000; i++ {
+		temp = z.Step(100*sim.Millisecond, 0, 0)
+	}
+	if math.Abs(temp-25) > 0.01 {
+		t.Fatalf("after 10·tau of cooling: %.2f°C, want ambient 25°C", temp)
+	}
+}
+
+// TestZoneStepSubdivisionInvariant pins the exact-discretisation property:
+// with constant inputs, stepping 1s once equals stepping 10×100ms.
+func TestZoneStepSubdivisionInvariant(t *testing.T) {
+	a := NewZone(ZoneParams{TauS: 7})
+	b := NewZone(ZoneParams{TauS: 7})
+	a.Step(1*sim.Second, 1.5, 2)
+	for i := 0; i < 10; i++ {
+		b.Step(100*sim.Millisecond, 1.5, 2)
+	}
+	if math.Abs(a.TempC()-b.TempC()) > 1e-9 {
+		t.Fatalf("subdivision changed the trajectory: %.9f vs %.9f", a.TempC(), b.TempC())
+	}
+}
+
+func TestZoneCouplingSentinel(t *testing.T) {
+	if got := NewZone(ZoneParams{}).Params().CouplingFrac; got != 0.25 {
+		t.Fatalf("zero CouplingFrac defaulted to %g, want 0.25", got)
+	}
+	if got := NewZone(ZoneParams{CouplingFrac: -1}).Params().CouplingFrac; got != 0 {
+		t.Fatalf("negative CouplingFrac resolved to %g, want explicit 0 (isolated zone)", got)
+	}
+	if got := NewZone(ZoneParams{CouplingFrac: 0.5}).Params().CouplingFrac; got != 0.5 {
+		t.Fatalf("explicit CouplingFrac overridden to %g", got)
+	}
+}
+
+func TestZoneCouplingRaisesSteadyState(t *testing.T) {
+	solo := NewZone(ZoneParams{AmbientC: 25, RThermCPerW: 10, TauS: 5})
+	coupled := NewZone(ZoneParams{AmbientC: 25, RThermCPerW: 10, TauS: 5})
+	for i := 0; i < 200; i++ {
+		solo.Step(100*sim.Millisecond, 1, 0)
+		coupled.Step(100*sim.Millisecond, 1, 5)
+	}
+	if got := coupled.TempC() - solo.TempC(); math.Abs(got-5) > 0.1 {
+		t.Fatalf("coupling of 5°C shifted steady state by %.2f°C", got)
+	}
+}
+
+func TestThrottlerWalksDownAndUp(t *testing.T) {
+	th := NewThrottler(ThrottleParams{TripC: 50, ClearC: 45, MinCapIdx: 3}, 13)
+	if th.Throttled() {
+		t.Fatal("fresh throttler must start uncapped")
+	}
+	// Hot: one step down per evaluation until the floor.
+	for want := 12; want >= 3; want-- {
+		cap, changed := th.Update(55)
+		if !changed || cap != want {
+			t.Fatalf("hot update -> cap %d (changed=%v), want %d", cap, changed, want)
+		}
+	}
+	// At the floor the cap holds even above trip.
+	if cap, changed := th.Update(60); changed || cap != 3 {
+		t.Fatalf("floor violated: cap %d changed=%v", cap, changed)
+	}
+	// Cool: one step up per evaluation back to the top.
+	for want := 4; want <= 13; want++ {
+		cap, changed := th.Update(40)
+		if !changed || cap != want {
+			t.Fatalf("cool update -> cap %d (changed=%v), want %d", cap, changed, want)
+		}
+	}
+	if th.Throttled() {
+		t.Fatal("throttler still capped after full recovery")
+	}
+	if cap, changed := th.Update(40); changed || cap != 13 {
+		t.Fatalf("uncapped update changed state: cap %d changed=%v", cap, changed)
+	}
+}
+
+// TestThrottlerHysteresisNoFlapping is the acceptance-criteria test: a
+// temperature hovering in the dead band between clear and trip must not move
+// the cap at all, and hovering exactly at the trip point ratchets down to
+// the floor once without ever stepping back up.
+func TestThrottlerHysteresisNoFlapping(t *testing.T) {
+	th := NewThrottler(ThrottleParams{TripC: 50, ClearC: 45, MinCapIdx: 0}, 13)
+	th.Update(50) // one hot evaluation: cap 12
+
+	// Dead band: no movement in either direction.
+	for i := 0; i < 100; i++ {
+		if _, changed := th.Update(47.5); changed {
+			t.Fatalf("cap moved inside the hysteresis band (iteration %d)", i)
+		}
+	}
+	if th.CapIndex() != 12 {
+		t.Fatalf("cap %d after dead-band dwell, want 12", th.CapIndex())
+	}
+
+	// Exactly at trip: monotone ratchet down, never up.
+	prev := th.CapIndex()
+	for i := 0; i < 100; i++ {
+		cap, _ := th.Update(50)
+		if cap > prev {
+			t.Fatalf("cap flapped upward at the trip point: %d -> %d", prev, cap)
+		}
+		prev = cap
+	}
+	if prev != 0 {
+		t.Fatalf("cap %d after sustained trip dwell, want floor 0", prev)
+	}
+}
+
+func TestThrottlerDisabledNeverCaps(t *testing.T) {
+	th := NewThrottler(ThrottleParams{}, 13)
+	for _, temp := range []float64{30, 80, 120} {
+		if cap, changed := th.Update(temp); changed || cap != 13 {
+			t.Fatalf("disabled throttler moved at %.0f°C: cap %d", temp, cap)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(2); err != nil {
+		t.Fatalf("disabled config must validate: %v", err)
+	}
+	cfg := PhoneConfig(2, 48, 5)
+	if err := cfg.Validate(2); err != nil {
+		t.Fatalf("PhoneConfig invalid: %v", err)
+	}
+	if err := cfg.Validate(3); err == nil {
+		t.Fatal("zone/cluster count mismatch must fail validation")
+	}
+	bad := PhoneConfig(1, 40, 0)
+	bad.Zones[0].Throttle.ClearC = 41
+	if err := bad.Validate(1); err == nil {
+		t.Fatal("clear above trip must fail validation")
+	}
+}
+
+func TestPhoneConfigRecordOnly(t *testing.T) {
+	cfg := PhoneConfig(2, 0, 0)
+	if !cfg.Enabled() {
+		t.Fatal("record-only config must still be enabled")
+	}
+	for i, zc := range cfg.Zones {
+		if zc.Throttle.Enabled() {
+			t.Fatalf("zone %d: record-only config must not throttle", i)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package trace
+
+import "repro/internal/sim"
+
+// TempPoint is one sampled zone temperature.
+type TempPoint struct {
+	At    sim.Time `json:"at"`
+	TempC float64  `json:"temp_c"`
+}
+
+// TempTrace is the per-cluster temperature series sampled at every thermal
+// tick. It stays empty on runs without a thermal config.
+type TempTrace struct {
+	Points []TempPoint `json:"points"`
+}
+
+// Append records one sample. Out-of-order appends are ignored.
+func (tt *TempTrace) Append(at sim.Time, tempC float64) {
+	if n := len(tt.Points); n > 0 && at < tt.Points[n-1].At {
+		return
+	}
+	tt.Points = append(tt.Points, TempPoint{At: at, TempC: tempC})
+}
+
+// Len returns the number of samples.
+func (tt *TempTrace) Len() int { return len(tt.Points) }
+
+// PeakC returns the maximum recorded temperature (0 on an empty trace).
+func (tt *TempTrace) PeakC() float64 {
+	var peak float64
+	for _, p := range tt.Points {
+		if p.TempC > peak {
+			peak = p.TempC
+		}
+	}
+	return peak
+}
+
+// SteadyC estimates the steady-state temperature as the mean of the last
+// tailFrac of the samples taken at or before end (tailFrac outside (0,1]
+// uses 0.2; end <= 0 uses the whole trace). Pass the workload's active
+// duration as end, not the full replay window: replay windows append a
+// cooldown margin after the last input, and averaging over idle decay
+// samples would systematically deflate the estimate.
+func (tt *TempTrace) SteadyC(end sim.Time, tailFrac float64) float64 {
+	n := len(tt.Points)
+	if end > 0 {
+		for n > 0 && tt.Points[n-1].At > end {
+			n--
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	if tailFrac <= 0 || tailFrac > 1 {
+		tailFrac = 0.2
+	}
+	k := int(float64(n) * tailFrac)
+	if k < 1 {
+		k = 1
+	}
+	var sum float64
+	for _, p := range tt.Points[n-k : n] {
+		sum += p.TempC
+	}
+	return sum / float64(k)
+}
+
+// TimeAbove returns the residency above threshC over [0, end), treating each
+// sample as holding until the next — the "time above trip" QoE-vs-thermal
+// metric.
+func (tt *TempTrace) TimeAbove(threshC float64, end sim.Time) sim.Duration {
+	var total sim.Duration
+	for i, p := range tt.Points {
+		if p.At >= end {
+			break
+		}
+		until := end
+		if i+1 < len(tt.Points) && tt.Points[i+1].At < end {
+			until = tt.Points[i+1].At
+		}
+		if p.TempC > threshC {
+			total += until.Sub(p.At)
+		}
+	}
+	return total
+}
+
+// ThrottleEvent is one change of a cluster's effective frequency cap.
+type ThrottleEvent struct {
+	At sim.Time `json:"at"`
+	// CapIndex is the new effective cap (the ladder top when lifting).
+	CapIndex int `json:"cap"`
+	// Throttled is false when the event lifts the last cap.
+	Throttled bool `json:"throttled"`
+}
+
+// ThrottleTrace records every cap change of one cluster. It stays empty on
+// runs without a configured trip temperature.
+type ThrottleTrace struct {
+	Events []ThrottleEvent `json:"events"`
+}
+
+// Append records one cap change.
+func (tt *ThrottleTrace) Append(at sim.Time, capIdx int, throttled bool) {
+	tt.Events = append(tt.Events, ThrottleEvent{At: at, CapIndex: capIdx, Throttled: throttled})
+}
+
+// Len returns the number of cap changes.
+func (tt *ThrottleTrace) Len() int { return len(tt.Events) }
+
+// CapDowns returns how many events tightened the cap versus the previous
+// state (the first event always counts as a tightening if it throttles).
+func (tt *ThrottleTrace) CapDowns() int {
+	count := 0
+	prev := int(^uint(0) >> 1) // effectively +inf: ladder top is always below
+	for _, e := range tt.Events {
+		if e.CapIndex < prev {
+			count++
+		}
+		prev = e.CapIndex
+	}
+	return count
+}
+
+// CapUps returns how many events relaxed the cap.
+func (tt *ThrottleTrace) CapUps() int {
+	count := 0
+	prev := int(^uint(0) >> 1)
+	for i, e := range tt.Events {
+		if i > 0 && e.CapIndex > prev {
+			count++
+		}
+		prev = e.CapIndex
+	}
+	return count
+}
+
+// ThrottledTime returns how long the cluster spent with an active cap over
+// [0, end).
+func (tt *ThrottleTrace) ThrottledTime(end sim.Time) sim.Duration {
+	var total sim.Duration
+	var since sim.Time
+	active := false
+	for _, e := range tt.Events {
+		if e.At >= end {
+			break
+		}
+		if e.Throttled && !active {
+			active, since = true, e.At
+		} else if !e.Throttled && active {
+			total += e.At.Sub(since)
+			active = false
+		}
+	}
+	if active && end > since {
+		total += end.Sub(since)
+	}
+	return total
+}

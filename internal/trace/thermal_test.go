@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func sec(s int) sim.Time { return sim.Time(s) * sim.Time(sim.Second) }
+
+func TestTempTraceStats(t *testing.T) {
+	tt := &TempTrace{}
+	if tt.PeakC() != 0 || tt.SteadyC(0, 0.2) != 0 {
+		t.Fatal("empty trace must report zeros")
+	}
+	for i, temp := range []float64{25, 30, 42, 38, 40, 40, 40, 40, 40, 40} {
+		tt.Append(sec(i), temp)
+	}
+	if tt.PeakC() != 42 {
+		t.Fatalf("peak = %.1f, want 42", tt.PeakC())
+	}
+	if got := tt.SteadyC(0, 0.2); got != 40 {
+		t.Fatalf("steady over last 20%% = %.1f, want 40", got)
+	}
+	// Samples after the active end (a cooldown tail) must not deflate the
+	// steady estimate when an end time is passed.
+	cooled := &TempTrace{}
+	for i := 0; i < 10; i++ {
+		cooled.Append(sec(i), 40)
+	}
+	for i := 10; i < 20; i++ {
+		cooled.Append(sec(i), 25) // idle decay after the workload
+	}
+	if got := cooled.SteadyC(sec(9), 0.2); got != 40 {
+		t.Fatalf("steady over active window = %.1f, want 40 (cooldown excluded)", got)
+	}
+	if got := cooled.SteadyC(0, 0.2); got != 25 {
+		t.Fatalf("steady over whole trace = %.1f, want 25", got)
+	}
+	// Out-of-order appends are dropped.
+	tt.Append(sec(3), 99)
+	if tt.Len() != 10 {
+		t.Fatalf("out-of-order append was recorded (%d points)", tt.Len())
+	}
+}
+
+func TestTempTraceTimeAbove(t *testing.T) {
+	tt := &TempTrace{}
+	tt.Append(sec(0), 20) // below
+	tt.Append(sec(2), 50) // above for 3s
+	tt.Append(sec(5), 20) // below
+	tt.Append(sec(8), 60) // above until end
+
+	got := tt.TimeAbove(45, sec(10))
+	if want := 5 * sim.Duration(sim.Second); got != want {
+		t.Fatalf("time above 45°C = %v, want %v", got, want)
+	}
+	if got := tt.TimeAbove(45, sec(4)); got != 2*sim.Duration(sim.Second) {
+		t.Fatalf("truncated time above = %v, want 2s", got)
+	}
+	if got := tt.TimeAbove(100, sec(10)); got != 0 {
+		t.Fatalf("time above 100°C = %v, want 0", got)
+	}
+}
+
+func TestThrottleTraceCounts(t *testing.T) {
+	tt := &ThrottleTrace{}
+	if tt.CapDowns() != 0 || tt.CapUps() != 0 {
+		t.Fatal("empty trace must count zero")
+	}
+	tt.Append(sec(1), 12, true) // down
+	tt.Append(sec(2), 11, true) // down
+	tt.Append(sec(3), 12, true) // up
+	tt.Append(sec(4), 13, false)
+	if got := tt.CapDowns(); got != 2 {
+		t.Fatalf("downs = %d, want 2", got)
+	}
+	if got := tt.CapUps(); got != 2 {
+		t.Fatalf("ups = %d, want 2", got)
+	}
+}
+
+func TestThrottleTraceThrottledTime(t *testing.T) {
+	tt := &ThrottleTrace{}
+	if tt.ThrottledTime(sec(10)) != 0 {
+		t.Fatal("empty trace must report zero throttled time")
+	}
+	tt.Append(sec(1), 10, true)
+	tt.Append(sec(2), 8, true) // still throttled: no double counting
+	tt.Append(sec(4), 13, false)
+	tt.Append(sec(7), 12, true) // open until end
+	got := tt.ThrottledTime(sec(10)).Seconds()
+	if math.Abs(got-6) > 1e-9 {
+		t.Fatalf("throttled time = %.2fs, want 6s (3 + open 3)", got)
+	}
+	if got := tt.ThrottledTime(sec(3)).Seconds(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("truncated throttled time = %.2fs, want 2s", got)
+	}
+}
+
+func TestClusterTracesIncludeThermal(t *testing.T) {
+	ct := NewClusterTraces("big", 0)
+	if ct.Temp == nil || ct.Throttle == nil {
+		t.Fatal("cluster traces must allocate thermal series")
+	}
+	if ct.Temp.Len() != 0 || ct.Throttle.Len() != 0 {
+		t.Fatal("fresh thermal series must be empty")
+	}
+}

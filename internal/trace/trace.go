@@ -126,20 +126,29 @@ func (c *BusyCurve) Total() sim.Duration {
 }
 
 // ClusterTraces bundles the background traces of one frequency domain: the
-// DVFS transition trace and the cumulative busy curve, labelled with the
-// cluster name. A multi-cluster device produces one ClusterTraces per
+// DVFS transition trace, the cumulative busy curve, and — on thermal-enabled
+// runs — the zone temperature series and throttle-event trace, labelled with
+// the cluster name. A multi-cluster device produces one ClusterTraces per
 // cluster; the single-cluster Dragonboard produces exactly one, whose fields
 // are the traces the paper collects.
 type ClusterTraces struct {
 	Name string     `json:"name"`
 	Freq *FreqTrace `json:"freq"`
 	Busy *BusyCurve `json:"busy"`
+	// Temp and Throttle are always allocated and stay empty (zero points /
+	// zero events) on runs without a thermal config.
+	Temp     *TempTrace     `json:"temp"`
+	Throttle *ThrottleTrace `json:"throttle"`
 }
 
 // NewClusterTraces returns empty traces for one named cluster with the given
 // busy-curve sampling step.
 func NewClusterTraces(name string, step sim.Duration) *ClusterTraces {
-	return &ClusterTraces{Name: name, Freq: &FreqTrace{}, Busy: NewBusyCurve(step)}
+	return &ClusterTraces{
+		Name: name,
+		Freq: &FreqTrace{}, Busy: NewBusyCurve(step),
+		Temp: &TempTrace{}, Throttle: &ThrottleTrace{},
+	}
 }
 
 // Residency returns the wall time spent at each OPP index over [0, end),

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/governor"
+	"repro/internal/soc"
 )
 
 // TestDragonboardGoldenTraces pins the multi-cluster refactor's central
@@ -56,6 +57,59 @@ func TestDragonboardGoldenTraces(t *testing.T) {
 		}
 		if art.Migrations != 0 {
 			t.Errorf("%s: %d migrations on a single-cluster SoC", cfg.name, art.Migrations)
+		}
+	}
+}
+
+// TestBigLittleGoldenTraces extends the golden-trace guarantee to the
+// multi-cluster platform: recording the quickstart workload on
+// soc.BigLittle44 and replaying it under per-cluster stock governors must
+// reproduce the per-cluster frequency transition traces and busy histograms
+// captured when the thermal-pipeline refactor landed. This pins the
+// request/arbitrate/apply path (and future refactors) against silently
+// changing multi-cluster behaviour: with no caps configured,
+// RequestOPPIndex must be event-for-event identical to the old direct
+// SetOPPIndex coupling.
+func TestBigLittleGoldenTraces(t *testing.T) {
+	golden := map[string]string{
+		"ondemand":     "df11f06cab889da8",
+		"interactive":  "8fa7bf64d1d69488",
+		"conservative": "916f9897d0bd8c32",
+	}
+	w := Quickstart()
+	w.Profile.SoC = soc.BigLittle44()
+	rec, _, err := w.Record(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []struct {
+		name string
+		mk   func() governor.Governor
+	}{
+		{"ondemand", func() governor.Governor { return governor.NewOndemand() }},
+		{"interactive", func() governor.Governor { return governor.NewInteractive() }},
+		{"conservative", func() governor.Governor { return governor.NewConservative() }},
+	} {
+		govs := []governor.Governor{cfg.mk(), cfg.mk()}
+		art := ReplayMulti(w, rec, govs, cfg.name, 42, false)
+		if len(art.Clusters) != 2 {
+			t.Fatalf("%s: %d cluster traces on big.LITTLE, want 2", cfg.name, len(art.Clusters))
+		}
+		h := sha256.New()
+		for ci, ct := range art.Clusters {
+			for _, p := range ct.Freq.Points {
+				fmt.Fprintf(h, "%d|%d:%d;", ci, p.At, p.OPPIndex)
+			}
+			for _, d := range art.BusyByCluster[ci] {
+				fmt.Fprintf(h, "%d,", d)
+			}
+			for _, c := range ct.Busy.Cum {
+				fmt.Fprintf(h, "%d.", c)
+			}
+		}
+		fmt.Fprintf(h, "m%d", art.Migrations)
+		if got := fmt.Sprintf("%x", h.Sum(nil)[:8]); got != golden[cfg.name] {
+			t.Errorf("%s big.LITTLE trace hash = %s, want %s", cfg.name, got, golden[cfg.name])
 		}
 	}
 }

@@ -64,6 +64,16 @@ func (b *builder) swipeUp(name string, think sim.Duration) {
 	})
 }
 
+// factor overrides the worst-case wait factor of the last step. Sustained
+// thermal scenarios use it on heavy steps: they replay only under governors
+// (and thermal caps floored well above the ladder bottom), so the gap sized
+// for the 0.30 GHz fixed sweep would idle the package cold between bursts.
+func (b *builder) factor(f float64) {
+	if n := len(b.steps); n > 0 {
+		b.steps[n-1].Factor = f
+	}
+}
+
 // missTap is a deliberate dead-zone tap — the paper's spurious input ("if
 // the user taps next to a button ... the system will just ignore the
 // input"). The right-edge column is target-free in every app screen.
@@ -451,7 +461,7 @@ func Datasets() []*Workload {
 // ByName returns a workload by dataset name (including the 24-hour,
 // quickstart and legacy-benchmark workloads), or nil.
 func ByName(name string) *Workload {
-	for _, w := range append(Datasets(), TwentyFourHour(), Quickstart(), LegacyBench()) {
+	for _, w := range append(Datasets(), TwentyFourHour(), Quickstart(), GameSession(), ExportMarathon(), LegacyBench()) {
 		if w.Name == name {
 			return w
 		}
@@ -524,6 +534,69 @@ func twentyFourHourScript() []Step {
 		b.pause(gap)
 	}
 	return b.steps
+}
+
+// GameSession is the sustained-workload scenario thermal studies replay back
+// to back: a RetroRunner play session — the workload class the paper's
+// future work singles out ("CPU intensive workloads such as games") and the
+// one that heats a phone's package, since the game renders a frame every
+// vsync for minutes on end instead of bursting between think times. Note
+// taps during play keep the input-boost path and the QoE pipeline exercised.
+func GameSession() *Workload {
+	return &Workload{
+		Name:        "gamesession",
+		Description: "Sustained RetroRunner play session.",
+		Profile:     device.DefaultProfile(),
+		Duration:    150 * sim.Second,
+		Script: func() []Step {
+			b := newBuilder(0x6A3E)
+			b.pause(1 * sim.Second)
+			b.launchIcon(apps.RetroRunnerName, b.think(1400, 2200))
+			b.tapRect("play", apps.GamePlayButton, b.think(1500, 2200))
+			// ~90 seconds of continuous play: hit a note every couple of
+			// seconds while the frame loop saturates the CPU.
+			for i := 0; i < 36; i++ {
+				b.tapRect("note", apps.GameNoteLanes[i%4], b.think(1800, 2600))
+				if i%9 == 7 {
+					b.missTap(b.think(500, 900))
+				}
+			}
+			b.tapRect("stop", apps.GameStopButton, b.think(1500, 2400))
+			b.home(b.think(900, 1400))
+			return b.steps
+		},
+	}
+}
+
+// ExportMarathon is the big-cluster thermal stressor: Movie Studio exports
+// fired back to back with short think times, each a multi-second serial
+// chain of heavy encode chunks that the HMP scheduler wakes on the big end
+// at high frequency. Repeated via Recording.Repeat this is the scenario
+// that pushes package temperature past a trip point and makes governors
+// trade QoE against skin temperature.
+func ExportMarathon() *Workload {
+	return &Workload{
+		Name:        "exportmarathon",
+		Description: "Back-to-back Movie Studio exports.",
+		Profile:     device.DefaultProfile(),
+		Duration:    130 * sim.Second,
+		Script: func() []Step {
+			b := newBuilder(0xE4)
+			b.pause(1 * sim.Second)
+			b.launchIcon(apps.MovieStudioName, b.think(1400, 2000))
+			b.tapRect("openProject", apps.StudioProjectRect, b.think(1200, 1800))
+			b.tapRect("addClip", apps.StudioAddClipBtn, b.think(1000, 1500))
+			for i := 0; i < 12; i++ {
+				b.tapRect("export", apps.StudioExportBtn, b.think(2000, 2800))
+				b.factor(2.5)
+				if i%5 == 3 {
+					b.swipeUp("scrub", b.think(900, 1400))
+				}
+			}
+			b.home(b.think(900, 1400))
+			return b.steps
+		},
+	}
 }
 
 // Quickstart is a small two-minute workload used by tests and the

@@ -75,6 +75,31 @@ type Recording struct {
 // configuration finishes its last lag inside the window.
 func (r *Recording) RunWindow() sim.Duration { return r.Duration + 60*sim.Second }
 
+// Repeat concatenates a recording back to back n times, shifting each copy
+// by the recording duration — the sustained-workload primitive for thermal
+// studies, where one pass of a dataset is too short to heat the package but
+// N passes of the identical input trace are. The recorded think-time margins
+// hold for every copy, since each copy's gaps were sized for the worst-case
+// replay slowdown. n < 1 is treated as 1.
+func (r *Recording) Repeat(n int) *Recording {
+	if n < 1 {
+		n = 1
+	}
+	out := &Recording{
+		Workload: r.Workload,
+		Duration: sim.Duration(int64(r.Duration) * int64(n)),
+	}
+	out.Events = make([]evdev.Event, 0, len(r.Events)*n)
+	for i := 0; i < n; i++ {
+		shift := sim.Duration(int64(r.Duration) * int64(i))
+		for _, ev := range r.Events {
+			ev.Time = ev.Time.Add(shift)
+			out.Events = append(out.Events, ev)
+		}
+	}
+	return out
+}
+
 // driver performs a script on a device, waiting after each interaction the
 // way a human user does.
 type driver struct {
@@ -198,7 +223,11 @@ type RunArtifacts struct {
 	Clusters      []*trace.ClusterTraces
 	BusyByCluster [][]sim.Duration
 	Migrations    int
-	Window        sim.Duration
+	// Duration is the recording's active length; Window adds the tail
+	// margin that lets the slowest configuration finish its last lag.
+	// Steady-state summaries should integrate over Duration, not Window.
+	Duration sim.Duration
+	Window   sim.Duration
 }
 
 // Replay re-executes a recording on a fresh single-cluster device under the
@@ -237,6 +266,7 @@ func ReplayMulti(w *Workload, rec *Recording, govs []governor.Governor, configNa
 		Clusters:      dev.ClusterTraces,
 		BusyByCluster: dev.SoC.BusyByCluster(),
 		Migrations:    dev.SoC.Migrations(),
+		Duration:      rec.Duration,
 		Window:        window,
 	}
 	if vrec != nil {
