@@ -8,11 +8,18 @@
 // booted: the per-cluster summary then includes peak/steady temperature,
 // throttled time and cap-change counts.
 //
+// With -sweep the single replay is replaced by the full characterisation
+// matrix on the chosen SoC spec (experiment.RunMatrix): every fixed
+// frequency, the homogeneous governors and — on biglittle — the mixed
+// per-cluster governor arms, plus the energy-aware cluster oracle, rendered
+// as the config-matrix table.
+//
 // Usage:
 //
 //	qoereplay -workload dataset01 -trace dataset01.trace -db dataset01.adb \
 //	          -config ondemand [-soc dragonboard|biglittle] [-seed 2] [-o profile.json] \
 //	          [-repeat 3] [-trip 32] [-clear 30] [-mincap 5]
+//	qoereplay -workload quickstart -soc biglittle -sweep [-reps 2]
 package main
 
 import (
@@ -45,6 +52,8 @@ func main() {
 	trip := flag.Float64("trip", 0, "thermal trip temperature in °C; 0 disables the thermal model")
 	clear := flag.Float64("clear", 0, "thermal clear temperature in °C (default trip-2)")
 	minCap := flag.Int("mincap", 5, "lowest OPP index the throttler may cap to")
+	sweep := flag.Bool("sweep", false, "run the full config matrix + cluster oracle on the chosen SoC instead of one replay")
+	reps := flag.Int("reps", 2, "repetitions per configuration in -sweep mode (paper: 5)")
 	flag.Parse()
 
 	w := workload.ByName(*name)
@@ -59,6 +68,31 @@ func main() {
 		spec = soc.BigLittle44()
 	default:
 		fatal(fmt.Errorf("unknown SoC spec %q (use dragonboard or biglittle)", *socName))
+	}
+	if *sweep {
+		if *tracePath != "" || *dbPath != "" || *repeat > 1 || *trip > 0 {
+			fatal(fmt.Errorf("-sweep records and annotates internally; it cannot be combined with -trace/-db/-repeat/-trip"))
+		}
+		// -config and -o have non-empty semantics only for single replays;
+		// reject them explicitly rather than silently ignoring a filter or
+		// an output path the user asked for.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "config" || f.Name == "o" {
+				fatal(fmt.Errorf("-%s applies to a single replay; -sweep runs the whole matrix and prints its table", f.Name))
+			}
+		})
+		res, err := experiment.RunMatrix(w, spec, experiment.Options{
+			Reps: *reps, Seed: *seed,
+			Progress: func(msg string) { fmt.Fprintln(os.Stderr, msg) },
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		if err := report.MatrixTable(os.Stdout, res); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	w.Profile.SoC = spec
 	socModel, err := spec.Calibrate(0)

@@ -1,0 +1,88 @@
+// Biglittlesweep runs the paper's full characterisation matrix on a
+// heterogeneous 4+4 big.LITTLE SoC — the study the single-core Dragonboard
+// ladder could not express. It walks the whole tentpole pipeline:
+//
+//  1. experiment.MatrixConfigs extends the paper's 17 configurations with
+//     per-cluster governor arms (interactive on little x ondemand on big,
+//     pinned powersave-little under a governed big, and so on).
+//  2. experiment.RunMatrix records once, annotates once, then replays the
+//     matrix and the oracle's (cluster, OPP) placement candidates across the
+//     bounded worker pool.
+//  3. oracle.BuildCluster searches (cluster placement x OPP) per lag against
+//     the calibrated power.SoCModel: the optimum is the candidate charging
+//     the least dynamic energy that still meets the lag's threshold, so a
+//     low-voltage little point can beat a slower-clocked big point and vice
+//     versa.
+//  4. report.MatrixTable prints the config-matrix table with the oracle row
+//     and its chosen cluster shares; report.CrossSoC sets the same workload's
+//     Dragonboard sweep alongside for the cross-platform comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiment"
+	"repro/internal/report"
+	"repro/internal/soc"
+	"repro/internal/workload"
+)
+
+func main() {
+	progress := func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+
+	// 1. The heterogeneous platform and its sweep. Reps: 2 keeps the example
+	// snappy; the paper uses 5 (qoereplay -sweep -reps 5).
+	blSpec := soc.BigLittle44()
+	bl, err := experiment.RunMatrix(workload.Quickstart(), blSpec, experiment.Options{
+		Reps: 2, Seed: 1, Progress: progress,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	if err := report.MatrixTable(os.Stdout, bl); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. The oracle's placement decisions, spelled out: which (cluster, OPP)
+	// pair served each lag of the first repetition.
+	o := bl.Oracles[0]
+	fmt.Println("\ncluster oracle, rep 0 — per-lag placement (cluster@OPP):")
+	shown := 0
+	for _, lag := range o.Profile.Lags {
+		if lag.Spurious {
+			continue
+		}
+		ch := o.PerLag[lag.Index]
+		tbl := bl.Model.Cluster(ch.Cluster).Table
+		fmt.Printf("  lag %2d %-22s -> %s@%s\n",
+			lag.Index, lag.Label, bl.Model.Names[ch.Cluster], tbl[ch.OPPIndex].Label())
+		shown++
+		if shown >= 10 {
+			fmt.Printf("  ... %d more lags\n", len(o.PerLag)-shown)
+			break
+		}
+	}
+	shares := bl.OracleClusterShares()
+	fmt.Printf("oracle cluster shares: little %.0f%% / big %.0f%% of lags; base %s@%s outside lags\n",
+		100*shares[0], 100*shares[1],
+		bl.Model.Names[o.Base.Cluster],
+		bl.Model.Cluster(o.Base.Cluster).Table[o.Base.OPPIndex].Label())
+
+	// 3. The same workload on the paper's single-core Dragonboard, side by
+	// side: heterogeneity buys the oracle a cheaper base placement and the
+	// governors a cheaper home for background work.
+	dragon, err := experiment.RunMatrix(workload.Quickstart(), soc.Dragonboard(), experiment.Options{
+		Reps: 2, Seed: 1, Progress: progress,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := report.CrossSoC(os.Stdout, []*experiment.MatrixResult{dragon, bl}); err != nil {
+		log.Fatal(err)
+	}
+}

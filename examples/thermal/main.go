@@ -7,10 +7,14 @@
 // ladder above trip and back up below clear, and the cluster restores the
 // pending request the moment the cap lifts.
 //
-// The headline result mirrors Bhat et al. (arXiv:1904.09814): the
-// performance pin wins QoE on a cold package but pays the largest QoE
-// penalty once thermals bind, while load-based governors stay below trip —
-// governor rankings measured on short workloads invert under sustained load.
+// The headline result mirrors Bhat et al. (arXiv:1904.09814): every
+// configuration that serves the export's QoE — the performance pin and,
+// since the per-core load meter fix, the load-based governors too (a
+// saturated core now reads 100% load instead of a 25% domain average) —
+// heats the package past trip and pays tens of seconds of irritation once
+// the throttler binds. QoE and skin temperature are the same budget:
+// rankings measured on short cold-package workloads say nothing about
+// sustained load.
 package main
 
 import (

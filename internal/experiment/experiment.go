@@ -2,6 +2,15 @@
 // each workload replayed at every fixed frequency and under the three
 // governors — "altogether we execute each workload 5·(14+3) = 85 times" —
 // followed by oracle construction and the figure-level aggregations.
+// RunMatrix generalises the sweep to heterogeneous SoC specs with
+// per-cluster governor arms and the energy-aware cluster oracle.
+//
+// Units: energies are joules, irritation is virtual time (sim.Duration;
+// Seconds() for display), frequencies carry their ladder's kHz. Concurrency:
+// the Run* entry points fan replays out over an internal bounded worker pool
+// — each replay owns a private sim engine and device — and their results are
+// immutable after return; the entry points themselves are safe to call from
+// multiple goroutines as long as each call gets its own workload value.
 package experiment
 
 import (
@@ -23,10 +32,18 @@ import (
 )
 
 // Config is one system configuration of the sweep: a per-cluster governor
-// assignment under one name.
+// assignment under one name. Configs are values; their factory closures must
+// be safe to call from any worker goroutine (each call builds fresh,
+// unshared governor instances).
 type Config struct {
-	Name        string
-	OPPIndex    int // >= 0 for fixed frequencies, -1 for governors
+	// Name is the row label: an OPP label ("0.96 GHz"), a governor name
+	// ("ondemand"), or a mixed arm ("powersave/interactive").
+	Name string
+	// OPPIndex is >= 0 for fixed frequencies (an index into Table), -1 for
+	// governor configs.
+	OPPIndex int
+	// NewGovernor builds one fresh governor instance; it is invoked once
+	// per cluster per replay.
 	NewGovernor func() governor.Governor
 	// NewGovernors, when set, supplies one fresh governor per cluster for
 	// multi-cluster SoC specs (e.g. powersave on little, interactive on big).
@@ -95,12 +112,19 @@ func AllConfigs(tbl power.Table) []Config {
 // GovernorNames lists the three governor configurations.
 var GovernorNames = []string{"conservative", "interactive", "ondemand"}
 
-// Run is the analysed outcome of one replay.
+// Run is the analysed outcome of one replay. Runs are built by worker
+// goroutines but immutable once a sweep returns, so reading them from any
+// goroutine afterwards is safe.
 type Run struct {
-	Config    string
-	Rep       int
-	Profile   *core.Profile
-	EnergyJ   float64
+	// Config names the configuration replayed; Rep is the repetition index.
+	Config string
+	Rep    int
+	// Profile is the matched lag profile of the run.
+	Profile *core.Profile
+	// EnergyJ is the run's dynamic energy in joules.
+	EnergyJ float64
+	// BusyCurve and FreqTrace are the SoC-aggregate busy curve and the
+	// first cluster's frequency transition trace.
 	BusyCurve *trace.BusyCurve
 	FreqTrace *trace.FreqTrace
 	// Clusters and Migrations carry the per-cluster traces and scheduler
@@ -110,32 +134,39 @@ type Run struct {
 	Migrations int
 }
 
-// DatasetResult holds everything the figures need for one workload.
+// DatasetResult holds everything the figures need for one workload. It is
+// immutable once RunDataset returns and safe to read from any goroutine.
 type DatasetResult struct {
+	// Workload, Recording, Gestures, RecordTruths and DB are the shared
+	// record/annotate artefacts every replay of the sweep consumed.
 	Workload     *workload.Workload
 	Recording    *workload.Recording
 	Gestures     []evdev.Gesture
 	RecordTruths []device.GroundTruth
 	DB           *annotate.DB
-	Model        *power.Model
-	Configs      []Config
-	Runs         map[string][]*Run
+	// Model is the calibrated single-ladder power model (watts per OPP).
+	Model *power.Model
+	// Configs is the swept matrix in figure order; Runs maps config name
+	// to its repetitions in rep order.
+	Configs []Config
+	Runs    map[string][]*Run
 	// Thresholds is the paper's oracle-study rule: 110% of the mean lag
 	// duration at the fastest fixed frequency.
 	Thresholds core.Thresholds
-	// Oracles holds one oracle per repetition; OracleEnergyJ is their mean.
+	// Oracles holds one oracle per repetition; OracleEnergyJ is their mean
+	// dynamic energy in joules.
 	Oracles       []*oracle.Oracle
 	OracleEnergyJ float64
 }
 
-// Options configures a dataset run.
+// Options configures a dataset or matrix sweep.
 type Options struct {
 	Reps    int     // repetitions per configuration (paper: 5)
 	Workers int     // parallel replays (0 → GOMAXPROCS)
-	Factor  float64 // threshold slack (paper: 1.10)
-	Seed    uint64
-	// Quiet suppresses progress output. Progress goes through Progress if
-	// set.
+	Factor  float64 // threshold slack over the fastest run (paper: 1.10)
+	Seed    uint64  // master seed; every job derives its own from it
+	// Progress, when set, receives per-phase progress messages. It is
+	// called from the sweep's own goroutine only, never from workers.
 	Progress func(msg string)
 }
 

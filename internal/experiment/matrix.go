@@ -1,0 +1,475 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/annotate"
+	"repro/internal/core"
+	"repro/internal/evdev"
+	"repro/internal/governor"
+	"repro/internal/match"
+	"repro/internal/oracle"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/soc"
+	"repro/internal/workload"
+)
+
+// MixedArms lists the heterogeneous per-cluster governor assignments swept on
+// two-cluster specs, as {little governor, big governor} name pairs. The set
+// covers the axes the big.LITTLE studies care about: which cluster reacts to
+// input (interactive placement), asymmetric load policies, and the mixed
+// pinned/governed arms where one domain is frozen while the other floats.
+var MixedArms = [][2]string{
+	{"interactive", "ondemand"},
+	{"ondemand", "interactive"},
+	{"conservative", "interactive"},
+	{"powersave", "interactive"},
+	{"interactive", "performance"},
+}
+
+// governorByName builds a fresh governor instance for one cluster. tbl is the
+// cluster's own ladder (used by the pinned powersave/performance arms).
+func governorByName(name string, tbl power.Table) governor.Governor {
+	switch name {
+	case "conservative":
+		return governor.NewConservative()
+	case "interactive":
+		return governor.NewInteractive()
+	case "ondemand":
+		return governor.NewOndemand()
+	case "powersave":
+		return governor.Powersave(tbl)
+	case "performance":
+		return governor.Performance(tbl)
+	}
+	panic(fmt.Sprintf("experiment: unknown governor %q", name))
+}
+
+// MatrixConfigs returns the full characterisation matrix for a SoC spec. On
+// a single-cluster spec it is exactly the paper's 17 configurations
+// (AllConfigs on the one ladder). On a multi-cluster spec it extends the
+// paper's matrix to the heterogeneous axes: the fixed-frequency ladder of
+// the big (last) cluster — each point pinning every cluster at the lowest
+// OPP of its own ladder at or above the label (cpufreq RELATION_L) — the
+// three load-based governors applied homogeneously per cluster, and, on
+// two-cluster specs, the MixedArms per-cluster assignments named
+// "<little governor>/<big governor>".
+func MatrixConfigs(spec soc.Spec) []Config {
+	bigTbl := spec.Clusters[len(spec.Clusters)-1].Table
+	if len(spec.Clusters) == 1 {
+		return AllConfigs(bigTbl)
+	}
+	out := AllConfigs(bigTbl)
+	if len(spec.Clusters) != 2 {
+		return out
+	}
+	littleTbl := spec.Clusters[0].Table
+	for _, arm := range MixedArms {
+		arm := arm
+		out = append(out, Config{
+			Name:     arm[0] + "/" + arm[1],
+			OPPIndex: -1,
+			NewGovernors: func() []governor.Governor {
+				return []governor.Governor{
+					governorByName(arm[0], littleTbl),
+					governorByName(arm[1], bigTbl),
+				}
+			},
+		})
+	}
+	return out
+}
+
+// MatrixResult holds the spec-aware characterisation sweep of one workload:
+// the config-matrix runs, the placement-pinned candidate runs behind the
+// cluster-aware oracle, the shared thresholds, and one oracle per
+// repetition. It is the heterogeneous generalisation of DatasetResult, and
+// like it is immutable once RunMatrix returns.
+type MatrixResult struct {
+	// Workload and Spec identify the sweep; Model is the calibrated
+	// per-cluster power model (watts per OPP per cluster).
+	Workload *workload.Workload
+	Spec     soc.Spec
+	Model    *power.SoCModel
+	// Recording, Gestures and DB are the shared record/annotate artefacts.
+	Recording *workload.Recording
+	Gestures  []evdev.Gesture
+	DB        *annotate.DB
+	// Configs is the swept matrix (MatrixConfigs order).
+	Configs []Config
+	// Runs maps config name to its repetitions, in rep order.
+	Runs map[string][]*Run
+	// Candidates holds the oracle's search space per repetition: one
+	// placement-pinned run per (cluster, OPP), ordered (cluster, OPP)
+	// ascending.
+	Candidates [][]oracle.ClusterFixedRun
+	// Thresholds is the paper's rule generalised to the heterogeneous
+	// search space: 110% of the worst-across-reps lag durations of the
+	// fastest candidate (the big cluster's top clock).
+	Thresholds core.Thresholds
+	// Oracles holds one cluster-aware oracle per repetition;
+	// OracleEnergyJ is their mean dynamic energy in joules.
+	Oracles       []*oracle.ClusterOracle
+	OracleEnergyJ float64
+}
+
+// RunMatrix executes the full characterisation sweep for one workload on an
+// explicit SoC spec: record once, annotate once, replay every MatrixConfigs
+// configuration Reps times, replay the (cluster, OPP) oracle candidates, and
+// build one energy-aware cluster oracle per repetition — all across the
+// bounded worker pool, with deterministic results regardless of worker
+// interleaving. On the single-cluster Dragonboard spec the candidate runs
+// coincide with the fixed-frequency matrix runs and are reused, so the sweep
+// is exactly the paper's 17x5 study plus the oracle.
+func RunMatrix(w *workload.Workload, spec soc.Spec, opts Options) (*MatrixResult, error) {
+	opts = opts.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
+	wc := *w
+	wc.Profile.SoC = spec
+	w = &wc
+
+	socModel, err := spec.Calibrate(0)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: calibrate %s: %w", spec.Name, err)
+	}
+	res := &MatrixResult{
+		Workload: w,
+		Spec:     spec,
+		Model:    socModel,
+		Configs:  MatrixConfigs(spec),
+		Runs:     make(map[string][]*Run),
+	}
+
+	opts.progress("[%s] recording workload on %s", w.Name, spec.Name)
+	rec, _, err := w.Record(opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: record %s: %w", w.Name, err)
+	}
+	res.Recording = rec
+	res.Gestures = match.Gestures(rec.Events)
+
+	opts.progress("[%s] annotating (Part A)", w.Name)
+	annArt := workload.ReplayMulti(w, rec, workload.StockGovernors(w.Profile), "annotation", opts.Seed^0xA11, true)
+	db, err := annotate.Build(w.Name, annArt.Video, res.Gestures, annArt.Truths, annotate.BuildOptions{MinStill: 1})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: annotate %s: %w", w.Name, err)
+	}
+	res.DB = db
+
+	// The job matrix: config runs plus, on multi-cluster specs, the
+	// placement-pinned candidate runs the oracle searches. On a
+	// single-cluster spec every candidate coincides with a fixed config run
+	// and is reused instead of re-replayed.
+	multi := len(spec.Clusters) > 1
+	type job struct {
+		candidate    bool
+		cfg          Config // matrix job
+		cluster, opp int    // candidate job
+		rep          int
+	}
+	var jobs []job
+	for _, cfg := range res.Configs {
+		for rep := 0; rep < opts.Reps; rep++ {
+			jobs = append(jobs, job{cfg: cfg, rep: rep})
+		}
+	}
+	nCand := 0
+	if multi {
+		for ci, cs := range spec.Clusters {
+			for oi := range cs.Table {
+				for rep := 0; rep < opts.Reps; rep++ {
+					jobs = append(jobs, job{candidate: true, cluster: ci, opp: oi, rep: rep})
+				}
+				nCand++
+			}
+		}
+	}
+	opts.progress("[%s] replaying %d configs x %d reps + %d oracle candidates x %d reps = %d runs",
+		w.Name, len(res.Configs), opts.Reps, nCand, opts.Reps, len(jobs))
+
+	runs := make([]*Run, len(jobs))
+	cands := make([]oracle.ClusterFixedRun, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opts.Workers)
+	for ji := range jobs {
+		ji := ji
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			j := jobs[ji]
+			seed := opts.Seed ^ (uint64(ji+1) * 0x9e3779b9)
+			if !j.candidate {
+				runs[ji], errs[ji] = executeRun(w, rec, db, res.Gestures, nil, socModel, j.cfg, j.rep, seed)
+				return
+			}
+			cands[ji], errs[ji] = executeCandidateRun(w, rec, db, res.Gestures, spec, j.cluster, j.opp, seed)
+		}()
+	}
+	wg.Wait()
+	for ji, err := range errs {
+		if err != nil {
+			j := jobs[ji]
+			if j.candidate {
+				return nil, fmt.Errorf("experiment: %s candidate %s@%s rep %d: %w", w.Name,
+					spec.Clusters[j.cluster].Name, spec.Clusters[j.cluster].Table[j.opp].Label(), j.rep, err)
+			}
+			return nil, fmt.Errorf("experiment: %s %s rep %d: %w", w.Name, j.cfg.Name, j.rep, err)
+		}
+	}
+	for _, r := range runs {
+		if r != nil {
+			res.Runs[r.Config] = append(res.Runs[r.Config], r)
+		}
+	}
+
+	// Assemble the per-rep candidate sets. On a single-cluster spec the
+	// fixed matrix runs are the candidates.
+	res.Candidates = make([][]oracle.ClusterFixedRun, opts.Reps)
+	if multi {
+		for ji, j := range jobs {
+			if j.candidate {
+				res.Candidates[j.rep] = append(res.Candidates[j.rep], cands[ji])
+			}
+		}
+		for rep := range res.Candidates {
+			sort.Slice(res.Candidates[rep], func(a, b int) bool {
+				ca, cb := res.Candidates[rep][a], res.Candidates[rep][b]
+				if ca.Cluster != cb.Cluster {
+					return ca.Cluster < cb.Cluster
+				}
+				return ca.OPPIndex < cb.OPPIndex
+			})
+		}
+	} else {
+		tbl := spec.Clusters[0].Table
+		for rep := 0; rep < opts.Reps; rep++ {
+			for oi := range tbl {
+				rs := res.Runs[tbl[oi].Label()]
+				if rep >= len(rs) {
+					return nil, fmt.Errorf("experiment: missing rep %d for %s", rep, tbl[oi].Label())
+				}
+				res.Candidates[rep] = append(res.Candidates[rep], oracle.ClusterFixedRun{
+					Cluster: 0, OPPIndex: oi,
+					Profile: rs[rep].Profile, BusyCurve: rs[rep].BusyCurve,
+				})
+			}
+		}
+	}
+
+	if err := res.buildClusterOracles(opts.Factor); err != nil {
+		return nil, err
+	}
+	opts.progress("[%s] done: cluster oracle %.2f J", w.Name, res.OracleEnergyJ)
+	return res, nil
+}
+
+// executeCandidateRun replays the workload with every task placed on one
+// cluster pinned at one OPP — a single point of the cluster oracle's search
+// space. Placement pinning is a single-cluster boot of that cluster's spec:
+// with one frequency domain the scheduler degenerates and all work, input
+// handling and background services run there, which is exactly the
+// counterfactual the oracle needs ("what if this lag were served on the
+// little cluster at 0.80 GHz?").
+func executeCandidateRun(w *workload.Workload, rec *workload.Recording, db *annotate.DB,
+	gestures []evdev.Gesture, spec soc.Spec, cluster, opp int, seed uint64) (oracle.ClusterFixedRun, error) {
+	cs := spec.Clusters[cluster]
+	wc := *w
+	wc.Profile.SoC = soc.Spec{Name: spec.Name + "-" + cs.Name + "-only", Clusters: []soc.ClusterSpec{cs}}
+	name := cs.Name + "@" + cs.Table[opp].Label()
+	govs := []governor.Governor{governor.NewFixed(cs.Table, opp)}
+	art := workload.ReplayMulti(&wc, rec, govs, name, seed, true)
+	profile, err := match.Match(art.Video, db, gestures, name, match.Options{Strict: true})
+	if err != nil {
+		return oracle.ClusterFixedRun{}, err
+	}
+	return oracle.ClusterFixedRun{
+		Cluster:   cluster,
+		OPPIndex:  opp,
+		Profile:   profile,
+		BusyCurve: art.BusyCurve,
+	}, nil
+}
+
+// buildClusterOracles derives the sweep thresholds (110% of the worst
+// fastest-candidate lag durations across repetitions, so the oracle is never
+// irritating despite per-repetition jitter) and one cluster-aware oracle per
+// repetition.
+func (res *MatrixResult) buildClusterOracles(factor float64) error {
+	if len(res.Candidates) == 0 || len(res.Candidates[0]) == 0 {
+		return fmt.Errorf("experiment: no oracle candidates")
+	}
+	// The fastest candidate: highest clock, ties toward the bigger cluster.
+	fastestOf := func(cands []oracle.ClusterFixedRun) oracle.ClusterFixedRun {
+		best := cands[0]
+		bestKHz := res.Model.Cluster(best.Cluster).Table[best.OPPIndex].KHz
+		for _, c := range cands[1:] {
+			khz := res.Model.Cluster(c.Cluster).Table[c.OPPIndex].KHz
+			if khz > bestKHz || (khz == bestKHz && c.Cluster > best.Cluster) {
+				best, bestKHz = c, khz
+			}
+		}
+		return best
+	}
+
+	// Worst-across-reps composite of the fastest candidate's lags.
+	fasts := make([]oracle.ClusterFixedRun, len(res.Candidates))
+	for rep, cands := range res.Candidates {
+		fasts[rep] = fastestOf(cands)
+	}
+	first := fasts[0]
+	ref := &core.Profile{Workload: res.Workload.Name, Config: "fastest"}
+	nLags := len(first.Profile.Lags)
+	for i := 0; i < nLags; i++ {
+		lag := first.Profile.Lags[i]
+		if lag.Spurious {
+			ref.Lags = append(ref.Lags, lag)
+			continue
+		}
+		worst := lag.Duration()
+		for _, f := range fasts[1:] {
+			if i < len(f.Profile.Lags) {
+				if d := f.Profile.Lags[i].Duration(); d > worst {
+					worst = d
+				}
+			}
+		}
+		ref.Lags = append(ref.Lags, core.Lag{
+			Index: lag.Index, Label: lag.Label, Begin: lag.Begin, End: lag.Begin.Add(worst),
+		})
+	}
+	if factor <= 0 {
+		factor = 1.10
+	}
+	res.Thresholds = core.RelativeThresholds(ref, factor)
+
+	var energySum float64
+	for rep, cands := range res.Candidates {
+		o, err := oracle.BuildCluster(cands, res.Model, 0, &res.Thresholds)
+		if err != nil {
+			return fmt.Errorf("experiment: cluster oracle rep %d: %w", rep, err)
+		}
+		res.Oracles = append(res.Oracles, o)
+		energySum += o.EnergyJ
+	}
+	res.OracleEnergyJ = energySum / float64(len(res.Candidates))
+	return nil
+}
+
+// MeanEnergyJ returns the mean dynamic energy of a configuration in joules.
+func (res *MatrixResult) MeanEnergyJ(config string) float64 {
+	rs := res.Runs[config]
+	if len(rs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range rs {
+		s += r.EnergyJ
+	}
+	return s / float64(len(rs))
+}
+
+// NormEnergy returns a configuration's mean energy normalised to the cluster
+// oracle's.
+func (res *MatrixResult) NormEnergy(config string) float64 {
+	if res.OracleEnergyJ == 0 {
+		return 0
+	}
+	return res.MeanEnergyJ(config) / res.OracleEnergyJ
+}
+
+// MeanIrritation returns a configuration's mean user irritation under the
+// sweep thresholds.
+func (res *MatrixResult) MeanIrritation(config string) sim.Duration {
+	rs := res.Runs[config]
+	if len(rs) == 0 {
+		return 0
+	}
+	var s sim.Duration
+	for _, r := range rs {
+		s += core.Irritation(r.Profile, res.Thresholds)
+	}
+	return s / sim.Duration(len(rs))
+}
+
+// MeanMigrations returns a configuration's mean scheduler migration count.
+func (res *MatrixResult) MeanMigrations(config string) float64 {
+	rs := res.Runs[config]
+	if len(rs) == 0 {
+		return 0
+	}
+	s := 0
+	for _, r := range rs {
+		s += r.Migrations
+	}
+	return float64(s) / float64(len(rs))
+}
+
+// ClusterBusyShare returns the mean fraction of core-busy time each cluster
+// contributed under a configuration, in cluster order (sums to 1 when any
+// work ran).
+func (res *MatrixResult) ClusterBusyShare(config string) []float64 {
+	rs := res.Runs[config]
+	shares := make([]float64, len(res.Spec.Clusters))
+	if len(rs) == 0 {
+		return shares
+	}
+	for _, r := range rs {
+		var total float64
+		perCluster := make([]float64, len(shares))
+		for ci, ct := range r.Clusters {
+			b := ct.Busy.Total().Seconds()
+			perCluster[ci] = b
+			total += b
+		}
+		if total == 0 {
+			continue
+		}
+		for ci := range shares {
+			shares[ci] += perCluster[ci] / total
+		}
+	}
+	for ci := range shares {
+		shares[ci] /= float64(len(rs))
+	}
+	return shares
+}
+
+// OracleClusterShares returns the mean fraction of lags the per-rep oracles
+// served on each cluster, in cluster order.
+func (res *MatrixResult) OracleClusterShares() []float64 {
+	shares := make([]float64, len(res.Spec.Clusters))
+	if len(res.Oracles) == 0 {
+		return shares
+	}
+	for _, o := range res.Oracles {
+		for ci, s := range o.ClusterShares(len(shares)) {
+			shares[ci] += s
+		}
+	}
+	for ci := range shares {
+		shares[ci] /= float64(len(res.Oracles))
+	}
+	return shares
+}
+
+// ConfigNames returns the matrix configuration names in figure order.
+func (res *MatrixResult) ConfigNames() []string {
+	var names []string
+	for _, c := range res.Configs {
+		names = append(names, c.Name)
+	}
+	return names
+}
+
+// IsMixedArm reports whether a config name denotes a per-cluster governor
+// assignment ("<little>/<big>").
+func IsMixedArm(name string) bool { return strings.Contains(name, "/") }

@@ -12,11 +12,14 @@ import (
 // the figures need, without the raw traces. It lets a study run once and
 // be re-rendered or diffed later (qoebench -json).
 type Summary struct {
-	Workload    string             `json:"workload"`
-	Description string             `json:"description"`
-	Reps        int                `json:"reps"`
-	OracleJ     float64            `json:"oracle_energy_j"`
-	BaseOPP     string             `json:"oracle_base_opp"`
+	Workload    string `json:"workload"`    // workload name
+	Description string `json:"description"` // the Table I text
+	Reps        int    `json:"reps"`        // repetitions per configuration
+	// OracleJ is the mean oracle energy in joules; BaseOPP its label.
+	OracleJ float64 `json:"oracle_energy_j"`
+	BaseOPP string  `json:"oracle_base_opp"`
+	// Configs aggregates each configuration; InputCounts are the Fig. 10
+	// classes; LagStats are per-config lag-duration boxes in milliseconds.
 	Configs     []ConfigSummary    `json:"configs"`
 	InputCounts map[string]int     `json:"input_counts"`
 	LagStats    map[string]BoxJSON `json:"lag_stats_ms"`
@@ -24,25 +27,30 @@ type Summary struct {
 
 // ConfigSummary is one configuration's aggregate.
 type ConfigSummary struct {
-	Name         string  `json:"name"`
-	Fixed        bool    `json:"fixed"`
-	MeanEnergyJ  float64 `json:"mean_energy_j"`
-	EnergyCI95   float64 `json:"energy_ci95_j"`
-	NormEnergy   float64 `json:"energy_vs_oracle"`
-	IrritationS  float64 `json:"irritation_s"`
-	LagCount     int     `json:"lag_count"`
-	SpuriousLags int     `json:"spurious_lags"`
+	Name  string `json:"name"`  // config name (OPP label or governor)
+	Fixed bool   `json:"fixed"` // true for fixed-frequency configs
+	// MeanEnergyJ and EnergyCI95 are dynamic energy in joules (mean and
+	// 95% CI half-width); NormEnergy is energy relative to the oracle.
+	MeanEnergyJ float64 `json:"mean_energy_j"`
+	EnergyCI95  float64 `json:"energy_ci95_j"`
+	NormEnergy  float64 `json:"energy_vs_oracle"`
+	// IrritationS is mean user irritation in seconds.
+	IrritationS float64 `json:"irritation_s"`
+	// LagCount and SpuriousLags count the first rep's actual and spurious
+	// lags.
+	LagCount     int `json:"lag_count"`
+	SpuriousLags int `json:"spurious_lags"`
 }
 
-// BoxJSON mirrors stats.Box for serialisation.
+// BoxJSON mirrors stats.Box for serialisation; values are milliseconds.
 type BoxJSON struct {
-	N      int     `json:"n"`
-	Q1     float64 `json:"q1"`
-	Median float64 `json:"median"`
-	Q3     float64 `json:"q3"`
-	Max    float64 `json:"max"`
-	Mean   float64 `json:"mean"`
-	Fliers int     `json:"fliers"`
+	N      int     `json:"n"`      // sample count
+	Q1     float64 `json:"q1"`     // first quartile (ms)
+	Median float64 `json:"median"` // median (ms)
+	Q3     float64 `json:"q3"`     // third quartile (ms)
+	Max    float64 `json:"max"`    // maximum (ms)
+	Mean   float64 `json:"mean"`   // mean (ms)
+	Fliers int     `json:"fliers"` // outliers beyond the whiskers
 }
 
 // Summarise digests a DatasetResult.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/match"
 	"repro/internal/sim"
+	"repro/internal/soc"
 	"repro/internal/thermal"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -31,7 +32,12 @@ type SustainedOptions struct {
 	// least one zone. The unthrottled arm runs the same zones with trips
 	// removed, so both arms trace temperatures.
 	Thermal thermal.Config
-	Seed    uint64
+	// SoC, when it has clusters, overrides the workload profile's SoC spec
+	// for the whole sweep — the same platform-selection knob RunMatrix
+	// takes as a parameter. Leave zero to use the workload's own profile.
+	SoC soc.Spec
+	// Seed is the master seed; every job derives its own from it.
+	Seed uint64
 	// Progress receives per-phase progress messages when set.
 	Progress func(msg string)
 }
@@ -68,15 +74,21 @@ func recordOnly(cfg thermal.Config) thermal.Config {
 	return out
 }
 
-// SustainedRun is the analysed outcome of one sustained replay.
+// SustainedRun is the analysed outcome of one sustained replay, immutable
+// once the sweep returns.
 type SustainedRun struct {
+	// Config names the configuration; Throttled selects the arm (trip
+	// configured vs record-only); Rep is the repetition index.
 	Config    string
-	Throttled bool // which arm: trip configured or record-only
+	Throttled bool
 	Rep       int
-	Profile   *core.Profile
-	EnergyJ   float64
-	Clusters  []*trace.ClusterTraces
-	Window    sim.Duration
+	// Profile is the matched lag profile; EnergyJ the dynamic energy in
+	// joules; Clusters the per-cluster freq/busy/temp/throttle traces.
+	Profile  *core.Profile
+	EnergyJ  float64
+	Clusters []*trace.ClusterTraces
+	// Window is the replay's wall-clock window (recording plus tail).
+	Window sim.Duration
 }
 
 // IrritationS returns the run's user irritation in seconds under th.
@@ -97,10 +109,15 @@ func (r *SustainedRun) ThrottleEvents() int {
 // runs per arm, ordered deterministically by (config, arm, rep) regardless
 // of worker interleaving.
 type SustainedResult struct {
-	Workload   string
-	Repeats    int
-	Configs    []string
-	Runs       []*SustainedRun
+	// Workload names the dataset; Repeats is the back-to-back pass count.
+	Workload string
+	Repeats  int
+	// Configs lists config names in sweep order; Runs holds every cell in
+	// deterministic (config, arm, rep) order.
+	Configs []string
+	Runs    []*SustainedRun
+	// Thresholds is the sustained relative rule: 110% of the best
+	// record-only duration per lag.
 	Thresholds core.Thresholds
 	// Duration is the sustained recording's active length; Window adds the
 	// replay tail margin (idle cooldown) after the last input.
@@ -152,6 +169,11 @@ func (res *SustainedResult) MeanPeakC(config string, throttled bool, cluster int
 // pool scales to the machine while result ordering stays deterministic.
 func RunSustained(w *workload.Workload, configs []Config, opts SustainedOptions) (*SustainedResult, error) {
 	opts = opts.withDefaults()
+	if len(opts.SoC.Clusters) > 0 {
+		wc := *w
+		wc.Profile.SoC = opts.SoC
+		w = &wc
+	}
 	spec := w.Profile.SoCSpec()
 	if !opts.Thermal.Enabled() {
 		return nil, fmt.Errorf("experiment: sustained sweep needs a thermal config")

@@ -70,17 +70,23 @@ func TestSustainedThermalSweep(t *testing.T) {
 		t.Fatalf("performance big-cluster peak rose %.2f°C under throttling, want a drop", -dPeak)
 	}
 
-	// The load-based governor stays below trip on this workload: thermals
-	// must not touch its QoE (governor-ranking inversion, not degradation).
-	if d := res.MeanIrritationS("interactive", true) - res.MeanIrritationS("interactive", false); d > 1.0 {
-		t.Fatalf("interactive irritation moved %.2fs under throttling while staying cool", d)
+	// With per-core load tracking the interactive governor sees the serial
+	// export saturating one big core (max-of-CPUs, not the domain average
+	// that read 25% and stayed cold), ramps up, heats the package and pays
+	// QoE under throttling just like the pin — the PR 2 ROADMAP note that
+	// "only pinned-frequency configs heat the package" is fixed.
+	dIrrInt := res.MeanIrritationS("interactive", true) - res.MeanIrritationS("interactive", false)
+	if dIrrInt <= 0 {
+		t.Fatalf("interactive irritation delta %.2fs under throttling, want > 0 "+
+			"(per-core load must let it heat the package)", dIrrInt)
 	}
-
-	// Under throttling the ranking inverts locally: unthrottled performance
-	// beats interactive on QoE, but its throttled arm pays irritation that
-	// interactive's does not.
-	if res.MeanIrritationS("performance", false) >= res.MeanIrritationS("interactive", false) {
-		t.Fatal("unthrottled performance should be the QoE reference")
+	if d := res.MeanPeakC("interactive", false, 1) - res.MeanPeakC("interactive", true, 1); d <= 0 {
+		t.Fatalf("interactive big-cluster peak rose %.2f°C under throttling, want a drop", -d)
+	}
+	// Unthrottled, the load-based governor still serves QoE: the ramp is
+	// fast enough that the sustained export shows no user irritation.
+	if irr := res.MeanIrritationS("interactive", false); irr > 1.0 {
+		t.Fatalf("unthrottled interactive irritation %.2fs, want ~0", irr)
 	}
 }
 

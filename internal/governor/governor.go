@@ -11,6 +11,15 @@
 // feature where it reacts directly to incoming user input events and
 // immediately ramps up the frequency while ignoring the load in those
 // cases."
+//
+// Units: frequencies are kHz (tunables like Interactive.HispeedKHz), loads
+// are integer percent (0..100), and all times are virtual microseconds
+// (sim.Time / sim.Duration) — tunables named after kernel ones keep the
+// kernel's millisecond-scale magnitudes, e.g. 20 ms sampling. Concurrency:
+// a governor instance drives exactly one cluster and runs entirely on that
+// cluster's engine goroutine; nothing here is safe for concurrent use, and
+// sweeps must build one fresh governor per cluster per replay (Config.
+// NewGovernor / NewGovernors in the experiment package do exactly that).
 package governor
 
 import (
@@ -46,6 +55,12 @@ type CPU interface {
 	// CumulativeBusy is total core-busy time of the domain: a domain with k
 	// busy cores accumulates k seconds of busy per wall second.
 	CumulativeBusy() sim.Duration
+	// PerCoreBusy copies each core's cumulative busy time into dst
+	// (reallocated if too small) and returns it, one entry per core. This is
+	// the per-CPU idle-time accounting real cpufreq governors sample; the
+	// load meter derives per-core load from its deltas and drives requests
+	// from the busiest core, not the domain average.
+	PerCoreBusy(dst []sim.Duration) []sim.Duration
 	// NumCores is the number of cores sharing the domain's clock.
 	NumCores() int
 }
@@ -62,41 +77,60 @@ type Governor interface {
 }
 
 // loadMeter computes CPU load over governor sampling windows the way
-// cpufreq governors do: busy time delta over wall time delta, in percent.
+// cpufreq governors do: per-core busy time delta over wall time delta, in
+// percent, with the domain's load taken as the maximum over its cores. Real
+// interactive/ondemand policies evaluate every CPU of the policy and scale
+// for the busiest one; averaging instead keeps a 4-core cluster at low
+// frequency while one core runs a serial encode flat out (25% "load" for a
+// saturated core), which is exactly the artifact the heterogeneous sweeps
+// would otherwise measure. On a single-core domain max-of-CPUs and the
+// domain average coincide, so the paper's Dragonboard traces are unchanged.
 type loadMeter struct {
 	cpu      CPU
-	lastBusy sim.Duration
 	lastWall sim.Time
+	// lastPerCore and scratch are swapped each sample so the steady state
+	// never allocates.
+	lastPerCore []sim.Duration
+	scratch     []sim.Duration
 }
 
 func (m *loadMeter) reset(cpu CPU) {
 	m.cpu = cpu
-	m.lastBusy = cpu.CumulativeBusy()
+	m.lastPerCore = cpu.PerCoreBusy(m.lastPerCore)
 	m.lastWall = cpu.Now()
 }
 
-// sample returns load in percent (0..100) since the previous sample,
-// averaged over the domain's cores. A busy-counter reset (cluster hotplug or
-// task migration landing mid-window) can make dBusy negative; that clamps to
-// 0 rather than returning a nonsense negative percent.
+// sample returns load in percent (0..100) since the previous sample: the
+// maximum per-core load across the domain. A busy-counter reset (cluster
+// hotplug or task migration landing mid-window) can make a core's delta
+// negative; that core clamps to 0 rather than contributing a nonsense
+// negative percent.
 func (m *loadMeter) sample() int {
-	busy := m.cpu.CumulativeBusy()
 	wall := m.cpu.Now()
-	dBusy := busy - m.lastBusy
 	dWall := wall.Sub(m.lastWall)
-	m.lastBusy, m.lastWall = busy, wall
-	if dWall <= 0 || dBusy <= 0 {
-		return 0
+	cur := m.cpu.PerCoreBusy(m.scratch)
+	max := 0
+	if dWall > 0 {
+		for i, busy := range cur {
+			if i >= len(m.lastPerCore) {
+				break
+			}
+			dBusy := busy - m.lastPerCore[i]
+			if dBusy <= 0 {
+				continue
+			}
+			load := int(100 * int64(dBusy) / int64(dWall))
+			if load > 100 {
+				load = 100
+			}
+			if load > max {
+				max = load
+			}
+		}
 	}
-	cores := m.cpu.NumCores()
-	if cores < 1 {
-		cores = 1
-	}
-	load := int(100 * int64(dBusy) / (int64(dWall) * int64(cores)))
-	if load > 100 {
-		load = 100
-	}
-	return load
+	m.scratch, m.lastPerCore = m.lastPerCore, cur
+	m.lastWall = wall
+	return max
 }
 
 // Fixed pins the CPU at one OPP for the whole run — the paper's
@@ -104,6 +138,7 @@ func (m *loadMeter) sample() int {
 // core frequency; during those executions the frequency is fixed for the
 // whole runtime").
 type Fixed struct {
+	// Index is the pinned OPP index on the attached CPU's ladder.
 	Index int
 	name  string
 }

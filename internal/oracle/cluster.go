@@ -1,0 +1,218 @@
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// ClusterFixedRun is the artefact bundle of one placement-pinned fixed
+// execution on a heterogeneous SoC: the workload replayed with every task on
+// cluster Cluster, pinned at OPPIndex of that cluster's own OPP ladder. The
+// set of these runs spans the big.LITTLE oracle's search space — every
+// (cluster placement, operating point) pair the silicon offers.
+type ClusterFixedRun struct {
+	// Cluster is the cluster index in the SoC spec's little-to-big order.
+	Cluster int
+	// OPPIndex indexes that cluster's own ladder (not the big ladder).
+	OPPIndex int
+	// Profile is the matched lag profile of the run.
+	Profile *core.Profile
+	// BusyCurve is the run's cumulative busy-time curve, used to charge
+	// energy inside and outside lag windows.
+	BusyCurve *trace.BusyCurve
+}
+
+// ClusterChoice is one point of the big.LITTLE oracle's search space: which
+// cluster serves the work, and at which OPP of that cluster's ladder.
+type ClusterChoice struct {
+	Cluster  int `json:"cluster"`
+	OPPIndex int `json:"opp_index"`
+}
+
+// ClusterOracle is the composed optimal profile of a heterogeneous SoC: for
+// each lag the cheapest (cluster, OPP) pair that still meets the lag's
+// irritation threshold, and outside lags the (cluster, OPP) with the lowest
+// whole-workload energy. Unlike the single-ladder Oracle, which walks one
+// ladder bottom-up ("lowest frequency below the threshold"), this oracle is
+// energy-aware: candidates are compared by the dynamic energy they charge
+// under the calibrated power.SoCModel, so a little-cluster point can win a
+// lag even when a big-cluster point is slower-clocked but hungrier, and
+// vice versa.
+type ClusterOracle struct {
+	// Thresholds are the per-lag irritation deadlines used (the paper's
+	// 110%-of-fastest rule unless overridden).
+	Thresholds core.Thresholds
+	// PerLag maps each interaction index to its chosen (cluster, OPP).
+	PerLag map[int]ClusterChoice
+	// Base is the placement used outside lags: the candidate with the
+	// lowest whole-workload dynamic energy.
+	Base ClusterChoice
+	// EnergyJ is the oracle's dynamic energy for the workload, in joules.
+	EnergyJ float64
+	// Profile is the oracle's lag profile (each lag at its chosen
+	// candidate). By construction its irritation under Thresholds is zero.
+	Profile *core.Profile
+}
+
+// BuildCluster composes the big.LITTLE oracle from one placement-pinned run
+// per (cluster, OPP) candidate. model supplies per-cluster dynamic power;
+// factor is the threshold slack over the fastest candidate (the paper uses
+// 1.10). Passing explicit thresholds (non-nil ByIndex) overrides the
+// relative rule, as in the single-ladder Build.
+func BuildCluster(runs []ClusterFixedRun, model *power.SoCModel, factor float64, override *core.Thresholds) (*ClusterOracle, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("oracle: no cluster fixed runs")
+	}
+	byChoice := make(map[ClusterChoice]ClusterFixedRun, len(runs))
+	var fastest ClusterFixedRun
+	fastestKHz := -1
+	for _, r := range runs {
+		if r.Profile == nil || r.BusyCurve == nil {
+			return nil, fmt.Errorf("oracle: cluster %d OPP %d run incomplete", r.Cluster, r.OPPIndex)
+		}
+		if r.Cluster < 0 || r.Cluster >= len(model.Models) {
+			return nil, fmt.Errorf("oracle: run cluster %d outside %d-cluster model", r.Cluster, len(model.Models))
+		}
+		tbl := model.Cluster(r.Cluster).Table
+		if r.OPPIndex < 0 || r.OPPIndex >= len(tbl) {
+			return nil, fmt.Errorf("oracle: OPP %d outside cluster %s ladder", r.OPPIndex, model.Names[r.Cluster])
+		}
+		ch := ClusterChoice{Cluster: r.Cluster, OPPIndex: r.OPPIndex}
+		if _, dup := byChoice[ch]; dup {
+			return nil, fmt.Errorf("oracle: duplicate candidate cluster %d OPP %d", r.Cluster, r.OPPIndex)
+		}
+		byChoice[ch] = r
+		// The fastest candidate (highest clock; ties toward the bigger
+		// cluster) defines the relative thresholds, like the fastest fixed
+		// frequency does on a single ladder.
+		if khz := tbl[r.OPPIndex].KHz; khz > fastestKHz ||
+			(khz == fastestKHz && r.Cluster > fastest.Cluster) {
+			fastest, fastestKHz = r, khz
+		}
+	}
+
+	var th core.Thresholds
+	if override != nil {
+		th = *override
+	} else {
+		if factor <= 0 {
+			factor = 1.10
+		}
+		th = core.RelativeThresholds(fastest.Profile, factor)
+	}
+
+	dynW := func(ch ClusterChoice) float64 {
+		return model.Cluster(ch.Cluster).DynamicPowerW(ch.OPPIndex)
+	}
+
+	// Base: lowest whole-workload dynamic energy among the candidates.
+	var base ClusterChoice
+	bestE := -1.0
+	for ch, r := range byChoice {
+		e := dynW(ch) * r.BusyCurve.Total().Seconds()
+		if bestE < 0 || e < bestE || (e == bestE && less(ch, base)) {
+			base, bestE = ch, e
+		}
+	}
+
+	o := &ClusterOracle{
+		Thresholds: th,
+		PerLag:     make(map[int]ClusterChoice),
+		Base:       base,
+		Profile:    &core.Profile{Workload: fastest.Profile.Workload, Config: "oracle"},
+	}
+
+	// Per lag: the candidate charging the least dynamic energy among those
+	// meeting the threshold. Map iteration order is randomised, so ties
+	// break deterministically via less().
+	fastLags := fastest.Profile.ByIndex()
+	var lagEnergy float64
+	for _, lag := range fastest.Profile.Lags {
+		if lag.Spurious {
+			o.Profile.Lags = append(o.Profile.Lags, lag)
+			continue
+		}
+		limit := th.For(lag.Index)
+		var chosen ClusterChoice
+		var chosenLag core.Lag
+		chosenE := -1.0
+		for ch, r := range byChoice {
+			cand, ok := r.Profile.ByIndex()[lag.Index]
+			if !ok || cand.Duration() > limit {
+				continue
+			}
+			e := dynW(ch) * r.BusyCurve.Between(cand.Begin, cand.End).Seconds()
+			if chosenE < 0 || e < chosenE || (e == chosenE && less(ch, chosen)) {
+				chosen, chosenLag, chosenE = ch, cand, e
+			}
+		}
+		if chosenE < 0 {
+			// The fastest candidate defines the threshold, so it always
+			// fits; guard anyway.
+			chosen = ClusterChoice{Cluster: fastest.Cluster, OPPIndex: fastest.OPPIndex}
+			chosenLag = fastLags[lag.Index]
+			chosenE = dynW(chosen) * byChoice[chosen].BusyCurve.Between(chosenLag.Begin, chosenLag.End).Seconds()
+		}
+		o.PerLag[lag.Index] = chosen
+		o.Profile.Lags = append(o.Profile.Lags, core.Lag{
+			Index: lag.Index, Label: lag.Label,
+			Begin: lag.Begin, End: lag.Begin.Add(chosenLag.Duration()),
+		})
+		lagEnergy += chosenE
+	}
+
+	// Energy outside lags: the base run's busy time minus its own lag
+	// windows, at the base candidate's power.
+	baseRun := byChoice[base]
+	outside := baseRun.BusyCurve.Total()
+	for _, lag := range baseRun.Profile.Lags {
+		if lag.Spurious {
+			continue
+		}
+		outside -= baseRun.BusyCurve.Between(lag.Begin, lag.End)
+	}
+	if outside < 0 {
+		outside = 0
+	}
+	o.EnergyJ = lagEnergy + dynW(base)*outside.Seconds()
+	return o, nil
+}
+
+// less orders candidates for deterministic tie-breaks: littler cluster
+// first, then lower OPP.
+func less(a, b ClusterChoice) bool {
+	if a.Cluster != b.Cluster {
+		return a.Cluster < b.Cluster
+	}
+	return a.OPPIndex < b.OPPIndex
+}
+
+// Irritation confirms the oracle's defining property (always 0 under its own
+// thresholds).
+func (o *ClusterOracle) Irritation() sim.Duration {
+	return core.Irritation(o.Profile, o.Thresholds)
+}
+
+// ClusterShares returns the fraction of non-spurious lags served on each of
+// nClusters clusters — the "how often is the little cluster enough" number
+// the big.LITTLE study reports. The slice sums to 1 when any lags exist.
+func (o *ClusterOracle) ClusterShares(nClusters int) []float64 {
+	shares := make([]float64, nClusters)
+	total := 0
+	for _, ch := range o.PerLag {
+		if ch.Cluster >= 0 && ch.Cluster < nClusters {
+			shares[ch.Cluster]++
+			total++
+		}
+	}
+	if total > 0 {
+		for i := range shares {
+			shares[i] /= float64(total)
+		}
+	}
+	return shares
+}

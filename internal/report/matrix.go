@@ -1,0 +1,137 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/experiment"
+)
+
+// MatrixTable renders one spec-aware characterisation sweep as the paper's
+// config-matrix table generalised to heterogeneous SoCs: one row per
+// configuration (fixed ladder, homogeneous governors, mixed per-cluster
+// arms) with irritation, dynamic energy, energy normalised to the cluster
+// oracle, scheduler migrations and the per-cluster busy split, followed by
+// the oracle row reporting its chosen cluster shares — how often each
+// cluster was the energy-optimal place to serve a lag.
+func MatrixTable(w io.Writer, res *experiment.MatrixResult) error {
+	if len(res.Runs) == 0 {
+		return fmt.Errorf("report: matrix result has no runs")
+	}
+	names := res.Spec.ClusterNames()
+	reps := 0
+	for _, rs := range res.Runs {
+		if len(rs) > reps {
+			reps = len(rs)
+		}
+	}
+	fmt.Fprintf(w, "CONFIG MATRIX, %s on %s (%d clusters, %d reps)\n",
+		res.Workload.Name, res.Spec.Name, len(names), reps)
+	fmt.Fprintf(w, "%-26s %10s %11s %9s %7s", "config", "irrit (s)", "energy (J)", "vs orcl", "migr")
+	for _, n := range names {
+		fmt.Fprintf(w, " %7s", n+"%")
+	}
+	fmt.Fprintln(w)
+
+	for _, cfg := range res.Configs {
+		if len(res.Runs[cfg.Name]) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-26s %10.2f %11.2f %9.2f %7.1f",
+			cfg.Name,
+			res.MeanIrritation(cfg.Name).Seconds(),
+			res.MeanEnergyJ(cfg.Name),
+			res.NormEnergy(cfg.Name),
+			res.MeanMigrations(cfg.Name))
+		for _, s := range res.ClusterBusyShare(cfg.Name) {
+			fmt.Fprintf(w, " %6.0f%%", 100*s)
+		}
+		fmt.Fprintln(w)
+	}
+
+	// The oracle row: zero irritation by construction; the shares are the
+	// fraction of lags each cluster served across the per-rep oracles.
+	fmt.Fprintf(w, "%-26s %10.2f %11.2f %9.2f %7s", "oracle", 0.0, res.OracleEnergyJ, 1.0, "-")
+	for _, s := range res.OracleClusterShares() {
+		fmt.Fprintf(w, " %6.0f%%", 100*s)
+	}
+	fmt.Fprintln(w)
+	if len(res.Oracles) > 0 {
+		o := res.Oracles[0]
+		base := res.Model.Cluster(o.Base.Cluster)
+		fmt.Fprintf(w, "%-26s base %s@%s; oracle shares = lags served per cluster\n",
+			"", res.Model.Names[o.Base.Cluster], base.Table[o.Base.OPPIndex].Label())
+	}
+	return nil
+}
+
+// CrossSoC renders the cross-platform comparison: the same workload's sweep
+// on several SoC specs side by side, one block per shared configuration
+// name, so the effect of heterogeneity (does a big.LITTLE platform beat the
+// single-core ladder on the QoE/energy plane?) reads off a single table.
+// Configurations that exist on only one spec (the mixed per-cluster arms)
+// are listed under the spec that ran them.
+func CrossSoC(w io.Writer, results []*experiment.MatrixResult) error {
+	if len(results) == 0 {
+		return fmt.Errorf("report: no matrix results")
+	}
+	workloadName := results[0].Workload.Name
+	fmt.Fprintf(w, "CROSS-SoC COMPARISON, %s\n", workloadName)
+	fmt.Fprintf(w, "%-26s", "config")
+	for _, res := range results {
+		if res.Workload.Name != workloadName {
+			return fmt.Errorf("report: cross-SoC mixes workloads %s and %s", workloadName, res.Workload.Name)
+		}
+		fmt.Fprintf(w, " | %22s", trim(res.Spec.Name, 22))
+	}
+	fmt.Fprintf(w, "\n%-26s", "")
+	for range results {
+		fmt.Fprintf(w, " | %10s %11s", "irrit (s)", "energy (J)")
+	}
+	fmt.Fprintln(w)
+
+	// Shared rows first, in the first result's figure order; then each
+	// spec's exclusive arms.
+	printed := make(map[string]bool)
+	row := func(name string) {
+		fmt.Fprintf(w, "%-26s", name)
+		for _, res := range results {
+			if len(res.Runs[name]) == 0 {
+				fmt.Fprintf(w, " | %10s %11s", "-", "-")
+				continue
+			}
+			fmt.Fprintf(w, " | %10.2f %11.2f", res.MeanIrritation(name).Seconds(), res.MeanEnergyJ(name))
+		}
+		fmt.Fprintln(w)
+		printed[name] = true
+	}
+	for _, cfg := range results[0].Configs {
+		row(cfg.Name)
+	}
+	for _, res := range results[1:] {
+		for _, cfg := range res.Configs {
+			if !printed[cfg.Name] {
+				row(cfg.Name)
+			}
+		}
+	}
+	fmt.Fprintf(w, "%-26s", "oracle")
+	for _, res := range results {
+		fmt.Fprintf(w, " | %10.2f %11.2f", 0.0, res.OracleEnergyJ)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// trim shortens a label to width runes with an ellipsis.
+func trim(s string, width int) string {
+	r := []rune(s)
+	if len(r) <= width {
+		return s
+	}
+	if width <= 1 {
+		return string(r[:width])
+	}
+	return strings.TrimSpace(string(r[:width-1])) + "…"
+}

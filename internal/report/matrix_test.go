@@ -1,0 +1,79 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/soc"
+	"repro/internal/workload"
+)
+
+func TestMatrixTableAndCrossSoC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two matrix sweeps")
+	}
+	dragon, err := experiment.RunMatrix(workload.Quickstart(), soc.Dragonboard(), experiment.Options{Reps: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, err := experiment.RunMatrix(workload.Quickstart(), soc.BigLittle44(), experiment.Options{Reps: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := MatrixTable(&sb, bl); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"CONFIG MATRIX", "biglittle-4x4",
+		"interactive", "powersave/interactive", "interactive/performance",
+		"oracle", "little%", "big%", "vs orcl",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("matrix table missing %q:\n%s", want, out)
+		}
+	}
+	// The oracle row must carry per-cluster share percentages and the base
+	// placement line.
+	if !strings.Contains(out, "base ") {
+		t.Errorf("matrix table missing oracle base line:\n%s", out)
+	}
+
+	sb.Reset()
+	if err := CrossSoC(&sb, []*experiment.MatrixResult{dragon, bl}); err != nil {
+		t.Fatal(err)
+	}
+	out = sb.String()
+	for _, want := range []string{
+		"CROSS-SoC COMPARISON", "dragonboard-apq8074", "biglittle-4x4",
+		"ondemand", "oracle",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cross-SoC table missing %q:\n%s", want, out)
+		}
+	}
+	// Mixed arms exist only on the big.LITTLE spec: the Dragonboard column
+	// must show a dash on those rows.
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "powersave/interactive") {
+			found = true
+			if !strings.Contains(line, "-") {
+				t.Errorf("mixed-arm row should dash out the Dragonboard column: %q", line)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("cross-SoC table missing the mixed arm row:\n%s", out)
+	}
+
+	if err := MatrixTable(&sb, &experiment.MatrixResult{}); err == nil {
+		t.Error("empty matrix result accepted")
+	}
+	if err := CrossSoC(&sb, nil); err == nil {
+		t.Error("empty cross-SoC input accepted")
+	}
+}

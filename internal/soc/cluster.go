@@ -12,6 +12,13 @@
 // cycles. All busy time is attributed to the OPP it was executed at, which
 // is exactly the frequency/load trace the paper collects in the background
 // of every run.
+//
+// Units: frequencies are kHz (power.OPP.KHz), work is clock cycles
+// (Cycles), and all times are virtual microseconds (sim.Time /
+// sim.Duration). Concurrency: nothing in this package is safe for
+// concurrent use — a Cluster, SoC and their Tasks belong to the goroutine
+// driving their sim.Engine. Parallel sweeps get their isolation by giving
+// every replay its own engine and SoC, never by sharing one.
 package soc
 
 import (
@@ -33,8 +40,10 @@ const AnyCluster = -1
 
 // Task is a runnable CPU burst. Tasks are created via Cluster.Submit or
 // SoC.Submit and run to completion (possibly interleaved with other tasks)
-// unless cancelled.
+// unless cancelled. Like every soc type, a Task belongs to its engine's
+// goroutine: inspect or cancel it only from simulation callbacks.
 type Task struct {
+	// Name labels the burst in traces and diagnostics, e.g. "ui.anim".
 	Name      string
 	remaining Cycles
 	onDone    func(at sim.Time)
@@ -82,12 +91,15 @@ type Cluster struct {
 	runq       []*Task
 	running    []*Task    // tasks executing right now, one per busy core
 	sliceEnds  []sim.Time // round-robin slice expiry, parallel to running
+	coreOf     []int      // core slot each running task occupies, parallel to running
+	coreUsed   []bool     // which core slots are occupied, len nCores
 	lastSettle sim.Time
 
 	pending     sim.EventID
 	havePending bool
 
-	cumBusy   sim.Duration // core-time: sums across simultaneously busy cores
+	cumBusy   sim.Duration   // core-time: sums across simultaneously busy cores
+	coreBusy  []sim.Duration // cumulative busy per core slot, len nCores
 	busyByOPP []sim.Duration
 
 	// OnFreqChange, if set, observes every OPP transition (trace capture).
@@ -126,6 +138,8 @@ func NewCluster(eng *sim.Engine, spec ClusterSpec) *Cluster {
 		tbl:       spec.Table,
 		name:      spec.Name,
 		nCores:    n,
+		coreUsed:  make([]bool, n),
+		coreBusy:  make([]sim.Duration, n),
 		busyByOPP: make([]sim.Duration, len(spec.Table)),
 	}
 }
@@ -192,6 +206,23 @@ func (c *Cluster) CopyBusyByOPP(dst []sim.Duration) []sim.Duration {
 	}
 	dst = dst[:len(c.busyByOPP)]
 	copy(dst, c.busyByOPP)
+	return dst
+}
+
+// PerCoreBusy copies the cumulative busy time of every core slot into dst
+// (reallocated if too small) and returns it, one entry per core in core-slot
+// order. Dispatch always fills the lowest free slot, so one serial task on an
+// otherwise idle cluster accumulates on a single entry — the signal that lets
+// governors compute per-CPU load (max-of-CPUs) instead of the domain average
+// that keeps a 4-core cluster cold while one core runs flat out. Not safe for
+// concurrent use; call only from the cluster's own engine goroutine.
+func (c *Cluster) PerCoreBusy(dst []sim.Duration) []sim.Duration {
+	c.settle()
+	if cap(dst) < c.nCores {
+		dst = make([]sim.Duration, c.nCores)
+	}
+	dst = dst[:c.nCores]
+	copy(dst, c.coreBusy)
 	return dst
 }
 
@@ -308,20 +339,32 @@ func (c *Cluster) apply() {
 }
 
 // Submit enqueues a CPU burst pinned to this cluster. onDone, if non-nil,
-// fires at the completion instant. Zero-cycle tasks complete immediately.
+// fires at the completion instant. Zero-cycle tasks complete at the current
+// virtual time but through the event queue (so callback ordering stays
+// consistent with non-empty tasks), and remain cancellable until that event
+// fires — Cancel before the completion event dequeues the pending onDone.
 func (c *Cluster) Submit(name string, cycles Cycles, onDone func(at sim.Time)) *Task {
 	t := &Task{Name: name, remaining: cycles, onDone: onDone, affinity: c.id}
 	if cycles <= 0 {
-		t.done = true
-		if onDone != nil {
-			// Complete through the event queue to keep callback ordering
-			// consistent with non-empty tasks.
-			c.eng.After(0, func(e *sim.Engine) { onDone(e.Now()) })
-		}
+		completeZeroCycle(c.eng, t)
 		return t
 	}
 	c.enqueue(t)
 	return t
+}
+
+// completeZeroCycle finishes an empty task through the event queue, honouring
+// a Cancel that lands before the completion event runs.
+func completeZeroCycle(eng *sim.Engine, t *Task) {
+	eng.After(0, func(e *sim.Engine) {
+		if t.cancelled {
+			return
+		}
+		t.done = true
+		if t.onDone != nil {
+			t.onDone(e.Now())
+		}
+	})
 }
 
 // enqueue admits an existing task (fresh or migrated) to the run queue.
@@ -356,12 +399,29 @@ func (c *Cluster) Cancel(t *Task) {
 func (c *Cluster) removeRunning(t *Task) bool {
 	for i, r := range c.running {
 		if r == t {
-			c.running = append(c.running[:i], c.running[i+1:]...)
-			c.sliceEnds = append(c.sliceEnds[:i], c.sliceEnds[i+1:]...)
+			c.dropRunning(i)
 			return true
 		}
 	}
 	return false
+}
+
+// dropRunning removes running-slot i and frees its core.
+func (c *Cluster) dropRunning(i int) {
+	c.coreUsed[c.coreOf[i]] = false
+	c.running = append(c.running[:i], c.running[i+1:]...)
+	c.sliceEnds = append(c.sliceEnds[:i], c.sliceEnds[i+1:]...)
+	c.coreOf = append(c.coreOf[:i], c.coreOf[i+1:]...)
+}
+
+// freeCore returns the lowest unoccupied core slot.
+func (c *Cluster) freeCore() int {
+	for i, used := range c.coreUsed {
+		if !used {
+			return i
+		}
+	}
+	return 0 // unreachable: dispatch only runs with a free slot
 }
 
 // stealQueued removes and returns the oldest migratable queued task, or nil.
@@ -392,13 +452,14 @@ func (c *Cluster) settle() {
 	if elapsed <= 0 {
 		return
 	}
-	for _, t := range c.running {
+	for i, t := range c.running {
 		consumed := Cycles(int64(elapsed) * int64(c.tbl[c.oppIdx].KHz) / 1000)
 		if consumed > t.remaining {
 			consumed = t.remaining
 		}
 		t.remaining -= consumed
 		c.cumBusy += elapsed
+		c.coreBusy[c.coreOf[i]] += elapsed
 		c.busyByOPP[c.oppIdx] += elapsed
 	}
 	c.lastSettle = now
@@ -420,12 +481,15 @@ func (c *Cluster) reschedule() {
 		c.havePending = false
 	}
 	now := c.eng.Now()
-	// Fill idle cores from the run queue.
+	// Fill idle cores from the run queue, lowest free core slot first.
 	for len(c.running) < c.nCores && len(c.runq) > 0 {
 		t := c.runq[0]
 		c.runq = c.runq[1:]
+		core := c.freeCore()
+		c.coreUsed[core] = true
 		c.running = append(c.running, t)
 		c.sliceEnds = append(c.sliceEnds, now.Add(TimeSlice))
+		c.coreOf = append(c.coreOf, core)
 	}
 	if len(c.running) == 0 {
 		c.lastSettle = now
@@ -471,8 +535,7 @@ func (c *Cluster) onExecEvent() {
 	for i := 0; i < len(c.running); {
 		if now >= c.sliceEnds[i] && len(c.runq) > 0 {
 			t := c.running[i]
-			c.running = append(c.running[:i], c.running[i+1:]...)
-			c.sliceEnds = append(c.sliceEnds[:i], c.sliceEnds[i+1:]...)
+			c.dropRunning(i)
 			c.runq = append(c.runq, t)
 			continue
 		}

@@ -96,10 +96,7 @@ func (sc *scheduler) armTick() {
 func (sc *scheduler) submit(name string, cycles Cycles, onDone func(at sim.Time)) *Task {
 	t := &Task{Name: name, remaining: cycles, onDone: onDone, affinity: AnyCluster}
 	if cycles <= 0 {
-		t.done = true
-		if onDone != nil {
-			sc.soc.eng.After(0, func(e *sim.Engine) { onDone(e.Now()) })
-		}
+		completeZeroCycle(sc.soc.eng, t)
 		return t
 	}
 	sc.place(t).enqueue(t)

@@ -22,11 +22,15 @@ type ClusterSpec struct {
 
 // Spec describes a whole SoC: its clusters (little-to-big order) and the
 // task scheduler tunables. The zero value is not valid; use Dragonboard,
-// BigLittle44 or build a custom spec.
+// BigLittle44 or build a custom spec. Specs are plain values, safe to copy
+// and share between goroutines.
 type Spec struct {
-	Name     string
+	// Name identifies the spec in reports, e.g. "biglittle-4x4".
+	Name string
+	// Clusters lists the frequency domains in little-to-big order.
 	Clusters []ClusterSpec
-	Sched    SchedParams
+	// Sched tunes the HMP task scheduler; the zero value takes defaults.
+	Sched SchedParams
 }
 
 // Validate checks the spec is buildable.
@@ -146,10 +150,13 @@ func (s *SoC) Submit(name string, cycles Cycles, onDone func(at sim.Time)) *Task
 }
 
 // SubmitPinned places a CPU burst on one specific cluster; the scheduler
-// never migrates it.
+// never migrates it. It panics on an out-of-range cluster index, mirroring
+// New and device.NewMulti — silently clamping to cluster 0 would run pinned
+// work on the wrong silicon and skew per-cluster accounting without a trace.
 func (s *SoC) SubmitPinned(cluster int, name string, cycles Cycles, onDone func(at sim.Time)) *Task {
 	if cluster < 0 || cluster >= len(s.clusters) {
-		cluster = 0
+		panic(fmt.Sprintf("soc: SubmitPinned cluster %d out of range on %q (%d clusters)",
+			cluster, s.spec.Name, len(s.clusters)))
 	}
 	return s.clusters[cluster].Submit(name, cycles, onDone)
 }

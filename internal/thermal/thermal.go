@@ -11,6 +11,12 @@
 // package is deliberately free of soc/device dependencies: a Zone consumes
 // watts and produces degrees; the device layer owns the wiring from cluster
 // busy-time to heat input and from throttler verdicts to frequency caps.
+//
+// Units: temperatures are °C, heat inputs watts, time constants seconds and
+// tick periods virtual time (sim.Duration). Concurrency: Zone and Throttler
+// are stateful and belong to one device's engine goroutine; Config,
+// ZoneConfig and the parameter structs are plain values, safe to copy into
+// any number of concurrently replaying devices.
 package thermal
 
 import (
@@ -189,7 +195,10 @@ func (t *Throttler) Update(tempC float64) (capIdx int, changed bool) {
 
 // ZoneConfig pairs the RC constants and throttler tuning of one cluster.
 type ZoneConfig struct {
-	Zone     ZoneParams
+	// Zone holds the RC constants (°C, °C/W, seconds).
+	Zone ZoneParams
+	// Throttle holds the trip/clear temperatures (°C) and cap floor; a
+	// zero value traces temperatures without ever capping.
 	Throttle ThrottleParams
 }
 

@@ -70,11 +70,21 @@ func TestDragonboardGoldenTraces(t *testing.T) {
 // changing multi-cluster behaviour: with no caps configured,
 // RequestOPPIndex must be event-for-event identical to the old direct
 // SetOPPIndex coupling.
+//
+// Golden-trace update (per-core load meter): these hashes were regenerated
+// when the governor load meter switched from the domain-average load
+// (busy / (wall x cores)) to per-core tracking with max-of-CPUs. On
+// multi-core clusters every load-based governor now sees a saturated core
+// as 100% load instead of 25% and ramps accordingly, shifting frequency
+// transitions, per-OPP busy attribution and migrations — an intentional
+// behaviour fix (the ROADMAP "per-core load tracking" item), not an
+// accidental regression. The single-core Dragonboard hashes above are
+// untouched: with one core, max-of-CPUs and the domain average coincide.
 func TestBigLittleGoldenTraces(t *testing.T) {
 	golden := map[string]string{
-		"ondemand":     "df11f06cab889da8",
-		"interactive":  "8fa7bf64d1d69488",
-		"conservative": "916f9897d0bd8c32",
+		"ondemand":     "fb5daff8d4860903",
+		"interactive":  "71157d49e42b020a",
+		"conservative": "7bd33817bcc07e98",
 	}
 	w := Quickstart()
 	w.Profile.SoC = soc.BigLittle44()

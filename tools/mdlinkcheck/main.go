@@ -1,0 +1,78 @@
+// Command mdlinkcheck validates the relative links of markdown files: every
+// [text](target) whose target is not an external URL or a bare anchor must
+// point at an existing file or directory (anchors on relative targets are
+// checked for file existence only). It exits non-zero listing every broken
+// link — the docs gate CI runs over README.md, ROADMAP.md and docs/.
+//
+// Usage:
+//
+//	go run ./tools/mdlinkcheck README.md ROADMAP.md docs/*.md
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links [text](target). Images and reference
+// definitions are out of scope for this repository's docs.
+var linkRE = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: mdlinkcheck <file.md> [...]")
+		os.Exit(2)
+	}
+	broken := 0
+	for _, path := range os.Args[1:] {
+		for _, b := range checkFile(path) {
+			fmt.Fprintln(os.Stderr, b)
+			broken++
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "mdlinkcheck: %d broken links\n", broken)
+		os.Exit(1)
+	}
+}
+
+// checkFile returns one message per broken relative link in the file.
+func checkFile(path string) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", path, err)}
+	}
+	var out []string
+	dir := filepath.Dir(path)
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if skippable(target) {
+				continue
+			}
+			// Strip an anchor suffix; the file must still exist.
+			if idx := strings.IndexByte(target, '#'); idx >= 0 {
+				target = target[:idx]
+				if target == "" {
+					continue
+				}
+			}
+			if _, err := os.Stat(filepath.Join(dir, target)); err != nil {
+				out = append(out, fmt.Sprintf("%s:%d: broken link %q", path, i+1, m[1]))
+			}
+		}
+	}
+	return out
+}
+
+// skippable reports whether a link target is out of scope: external URLs,
+// mail links and bare in-page anchors.
+func skippable(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#")
+}

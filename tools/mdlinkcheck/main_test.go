@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCheckFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "exists.md"), []byte("# hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	md := filepath.Join(dir, "index.md")
+	content := `# Index
+[good](exists.md) and [anchored](exists.md#section) and [inpage](#local)
+[external](https://example.com/x) [mail](mailto:a@b.c)
+[broken](missing.md) [also broken](sub/none.md#frag)
+`
+	if err := os.WriteFile(md, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := checkFile(md)
+	if len(out) != 2 {
+		t.Fatalf("checkFile found %d broken links, want 2: %v", len(out), out)
+	}
+	for _, msg := range out {
+		if !filepath.IsAbs(msg) && msg == "" {
+			t.Fatalf("empty message")
+		}
+	}
+	if out[0] == out[1] {
+		t.Fatal("duplicate messages")
+	}
+}
+
+// TestRepoDocsHaveNoBrokenLinks gates the real documentation set, the same
+// check the CI docs job runs.
+func TestRepoDocsHaveNoBrokenLinks(t *testing.T) {
+	root := "../.."
+	files := []string{
+		filepath.Join(root, "README.md"),
+		filepath.Join(root, "ROADMAP.md"),
+	}
+	docs, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, docs...)
+	if len(docs) == 0 {
+		t.Fatal("no docs/*.md found")
+	}
+	for _, f := range files {
+		for _, msg := range checkFile(f) {
+			t.Error(msg)
+		}
+	}
+}
