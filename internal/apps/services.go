@@ -17,6 +17,7 @@ type MusicService struct {
 
 	h       Host
 	playing bool
+	tick    func() // one pre-bound loop body; rescheduling never allocates
 }
 
 // NewMusicService returns a decoder service: 12 M cycles every 250 ms
@@ -32,7 +33,13 @@ func (s *MusicService) Name() string { return "music" }
 func (s *MusicService) Start(h Host) {
 	s.h = h
 	s.playing = s.AutoPlay
-	s.loop()
+	s.tick = func() {
+		if s.playing {
+			s.h.SpawnWork("music.decode", s.ChunkCycles, nil)
+		}
+		s.h.After(s.Period, s.tick)
+	}
+	s.h.After(s.Period, s.tick)
 }
 
 // SetPlaying toggles decoding.
@@ -40,15 +47,6 @@ func (s *MusicService) SetPlaying(on bool) { s.playing = on }
 
 // Playing reports the playback state.
 func (s *MusicService) Playing() bool { return s.playing }
-
-func (s *MusicService) loop() {
-	s.h.After(s.Period, func() {
-		if s.playing {
-			s.h.SpawnWork("music.decode", s.ChunkCycles, nil)
-		}
-		s.loop()
-	})
-}
 
 // AccountSyncService models periodic account/cloud sync: an abrupt
 // full-throttle burst (CPU parse + network IO) every couple of tens of
@@ -62,7 +60,9 @@ type AccountSyncService struct {
 	// NetDelay is the network round trip before the parse burst.
 	NetDelay sim.Duration
 
-	h Host
+	h     Host
+	tick  func() // one pre-bound loop body; rescheduling never allocates
+	onNet func() // the post-roundtrip parse burst, equally pre-bound
 }
 
 // NewAccountSyncService returns a sync service with the given period
@@ -82,17 +82,17 @@ func (s *AccountSyncService) Name() string { return "accountsync" }
 // Start implements Service.
 func (s *AccountSyncService) Start(h Host) {
 	s.h = h
+	s.onNet = func() { s.h.SpawnWork("sync.parse", s.BurstCycles, nil) }
+	s.tick = func() {
+		s.h.SpawnIO("sync.net", s.NetDelay, s.onNet)
+		s.schedule()
+	}
 	s.schedule()
 }
 
 func (s *AccountSyncService) schedule() {
 	jitter := s.h.Rand().Jitter(s.Interval / 6)
-	s.h.After(s.Interval+jitter, func() {
-		s.h.SpawnIO("sync.net", s.NetDelay, func() {
-			s.h.SpawnWork("sync.parse", s.BurstCycles, nil)
-		})
-		s.schedule()
-	})
+	s.h.After(s.Interval+jitter, s.tick)
 }
 
 // TelemetryService models light periodic OS housekeeping (location, stats
@@ -102,6 +102,7 @@ type TelemetryService struct {
 	Period sim.Duration
 	Cycles int64
 	h      Host
+	tick   func() // one pre-bound loop body; rescheduling never allocates
 }
 
 // NewTelemetryService returns the housekeeping service (5 M cycles every
@@ -116,15 +117,16 @@ func (s *TelemetryService) Name() string { return "telemetry" }
 // Start implements Service.
 func (s *TelemetryService) Start(h Host) {
 	s.h = h
-	s.loop()
+	s.tick = func() {
+		s.h.SpawnWork("telemetry.tick", s.Cycles, nil)
+		s.schedule()
+	}
+	s.schedule()
 }
 
-func (s *TelemetryService) loop() {
+func (s *TelemetryService) schedule() {
 	jitter := s.h.Rand().Jitter(s.Period / 10)
-	s.h.After(s.Period+jitter, func() {
-		s.h.SpawnWork("telemetry.tick", s.Cycles, nil)
-		s.loop()
-	})
+	s.h.After(s.Period+jitter, s.tick)
 }
 
 // PeriodicWorkService is a generic background load generator: Cycles of CPU
@@ -137,6 +139,7 @@ type PeriodicWorkService struct {
 	Cycles int64
 	Period sim.Duration
 	h      Host
+	tick   func() // one pre-bound loop body; rescheduling never allocates
 }
 
 // NewPeriodicService builds a periodic background work service.
@@ -153,13 +156,14 @@ func (s *PeriodicWorkService) Name() string { return s.Label }
 // Start implements Service.
 func (s *PeriodicWorkService) Start(h Host) {
 	s.h = h
-	s.loop()
+	s.tick = func() {
+		s.h.SpawnWork(s.Label, s.Cycles, nil)
+		s.schedule()
+	}
+	s.schedule()
 }
 
-func (s *PeriodicWorkService) loop() {
+func (s *PeriodicWorkService) schedule() {
 	jitter := s.h.Rand().Jitter(s.Period / 8)
-	s.h.After(s.Period+jitter, func() {
-		s.h.SpawnWork(s.Label, s.Cycles, nil)
-		s.loop()
-	})
+	s.h.After(s.Period+jitter, s.tick)
 }

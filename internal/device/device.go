@@ -84,6 +84,12 @@ type Profile struct {
 	// for calibration per replay. The model is read-only and safe to share
 	// across concurrently replaying devices.
 	ThermalPower *power.SoCModel
+	// FramePool, when set, supplies recycled storage for captured frames.
+	// Sweeps give each replay worker its own pool and hand matched videos
+	// back to it, so repeated replays capture without allocating. Leave nil
+	// whenever the video's frames outlive the replay (annotation builds,
+	// anything that stores frames). A pool is not safe for concurrent use.
+	FramePool *video.FramePool
 }
 
 // SoCSpec returns the profile's SoC spec, defaulting to the paper's
@@ -278,15 +284,18 @@ func (d *Device) bootThermal() {
 		}
 		d.ClusterTraces[i].Temp.Append(0, d.Zones[i].TempC())
 	}
+	// The tick is one pooled callback rescheduled forever: with the slot
+	// pool in sim.Engine this path performs zero allocations per 100 ms of
+	// simulated time once the temperature traces have grown to capacity.
 	period := cfg.Tick()
 	n := 0
-	var tick func(e *sim.Engine)
-	tick = func(e *sim.Engine) {
+	var tick func()
+	tick = func() {
 		d.thermalTick(period)
 		n++
-		e.At(sim.Time(int64(n+1)*int64(period)), tick)
+		d.Eng.AtFunc(sim.Time(int64(n+1)*int64(period)), tick)
 	}
-	d.Eng.At(sim.Time(period), tick)
+	d.Eng.AtFunc(sim.Time(period), tick)
 }
 
 // thermalTick advances every zone by one period and evaluates throttling.
@@ -378,6 +387,26 @@ func (d *Device) startServices() {
 	}
 }
 
+// ReserveTraces pre-sizes every trace series for a run of the given
+// wall-clock window, so the periodic samplers (vsync busy curve, thermal
+// tick) append without reallocating for the whole run. Callers that know
+// their window (the replay runner does) call this right after boot.
+func (d *Device) ReserveTraces(window sim.Duration) {
+	if window <= 0 {
+		return
+	}
+	if d.BusyCurve.Step > 0 {
+		d.BusyCurve.Reserve(int(window/d.BusyCurve.Step) + 2)
+	}
+	tick := sim.Duration(0)
+	if d.prof.Thermal.Enabled() {
+		tick = d.prof.Thermal.Tick()
+	}
+	for _, ct := range d.ClusterTraces {
+		ct.Reserve(window, tick)
+	}
+}
+
 // App returns a registered app by name (nil if unknown).
 func (d *Device) App(name string) apps.App { return d.appsByName[name] }
 
@@ -398,12 +427,15 @@ func (d *Device) Now() sim.Time { return d.Eng.Now() }
 // Rand implements apps.Host.
 func (d *Device) Rand() *sim.Rand { return d.rand }
 
-// After implements apps.Host.
+// After implements apps.Host. The callback goes to the engine as-is, so a
+// service loop that reschedules one pre-bound func value never allocates.
 func (d *Device) After(dur sim.Duration, fn func()) {
-	d.Eng.After(dur, func(*sim.Engine) { fn() })
+	d.Eng.AfterFunc(dur, fn)
 }
 
 // SpawnWork implements apps.Host, applying the per-repetition work jitter.
+// Fire-and-forget bursts (nil onDone — every animation frame, every
+// background service tick) submit without a completion wrapper.
 func (d *Device) SpawnWork(name string, cycles int64, onDone func()) {
 	jittered := int64(sim.Duration(cycles))
 	if d.prof.WorkJitterFrac > 0 {
@@ -412,11 +444,11 @@ func (d *Device) SpawnWork(name string, cycles int64, onDone func()) {
 	if jittered < 1 {
 		jittered = 1
 	}
-	d.SoC.Submit(name, soc.Cycles(jittered), func(sim.Time) {
-		if onDone != nil {
-			onDone()
-		}
-	})
+	if onDone == nil {
+		d.SoC.Submit(name, soc.Cycles(jittered), nil)
+		return
+	}
+	d.SoC.Submit(name, soc.Cycles(jittered), func(sim.Time) { onDone() })
 }
 
 // SpawnIO implements apps.Host, applying the per-repetition IO jitter. With
@@ -427,11 +459,10 @@ func (d *Device) SpawnIO(name string, dur sim.Duration, onDone func()) {
 	if d.prof.NetProxy != nil {
 		jittered = d.prof.NetProxy.Access(name, jittered)
 	}
-	d.Eng.After(jittered, func(*sim.Engine) {
-		if onDone != nil {
-			onDone()
-		}
-	})
+	if onDone == nil {
+		return
+	}
+	d.Eng.AfterFunc(jittered, onDone)
 }
 
 // Invalidate implements apps.Host.
@@ -639,15 +670,16 @@ func (d *Device) goHome() bool {
 // ---- rendering and capture ----
 
 // vsyncLoop ticks at the display rate: it samples the busy curve, charges
-// animation UI work, and keeps animated content invalidated.
+// animation UI work, and keeps animated content invalidated. The tick is one
+// pooled callback rescheduled forever — the hottest periodic path of a
+// replay runs allocation-free once the busy curves have grown to capacity.
 func (d *Device) vsyncLoop() {
 	period := d.BusyCurve.Step
-	var tick func(e *sim.Engine)
+	var tick func()
 	n := 0
-	tick = func(e *sim.Engine) {
+	tick = func() {
 		// One pass over the clusters feeds both the per-cluster curves and
-		// the SoC-aggregate curve (their sum) — this is the hottest periodic
-		// path of a replay.
+		// the SoC-aggregate curve (their sum).
 		var total sim.Duration
 		for i, ct := range d.ClusterTraces {
 			busy := d.SoC.Cluster(i).CumulativeBusy()
@@ -660,24 +692,30 @@ func (d *Device) vsyncLoop() {
 			d.dirty = true
 		}
 		n++
-		e.At(sim.Time(int64(n)*int64(period)), tick)
+		d.Eng.AtFunc(sim.Time(int64(n)*int64(period)), tick)
 	}
-	d.Eng.At(0, tick)
+	d.Eng.AtFunc(0, tick)
 }
 
 // minuteClock invalidates the screen at each minute boundary so the status
 // bar clock advances — the content the paper's Fig. 8 masks.
 func (d *Device) minuteClock() {
-	var tick func(e *sim.Engine)
-	tick = func(e *sim.Engine) {
+	var tick func()
+	tick = func() {
 		d.dirty = true
-		e.After(sim.Duration(sim.Minute), tick)
+		d.Eng.AfterFunc(sim.Duration(sim.Minute), tick)
 	}
-	d.Eng.After(sim.Duration(sim.Minute), tick)
+	d.Eng.AfterFunc(sim.Duration(sim.Minute), tick)
 }
 
 // Frame renders (if needed) and returns the current screen frame; this is
-// the HDMI output the video recorder captures.
+// the HDMI output the video recorder captures. The capture path is
+// zero-copy for unchanged content: a dirty flag alone does not allocate —
+// the rendered framebuffer is compared against the previously captured
+// frame and only an actual pixel change clones (from the profile's frame
+// pool when one is set). Returning the identical *Frame for identical
+// content also lets the video's run-length encoder extend runs on pointer
+// identity without ever comparing pixels.
 func (d *Device) Frame() *video.Frame {
 	if !d.dirty && d.cached != nil {
 		return d.cached
@@ -686,8 +724,15 @@ func (d *Device) Frame() *video.Frame {
 	d.foreground.Render(&d.fb, d.Eng.Now())
 	screen.DrawStatusBar(&d.fb, d.Eng.Now())
 	screen.DrawNavBar(&d.fb)
-	d.cached = video.NewFrame(d.fb.Clone())
 	d.dirty = false
+	if d.cached != nil && d.cached.EqualPix(d.fb.Pix[:]) {
+		return d.cached
+	}
+	if d.prof.FramePool != nil {
+		d.cached = d.prof.FramePool.Capture(d.fb.Pix[:])
+	} else {
+		d.cached = video.NewFrame(d.fb.Clone())
+	}
 	return d.cached
 }
 

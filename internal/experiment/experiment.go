@@ -16,7 +16,6 @@ package experiment
 import (
 	"fmt"
 	"runtime"
-	"sync"
 
 	"repro/internal/annotate"
 	"repro/internal/core"
@@ -248,21 +247,11 @@ func RunDataset(w *workload.Workload, model *power.Model, opts Options) (*Datase
 
 	runs := make([]*Run, len(jobs))
 	errs := make([]error, len(jobs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opts.Workers)
-	for ji := range jobs {
-		ji := ji
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			j := jobs[ji]
-			seed := opts.Seed ^ (uint64(ji+1) * 0x9e3779b9)
-			runs[ji], errs[ji] = executeRun(w, rec, db, res.Gestures, model, socModel, j.cfg, j.rep, seed)
-		}()
-	}
-	wg.Wait()
+	forEachJob(opts.Workers, len(jobs), func(ji int, scratch *replayScratch) {
+		j := jobs[ji]
+		seed := opts.Seed ^ (uint64(ji+1) * 0x9e3779b9)
+		runs[ji], errs[ji] = executeRun(w, rec, db, res.Gestures, model, socModel, j.cfg, j.rep, seed, scratch)
+	})
 	for ji, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("experiment: %s %s rep %d: %w", w.Name, jobs[ji].cfg.Name, jobs[ji].rep, err)
@@ -281,12 +270,17 @@ func RunDataset(w *workload.Workload, model *power.Model, opts Options) (*Datase
 
 func executeRun(w *workload.Workload, rec *workload.Recording, db *annotate.DB,
 	gestures []evdev.Gesture, model *power.Model, socModel *power.SoCModel,
-	cfg Config, rep int, seed uint64) (*Run, error) {
+	cfg Config, rep int, seed uint64, scratch *replayScratch) (*Run, error) {
+	w = scratch.pooledWorkload(w)
 	art := workload.ReplayMulti(w, rec, cfg.Governors(w.Profile), cfg.Name, seed, true)
 	profile, err := match.Match(art.Video, db, gestures, cfg.Name, match.Options{Strict: true})
 	if err != nil {
 		return nil, err
 	}
+	// The video exists only for the matcher; recycle its frames for the
+	// worker's next repetition.
+	scratch.release(art.Video)
+	art.Video = nil
 	var energy float64
 	if socModel != nil {
 		energy, err = socModel.Energy(art.BusyByCluster)

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
 	"repro/internal/annotate"
 	"repro/internal/core"
@@ -196,25 +195,15 @@ func RunMatrix(w *workload.Workload, spec soc.Spec, opts Options) (*MatrixResult
 	runs := make([]*Run, len(jobs))
 	cands := make([]oracle.ClusterFixedRun, len(jobs))
 	errs := make([]error, len(jobs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opts.Workers)
-	for ji := range jobs {
-		ji := ji
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			j := jobs[ji]
-			seed := opts.Seed ^ (uint64(ji+1) * 0x9e3779b9)
-			if !j.candidate {
-				runs[ji], errs[ji] = executeRun(w, rec, db, res.Gestures, nil, socModel, j.cfg, j.rep, seed)
-				return
-			}
-			cands[ji], errs[ji] = executeCandidateRun(w, rec, db, res.Gestures, spec, j.cluster, j.opp, seed)
-		}()
-	}
-	wg.Wait()
+	forEachJob(opts.Workers, len(jobs), func(ji int, scratch *replayScratch) {
+		j := jobs[ji]
+		seed := opts.Seed ^ (uint64(ji+1) * 0x9e3779b9)
+		if !j.candidate {
+			runs[ji], errs[ji] = executeRun(w, rec, db, res.Gestures, nil, socModel, j.cfg, j.rep, seed, scratch)
+			return
+		}
+		cands[ji], errs[ji] = executeCandidateRun(w, rec, db, res.Gestures, spec, j.cluster, j.opp, seed, scratch)
+	})
 	for ji, err := range errs {
 		if err != nil {
 			j := jobs[ji]
@@ -280,10 +269,12 @@ func RunMatrix(w *workload.Workload, spec soc.Spec, opts Options) (*MatrixResult
 // counterfactual the oracle needs ("what if this lag were served on the
 // little cluster at 0.80 GHz?").
 func executeCandidateRun(w *workload.Workload, rec *workload.Recording, db *annotate.DB,
-	gestures []evdev.Gesture, spec soc.Spec, cluster, opp int, seed uint64) (oracle.ClusterFixedRun, error) {
+	gestures []evdev.Gesture, spec soc.Spec, cluster, opp int, seed uint64,
+	scratch *replayScratch) (oracle.ClusterFixedRun, error) {
 	cs := spec.Clusters[cluster]
 	wc := *w
 	wc.Profile.SoC = soc.Spec{Name: spec.Name + "-" + cs.Name + "-only", Clusters: []soc.ClusterSpec{cs}}
+	wc.Profile.FramePool = scratch.frames
 	name := cs.Name + "@" + cs.Table[opp].Label()
 	govs := []governor.Governor{governor.NewFixed(cs.Table, opp)}
 	art := workload.ReplayMulti(&wc, rec, govs, name, seed, true)
@@ -291,6 +282,8 @@ func executeCandidateRun(w *workload.Workload, rec *workload.Recording, db *anno
 	if err != nil {
 		return oracle.ClusterFixedRun{}, err
 	}
+	scratch.release(art.Video)
+	art.Video = nil
 	return oracle.ClusterFixedRun{
 		Cluster:   cluster,
 		OPPIndex:  opp,

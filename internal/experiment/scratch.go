@@ -1,0 +1,63 @@
+package experiment
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/video"
+	"repro/internal/workload"
+)
+
+// replayScratch is the per-worker reusable state of a sweep. Every worker
+// goroutine owns exactly one, so nothing in it needs locking: the frame pool
+// recycles captured frame storage from one repetition into the next, which
+// is the bulk of a replay's allocations once the engine and callback paths
+// stopped allocating.
+type replayScratch struct {
+	frames *video.FramePool
+}
+
+// pooledWorkload returns the workload with the worker's frame pool installed
+// in its device profile (a value copy; the shared workload is untouched).
+func (s *replayScratch) pooledWorkload(w *workload.Workload) *workload.Workload {
+	wc := *w
+	wc.Profile.FramePool = s.frames
+	return &wc
+}
+
+// release hands a matched video's frames back to the worker pool. The video
+// must not be used afterwards.
+func (s *replayScratch) release(v *video.Video) { s.frames.Release(v) }
+
+// forEachJob runs jobs [0, n) across at most workers goroutines, handing
+// each worker a private replayScratch. fn must be safe to call concurrently
+// for distinct job indices and write results only to its own index — the
+// same contract the sweeps' pre-sized result slices already rely on for
+// deterministic ordering. Compared to the previous goroutine-per-job +
+// semaphore fan-out, fixed workers are what make per-worker reuse possible
+// at all: scratch lifetime equals worker lifetime, not job lifetime.
+func forEachJob(workers, n int, fn func(ji int, scratch *replayScratch)) {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := &replayScratch{frames: video.NewFramePool()}
+			for {
+				ji := int(cursor.Add(1)) - 1
+				if ji >= n {
+					return
+				}
+				fn(ji, scratch)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -3,7 +3,6 @@ package experiment
 import (
 	"fmt"
 	"runtime"
-	"sync"
 
 	"repro/internal/annotate"
 	"repro/internal/core"
@@ -237,48 +236,41 @@ func RunSustained(w *workload.Workload, configs []Config, opts SustainedOptions)
 
 	runs := make([]*SustainedRun, len(jobs))
 	errs := make([]error, len(jobs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opts.Workers)
-	for ji := range jobs {
-		ji := ji
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			j := jobs[ji]
-			prof := w.Profile
-			prof.ThermalPower = socModel
-			if j.throttled {
-				prof.Thermal = opts.Thermal
-			} else {
-				prof.Thermal = recordOnly(opts.Thermal)
-			}
-			sw := &workload.Workload{Name: w.Name, Profile: prof, Duration: sustained.Duration}
-			seed := opts.Seed ^ (uint64(ji+1) * 0x9e3779b9)
-			art := workload.ReplayMulti(sw, sustained, j.cfg.Governors(prof), j.cfg.Name, seed, true)
-			profile, err := match.Match(art.Video, db, gestures, j.cfg.Name, match.Options{Strict: true})
-			if err != nil {
-				errs[ji] = err
-				return
-			}
-			energy, err := socModel.Energy(art.BusyByCluster)
-			if err != nil {
-				errs[ji] = err
-				return
-			}
-			runs[ji] = &SustainedRun{
-				Config:    j.cfg.Name,
-				Throttled: j.throttled,
-				Rep:       j.rep,
-				Profile:   profile,
-				EnergyJ:   energy,
-				Clusters:  art.Clusters,
-				Window:    art.Window,
-			}
-		}()
-	}
-	wg.Wait()
+	forEachJob(opts.Workers, len(jobs), func(ji int, scratch *replayScratch) {
+		j := jobs[ji]
+		prof := w.Profile
+		prof.ThermalPower = socModel
+		prof.FramePool = scratch.frames
+		if j.throttled {
+			prof.Thermal = opts.Thermal
+		} else {
+			prof.Thermal = recordOnly(opts.Thermal)
+		}
+		sw := &workload.Workload{Name: w.Name, Profile: prof, Duration: sustained.Duration}
+		seed := opts.Seed ^ (uint64(ji+1) * 0x9e3779b9)
+		art := workload.ReplayMulti(sw, sustained, j.cfg.Governors(prof), j.cfg.Name, seed, true)
+		profile, err := match.Match(art.Video, db, gestures, j.cfg.Name, match.Options{Strict: true})
+		if err != nil {
+			errs[ji] = err
+			return
+		}
+		scratch.release(art.Video)
+		art.Video = nil
+		energy, err := socModel.Energy(art.BusyByCluster)
+		if err != nil {
+			errs[ji] = err
+			return
+		}
+		runs[ji] = &SustainedRun{
+			Config:    j.cfg.Name,
+			Throttled: j.throttled,
+			Rep:       j.rep,
+			Profile:   profile,
+			EnergyJ:   energy,
+			Clusters:  art.Clusters,
+			Window:    art.Window,
+		}
+	})
 	for ji, err := range errs {
 		if err != nil {
 			arm := "record-only"

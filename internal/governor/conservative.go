@@ -23,7 +23,8 @@ type Conservative struct {
 
 	cpu       CPU
 	meter     loadMeter
-	requested int // continuously tracked requested frequency in kHz
+	tickFn    func() // tick bound once at Start, so rescheduling never allocates
+	requested int    // continuously tracked requested frequency in kHz
 }
 
 // NewConservative returns a conservative governor with kernel-default
@@ -58,7 +59,8 @@ func (g *Conservative) Start(cpu CPU) {
 	}
 	g.requested = cpu.Table()[cpu.OPPIndex()].KHz
 	g.meter.reset(cpu)
-	g.cpu.After(g.SamplingRate, g.tick)
+	g.tickFn = g.tick
+	g.cpu.After(g.SamplingRate, g.tickFn)
 }
 
 // OnInput implements Governor; conservative ignores input events.
@@ -83,5 +85,5 @@ func (g *Conservative) tick() {
 		}
 		g.cpu.RequestOPPIndex(tbl.IndexAtMost(g.requested))
 	}
-	g.cpu.After(g.SamplingRate, g.tick)
+	g.cpu.After(g.SamplingRate, g.tickFn)
 }

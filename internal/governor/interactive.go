@@ -27,11 +27,13 @@ type Interactive struct {
 	// governor may ramp down.
 	MinSampleTime sim.Duration
 
-	cpu       CPU
-	meter     loadMeter
-	lastRaise sim.Time // time of the last frequency raise (floor timer)
-	hispeedAt sim.Time // when we first sat at/above hispeed under high load
-	atHispeed bool
+	cpu        CPU
+	meter      loadMeter
+	tickFn     func()   // tick bound once at Start, so rescheduling never allocates
+	hispeedIdx int      // HispeedKHz resolved onto the ladder once at Start
+	lastRaise  sim.Time // time of the last frequency raise (floor timer)
+	hispeedAt  sim.Time // when we first sat at/above hispeed under high load
+	atHispeed  bool
 }
 
 // NewInteractive returns an interactive governor with Nexus-5-class
@@ -68,7 +70,9 @@ func (g *Interactive) Start(cpu CPU) {
 		g.MinSampleTime = 80 * sim.Millisecond
 	}
 	g.meter.reset(cpu)
-	g.cpu.After(g.TimerRate, g.tick)
+	g.hispeedIdx = cpu.Table().IndexAtLeast(g.HispeedKHz)
+	g.tickFn = g.tick
+	g.cpu.After(g.TimerRate, g.tickFn)
 }
 
 // OnInput implements Governor: the input boost. The frequency immediately
@@ -78,8 +82,7 @@ func (g *Interactive) OnInput(at sim.Time) {
 	if g.cpu == nil {
 		return
 	}
-	tbl := g.cpu.Table()
-	boost := tbl.IndexAtLeast(g.HispeedKHz)
+	boost := g.hispeedIdx
 	// Compare against the pending request, not the applied index: while a
 	// thermal cap holds the clock down, boosting over a higher pending
 	// request would overwrite the governor's last real decision.
@@ -96,7 +99,7 @@ func (g *Interactive) tick() {
 	tbl := g.cpu.Table()
 	now := g.cpu.Now()
 	cur := g.cpu.OPPIndex()
-	hispeedIdx := tbl.IndexAtLeast(g.HispeedKHz)
+	hispeedIdx := g.hispeedIdx
 
 	var target int
 	if load >= g.GoHispeedLoad {
@@ -130,5 +133,5 @@ func (g *Interactive) tick() {
 			g.cpu.RequestOPPIndex(target)
 		}
 	}
-	g.cpu.After(g.TimerRate, g.tick)
+	g.cpu.After(g.TimerRate, g.tickFn)
 }

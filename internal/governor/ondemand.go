@@ -24,8 +24,9 @@ type Ondemand struct {
 	// "usually alternating between the highest and the lowest frequency".
 	SamplingDownFactor int
 
-	cpu   CPU
-	meter loadMeter
+	cpu    CPU
+	meter  loadMeter
+	tickFn func() // tick bound once at Start, so rescheduling never allocates
 }
 
 // NewOndemand returns an ondemand governor with the tunables of the paper's
@@ -51,7 +52,8 @@ func (g *Ondemand) Start(cpu CPU) {
 		g.SamplingDownFactor = 1
 	}
 	g.meter.reset(cpu)
-	g.cpu.After(g.SamplingRate, g.tick)
+	g.tickFn = g.tick
+	g.cpu.After(g.SamplingRate, g.tickFn)
 }
 
 // OnInput implements Governor; ondemand does not react to input directly.
@@ -72,5 +74,5 @@ func (g *Ondemand) tick() {
 		target := int(int64(load) * int64(tbl.Max()) / 100)
 		g.cpu.RequestOPPIndex(tbl.IndexAtLeast(target))
 	}
-	g.cpu.After(next, g.tick)
+	g.cpu.After(next, g.tickFn)
 }

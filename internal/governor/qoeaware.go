@@ -36,6 +36,7 @@ type QoEAware struct {
 
 	cpu        CPU
 	meter      loadMeter
+	tickFn     func() // tick bound once at Start, so rescheduling never allocates
 	boostStart sim.Time
 	boostUntil sim.Time
 	boosting   bool
@@ -81,7 +82,8 @@ func (g *QoEAware) Start(cpu CPU) {
 	}
 	g.meter.reset(cpu)
 	g.cpu.RequestOPPIndex(0)
-	g.cpu.After(g.TimerRate, g.tick)
+	g.tickFn = g.tick
+	g.cpu.After(g.TimerRate, g.tickFn)
 }
 
 // OnInput implements Governor: every input event opens a boost episode.
@@ -118,7 +120,7 @@ func (g *QoEAware) tick() {
 	default:
 		g.cpu.RequestOPPIndex(0)
 	}
-	g.cpu.After(g.TimerRate, g.tick)
+	g.cpu.After(g.TimerRate, g.tickFn)
 }
 
 // LearnBoost configures BoostIdx from oracle per-lag OPP choices: the

@@ -53,11 +53,23 @@ func NewAgent() *Agent { return &Agent{GestureJitter: 1 * sim.Millisecond} }
 // Replay schedules the whole trace onto the device's engine. rnd drives the
 // per-gesture jitter (pass nil for exact replay). Call before running the
 // engine.
+//
+// All events are scheduled upfront at their (jittered, monotonic) times and
+// fire through one shared injector callback: the adjusted times are
+// non-decreasing and scheduled in trace order, so FIFO tie-breaking
+// guarantees firing order equals trace order and the injector can walk the
+// slice with a cursor. This costs one allocation per replay instead of two
+// per event.
 func (a *Agent) Replay(d *device.Device, events []evdev.Event, rnd *sim.Rand) {
+	next := 0
+	inject := func() {
+		ev := events[next]
+		next++
+		d.Inject(ev)
+	}
 	var offset sim.Duration
 	last := sim.Time(-1)
 	for _, ev := range events {
-		ev := ev
 		if ev.Type == evdev.EVAbs && ev.Code == evdev.AbsMTTrackingID && ev.Value != evdev.TrackingRelease {
 			// New gesture: draw a fresh injection offset.
 			if rnd != nil && a.GestureJitter > 0 {
@@ -69,7 +81,7 @@ func (a *Agent) Replay(d *device.Device, events []evdev.Event, rnd *sim.Rand) {
 			at = last // keep the stream monotonic
 		}
 		last = at
-		d.Eng.At(at, func(*sim.Engine) { d.Inject(ev) })
+		d.Eng.AtFunc(at, inject)
 	}
 }
 

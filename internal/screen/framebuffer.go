@@ -8,7 +8,10 @@
 // of the capture card.
 package screen
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // Logical (touch) coordinate space, matching a Nexus-5-class portrait panel.
 const (
@@ -44,12 +47,32 @@ func (r Rect) String() string { return fmt.Sprintf("(%d,%d %dx%d)", r.X, r.Y, r.
 // video recorder captures.
 type Framebuffer struct {
 	Pix [FBW * FBH]uint8
+	// patterns memoises DrawPattern output: widgets redraw the same
+	// (seed, size) pattern every frame, so repeat draws become row copies
+	// instead of per-pixel xorshift evaluation. The cache belongs to this
+	// framebuffer (and hence to one device's goroutine); it never changes
+	// what is drawn, only how fast.
+	patterns map[patternKey][]uint8
 }
 
-// Fill sets every pixel to shade.
+// patternKey identifies one memoised DrawPattern rendering.
+type patternKey struct {
+	seed   uint64
+	w, h   int
+	lo, hi uint8
+}
+
+// maxPatternCache bounds the memo to keep pathological workloads (millions
+// of distinct seeds) from hoarding memory; beyond it patterns render direct.
+const maxPatternCache = 4096
+
+// Fill sets every pixel to shade. Doubling copy turns the per-byte store
+// loop into a handful of memmoves — this runs once per rendered frame, which
+// makes it one of the hottest loops of a capturing replay.
 func (fb *Framebuffer) Fill(shade uint8) {
-	for i := range fb.Pix {
-		fb.Pix[i] = shade
+	fb.Pix[0] = shade
+	for i := 1; i < len(fb.Pix); i *= 2 {
+		copy(fb.Pix[i:], fb.Pix[:i])
 	}
 }
 
@@ -70,17 +93,34 @@ func (fb *Framebuffer) SetFB(x, y int, shade uint8) {
 }
 
 // FillRectFB fills a rectangle given directly in framebuffer coordinates.
+// Bounds are clamped once up front so the row loops carry no per-pixel
+// branches.
 func (fb *Framebuffer) FillRectFB(x, y, w, h int, shade uint8) {
-	for yy := y; yy < y+h; yy++ {
-		if yy < 0 || yy >= FBH {
-			continue
+	x1, y1 := x+w, y+h
+	if x < 0 {
+		x = 0
+	}
+	if y < 0 {
+		y = 0
+	}
+	if x1 > FBW {
+		x1 = FBW
+	}
+	if y1 > FBH {
+		y1 = FBH
+	}
+	if x >= x1 || y >= y1 {
+		return
+	}
+	pat := uint64(shade) * 0x0101010101010101
+	for yy := y; yy < y1; yy++ {
+		row := fb.Pix[yy*FBW+x : yy*FBW+x1]
+		i := 0
+		for ; i+8 <= len(row); i += 8 {
+			binary.LittleEndian.PutUint64(row[i:], pat)
 		}
-		row := yy * FBW
-		for xx := x; xx < x+w; xx++ {
-			if xx < 0 || xx >= FBW {
-				continue
-			}
-			fb.Pix[row+xx] = shade
+		for ; i < len(row); i++ {
+			row[i] = shade
 		}
 	}
 }
@@ -159,6 +199,42 @@ func (fb *Framebuffer) DrawDigits(x, y int, s string, shade uint8) int {
 func (fb *Framebuffer) DrawPattern(r Rect, seed uint64, lo, hi uint8) {
 	x0, y0, w, h := FBRect(r)
 	s := seed
+	// fbSpan clamps spans to >= 1, but guard w/h here anyway so a future
+	// caller with a degenerate rect falls through to the no-op slow path
+	// instead of a negative-length make.
+	if w > 0 && h > 0 && x0 >= 0 && y0 >= 0 && x0+w <= FBW && y0+h <= FBH {
+		// Fully in bounds (the overwhelmingly common case): blit the
+		// memoised pattern, generating it once per (seed, size, shades).
+		// The generator is the same xorshift sequence as the general path,
+		// so the rendered pattern is bit-for-bit identical either way.
+		key := patternKey{seed: seed, w: w, h: h, lo: lo, hi: hi}
+		pat, ok := fb.patterns[key]
+		if !ok {
+			pat = make([]uint8, w*h)
+			for i := range pat {
+				s ^= s << 13
+				s ^= s >> 7
+				s ^= s << 17
+				if s&3 == 0 {
+					pat[i] = hi
+				} else {
+					pat[i] = lo
+				}
+			}
+			if fb.patterns == nil {
+				fb.patterns = make(map[patternKey][]uint8)
+			}
+			if len(fb.patterns) < maxPatternCache {
+				fb.patterns[key] = pat
+			}
+		}
+		for yy := 0; yy < h; yy++ {
+			copy(fb.Pix[(y0+yy)*FBW+x0:(y0+yy)*FBW+x0+w], pat[yy*w:(yy+1)*w])
+		}
+		return
+	}
+	// Partially out of bounds: the pattern stream still advances for every
+	// cell of the rect (clipping must not change what lands in-bounds).
 	for yy := y0; yy < y0+h; yy++ {
 		for xx := x0; xx < x0+w; xx++ {
 			s ^= s << 13

@@ -1,78 +1,129 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Callback is a function invoked when a scheduled event fires. It receives
 // the engine so it can schedule further events.
 type Callback func(e *Engine)
 
-// EventID identifies a scheduled event so it can be cancelled.
+// EventID identifies a scheduled event so it can be cancelled. An ID packs
+// the event's pool slot with a generation counter: once the event fires or is
+// cancelled the slot is recycled under a new generation, so a stale ID can
+// never cancel an unrelated later event. The zero EventID is never issued and
+// is safe to use as a "no event" sentinel.
 type EventID int64
 
+// event is one pooled event slot. Slots live in Engine.slots and are
+// recycled through a free list; fn/fn0 are cleared on release so the pool
+// never pins dead closures for the GC.
 type event struct {
+	fn  Callback // engine-argument callback (nil when fn0 is set)
+	fn0 func()   // plain callback, scheduled via AtFunc/AfterFunc
+	gen uint32   // generation, bumped on every release
+	// state is slotFree (on the free list), slotLive (scheduled) or
+	// slotDead (cancelled, awaiting its heap entry).
+	state uint8
+	next  int32 // free-list link, valid while state == slotFree
+}
+
+const (
+	slotFree = iota
+	slotLive
+	slotDead
+)
+
+// heapEnt is one entry of the 4-ary scheduling heap. The timestamp and
+// FIFO sequence number are stored inline so sift comparisons never chase the
+// slot pool; the slot index resolves the callback only when the entry pops.
+type heapEnt struct {
 	at   Time
-	seq  int64 // tie-breaker: FIFO among events with equal timestamps
-	id   EventID
-	fn   Callback
-	dead bool
+	seq  uint64 // tie-breaker: FIFO among events with equal timestamps
+	slot int32
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// entLess orders heap entries by timestamp, then FIFO.
+func entLess(a, b heapEnt) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	return a.seq < b.seq
 }
 
 // Engine is the discrete-event simulation core. It is not safe for
 // concurrent use; the whole simulated device runs single-threaded, which is
 // both faster and deterministic.
+//
+// The implementation is allocation-free on the hot path: events live in a
+// value slice recycled through a free list, the priority queue is an
+// index-addressed 4-ary heap over a value slice (no container/heap interface
+// boxing), and cancellation is lazy — a cancelled event's heap entry is
+// dropped when it surfaces, or in bulk by compaction once dead entries
+// exceed half the queue. In steady state At, AtFunc, Cancel and event
+// dispatch perform zero heap allocations.
 type Engine struct {
-	now     Time
-	queue   eventHeap
-	nextSeq int64
-	nextID  EventID
-	live    map[EventID]*event
-	stopped bool
+	now      Time
+	heap     []heapEnt
+	slots    []event
+	freeHead int32 // head of the slot free list, -1 when empty
+	nextSeq  uint64
+	live     int // scheduled, not-cancelled events
+	dead     int // cancelled events whose heap entries remain
+	stopped  bool
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
 func NewEngine() *Engine {
-	return &Engine{live: make(map[EventID]*event)}
+	return &Engine{freeHead: -1}
 }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
+// allocSlot takes a slot off the free list, growing the pool when empty.
+func (e *Engine) allocSlot() int32 {
+	if e.freeHead >= 0 {
+		i := e.freeHead
+		e.freeHead = e.slots[i].next
+		return i
+	}
+	e.slots = append(e.slots, event{gen: 1})
+	return int32(len(e.slots) - 1)
+}
+
+// freeSlot releases a slot back to the pool under a fresh generation, so any
+// outstanding EventID for it becomes permanently stale.
+func (e *Engine) freeSlot(i int32) {
+	s := &e.slots[i]
+	s.fn, s.fn0 = nil, nil
+	s.gen++
+	if s.gen == 0 { // skip generation 0 on wrap: IDs must never be zero
+		s.gen = 1
+	}
+	s.state = slotFree
+	s.next = e.freeHead
+	e.freeHead = i
+}
+
+// schedule is the shared body of At and AtFunc.
+func (e *Engine) schedule(at Time, fn Callback, fn0 func()) EventID {
+	if at < e.now {
+		at = e.now
+	}
+	idx := e.allocSlot()
+	s := &e.slots[idx]
+	s.fn, s.fn0 = fn, fn0
+	s.state = slotLive
+	e.heapPush(heapEnt{at: at, seq: e.nextSeq, slot: idx})
+	e.nextSeq++
+	e.live++
+	return EventID(int64(s.gen)<<32 | int64(idx))
+}
+
 // At schedules fn to run at the absolute time at. Scheduling in the past (or
 // at the current instant) fires the callback at the current time, after all
 // events already queued for that time.
 func (e *Engine) At(at Time, fn Callback) EventID {
-	if at < e.now {
-		at = e.now
-	}
-	ev := &event{at: at, seq: e.nextSeq, id: e.nextID, fn: fn}
-	e.nextSeq++
-	e.nextID++
-	heap.Push(&e.queue, ev)
-	e.live[ev.id] = ev
-	return ev.id
+	return e.schedule(at, fn, nil)
 }
 
 // After schedules fn to run d from now.
@@ -80,41 +131,81 @@ func (e *Engine) After(d Duration, fn Callback) EventID {
 	if d < 0 {
 		d = 0
 	}
-	return e.At(e.now.Add(d), fn)
+	return e.schedule(e.now.Add(d), fn, nil)
+}
+
+// AtFunc schedules a plain func() at the absolute time at. It behaves
+// exactly like At but takes a callback without the engine argument, so
+// periodic subsystems (governor sample timers, service loops) can hold one
+// pre-bound func value and reschedule it forever without a wrapper closure.
+func (e *Engine) AtFunc(at Time, fn func()) EventID {
+	return e.schedule(at, nil, fn)
+}
+
+// AfterFunc schedules a plain func() to run d from now (see AtFunc).
+func (e *Engine) AfterFunc(d Duration, fn func()) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return e.schedule(e.now.Add(d), nil, fn)
 }
 
 // Cancel removes a scheduled event. Cancelling an event that already fired
-// or was already cancelled is a no-op and returns false.
+// or was already cancelled is a no-op and returns false. The event's heap
+// entry is dropped lazily; when more than half the queue is dead entries the
+// whole queue is compacted, so a workload that cancels most of what it
+// schedules cannot leak queue space until the timestamps expire.
 func (e *Engine) Cancel(id EventID) bool {
-	ev, ok := e.live[id]
-	if !ok {
+	idx := int32(id & 0xffffffff)
+	gen := uint32(uint64(id) >> 32)
+	if idx < 0 || int(idx) >= len(e.slots) {
 		return false
 	}
-	ev.dead = true
-	delete(e.live, ev.id)
+	s := &e.slots[idx]
+	if s.state != slotLive || s.gen != gen {
+		return false
+	}
+	s.state = slotDead
+	s.fn, s.fn0 = nil, nil
+	e.live--
+	e.dead++
+	if e.dead > len(e.heap)/2 {
+		e.compact()
+	}
 	return true
 }
 
 // Pending reports the number of events still scheduled.
-func (e *Engine) Pending() int { return len(e.live) }
+func (e *Engine) Pending() int { return e.live }
 
 // Stop makes the current Run or RunUntil call return after the in-flight
 // callback completes.
 func (e *Engine) Stop() { e.stopped = true }
 
 // step executes the earliest pending event, advancing the clock to its
-// timestamp. It returns false when the queue is empty.
+// timestamp. It returns false when the queue is empty. The event's slot is
+// released before its callback runs, so the callback may immediately reuse
+// it for follow-up scheduling.
 func (e *Engine) step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.dead {
+	for len(e.heap) > 0 {
+		ent := e.heapPop()
+		s := &e.slots[ent.slot]
+		if s.state == slotDead {
+			e.dead--
+			e.freeSlot(ent.slot)
 			continue
 		}
-		delete(e.live, ev.id)
-		if ev.at > e.now {
-			e.now = ev.at
+		fn, fn0 := s.fn, s.fn0
+		e.freeSlot(ent.slot)
+		e.live--
+		if ent.at > e.now {
+			e.now = ent.at
 		}
-		ev.fn(e)
+		if fn0 != nil {
+			fn0()
+		} else {
+			fn(e)
+		}
 		return true
 	}
 	return false
@@ -133,12 +224,8 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
 	for !e.stopped {
-		if len(e.queue) == 0 {
-			break
-		}
-		// Peek: find the earliest live event.
-		next := e.peek()
-		if next == nil || next.at > deadline {
+		at, ok := e.peek()
+		if !ok || at > deadline {
 			break
 		}
 		e.step()
@@ -148,18 +235,109 @@ func (e *Engine) RunUntil(deadline Time) {
 	}
 }
 
-func (e *Engine) peek() *event {
-	for len(e.queue) > 0 {
-		if e.queue[0].dead {
-			heap.Pop(&e.queue)
+// peek returns the timestamp of the earliest live event, discarding dead
+// entries that have surfaced at the top of the heap.
+func (e *Engine) peek() (Time, bool) {
+	for len(e.heap) > 0 {
+		ent := e.heap[0]
+		if e.slots[ent.slot].state != slotDead {
+			return ent.at, true
+		}
+		e.heapPop()
+		e.dead--
+		e.freeSlot(ent.slot)
+	}
+	return 0, false
+}
+
+// compact rebuilds the heap without its dead entries and releases their
+// slots. Runs in O(n): one filtering pass plus a bottom-up heapify.
+func (e *Engine) compact() {
+	out := e.heap[:0]
+	for _, ent := range e.heap {
+		if e.slots[ent.slot].state == slotDead {
+			e.freeSlot(ent.slot)
 			continue
 		}
-		return e.queue[0]
+		out = append(out, ent)
 	}
-	return nil
+	e.heap = out
+	e.dead = 0
+	if n := len(e.heap); n > 1 {
+		for i := (n - 2) / 4; i >= 0; i-- {
+			e.siftDown(i)
+		}
+	}
 }
+
+// heapPush appends an entry and restores the heap property.
+func (e *Engine) heapPush(ent heapEnt) {
+	e.heap = append(e.heap, ent)
+	e.siftUp(len(e.heap) - 1)
+}
+
+// heapPop removes and returns the minimum entry.
+func (e *Engine) heapPop() heapEnt {
+	top := e.heap[0]
+	n := len(e.heap) - 1
+	last := e.heap[n]
+	e.heap = e.heap[:n]
+	if n > 0 {
+		e.heap[0] = last
+		e.siftDown(0)
+	}
+	return top
+}
+
+// siftUp moves heap[i] toward the root. A 4-ary heap halves the tree depth
+// of the binary one, trading slightly pricier siftDown levels for far fewer
+// of them — a net win when entries are 24-byte values compared inline.
+func (e *Engine) siftUp(i int) {
+	ent := e.heap[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !entLess(ent, e.heap[p]) {
+			break
+		}
+		e.heap[i] = e.heap[p]
+		i = p
+	}
+	e.heap[i] = ent
+}
+
+// siftDown moves heap[i] toward the leaves.
+func (e *Engine) siftDown(i int) {
+	n := len(e.heap)
+	ent := e.heap[i]
+	for {
+		c := i*4 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for k := c + 1; k < end; k++ {
+			if entLess(e.heap[k], e.heap[m]) {
+				m = k
+			}
+		}
+		if !entLess(e.heap[m], ent) {
+			break
+		}
+		e.heap[i] = e.heap[m]
+		i = m
+	}
+	e.heap[i] = ent
+}
+
+// queueLen reports the heap size including dead entries (test hook for the
+// compaction regression tests).
+func (e *Engine) queueLen() int { return len(e.heap) }
 
 // String summarises engine state for debugging.
 func (e *Engine) String() string {
-	return fmt.Sprintf("sim.Engine{now: %s, pending: %d}", e.now, len(e.live))
+	return fmt.Sprintf("sim.Engine{now: %s, pending: %d}", e.now, e.live)
 }

@@ -97,6 +97,10 @@ type Cluster struct {
 
 	pending     sim.EventID
 	havePending bool
+	// execCb is the one pre-bound execution callback the reschedule path
+	// re-arms; keeping a single func value means arming the next completion
+	// or slice event never allocates, no matter how often tasks churn.
+	execCb func()
 
 	cumBusy   sim.Duration   // core-time: sums across simultaneously busy cores
 	coreBusy  []sim.Duration // cumulative busy per core slot, len nCores
@@ -133,7 +137,7 @@ func NewCluster(eng *sim.Engine, spec ClusterSpec) *Cluster {
 	if n < 1 {
 		n = 1
 	}
-	return &Cluster{
+	c := &Cluster{
 		eng:       eng,
 		tbl:       spec.Table,
 		name:      spec.Name,
@@ -142,6 +146,11 @@ func NewCluster(eng *sim.Engine, spec ClusterSpec) *Cluster {
 		coreBusy:  make([]sim.Duration, n),
 		busyByOPP: make([]sim.Duration, len(spec.Table)),
 	}
+	c.execCb = func() {
+		c.havePending = false
+		c.onExecEvent()
+	}
+	return c
 }
 
 // NewCore returns a single-core cluster — the paper's one enabled Krait core.
@@ -153,8 +162,10 @@ func NewCore(eng *sim.Engine, tbl power.Table) *Cluster {
 func (c *Cluster) Now() sim.Time { return c.eng.Now() }
 
 // After schedules fn after d; governors use this for their sample timers.
+// The callback goes to the engine as-is (sim.Engine.AfterFunc), so a governor
+// that reschedules one pre-bound func value ticks forever without allocating.
 func (c *Cluster) After(d sim.Duration, fn func()) {
-	c.eng.After(d, func(*sim.Engine) { fn() })
+	c.eng.AfterFunc(d, fn)
 }
 
 // Table exposes the OPP table.
@@ -481,10 +492,18 @@ func (c *Cluster) reschedule() {
 		c.havePending = false
 	}
 	now := c.eng.Now()
-	// Fill idle cores from the run queue, lowest free core slot first.
+	// Fill idle cores from the run queue, lowest free core slot first. The
+	// queue head is shifted out in place: re-slicing with runq[1:] walks
+	// the slice base forward, so once the queue drains to len 0 its spare
+	// capacity is gone and the next enqueue reallocates — one allocation
+	// per dispatch cycle in steady state — and dequeued tasks stay pinned
+	// in the underlying array. The copy is O(len(runq)), which stays cheap
+	// because interactive run queues are at most a handful of tasks deep.
 	for len(c.running) < c.nCores && len(c.runq) > 0 {
 		t := c.runq[0]
-		c.runq = c.runq[1:]
+		copy(c.runq, c.runq[1:])
+		c.runq[len(c.runq)-1] = nil
+		c.runq = c.runq[:len(c.runq)-1]
 		core := c.freeCore()
 		c.coreUsed[core] = true
 		c.running = append(c.running, t)
@@ -515,10 +534,7 @@ func (c *Cluster) reschedule() {
 			}
 		}
 	}
-	c.pending = c.eng.At(next, func(*sim.Engine) {
-		c.havePending = false
-		c.onExecEvent()
-	})
+	c.pending = c.eng.AtFunc(next, c.execCb)
 	c.havePending = true
 }
 

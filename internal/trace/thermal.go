@@ -25,6 +25,12 @@ func (tt *TempTrace) Append(at sim.Time, tempC float64) {
 // Len returns the number of samples.
 func (tt *TempTrace) Len() int { return len(tt.Points) }
 
+// Reserve grows the trace's capacity to hold at least n samples.
+func (tt *TempTrace) Reserve(n int) { tt.Points = reserve(tt.Points, n) }
+
+// Reset empties the trace keeping its capacity.
+func (tt *TempTrace) Reset() { tt.Points = tt.Points[:0] }
+
 // PeakC returns the maximum recorded temperature (0 on an empty trace).
 func (tt *TempTrace) PeakC() float64 {
 	var peak float64
@@ -108,6 +114,12 @@ func (tt *ThrottleTrace) Append(at sim.Time, capIdx int, throttled bool) {
 
 // Len returns the number of cap changes.
 func (tt *ThrottleTrace) Len() int { return len(tt.Events) }
+
+// Reserve grows the trace's capacity to hold at least n events.
+func (tt *ThrottleTrace) Reserve(n int) { tt.Events = reserve(tt.Events, n) }
+
+// Reset empties the trace keeping its capacity.
+func (tt *ThrottleTrace) Reset() { tt.Events = tt.Events[:0] }
 
 // CapDowns returns how many events tightened the cap versus the previous
 // state (the first event always counts as a tightening if it throttles).

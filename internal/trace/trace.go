@@ -11,6 +11,17 @@ import (
 	"repro/internal/sim"
 )
 
+// reserve grows a series' capacity to hold at least n elements, preserving
+// contents — the shared body of every trace type's Reserve.
+func reserve[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s
+	}
+	out := make([]T, len(s), n)
+	copy(out, s)
+	return out
+}
+
 // FreqPoint is one DVFS transition.
 type FreqPoint struct {
 	At       sim.Time `json:"at"`
@@ -68,6 +79,14 @@ func (ft *FreqTrace) Series(t0, t1 sim.Time, step sim.Duration, tbl power.Table)
 // proxy for how "nervous" a governor is.
 func (ft *FreqTrace) TransitionCount() int { return len(ft.Points) }
 
+// Reserve grows the trace's capacity to hold at least n points, so a replay
+// of known length appends without reallocating.
+func (ft *FreqTrace) Reserve(n int) { ft.Points = reserve(ft.Points, n) }
+
+// Reset empties the trace keeping its capacity — the recycling primitive for
+// scratch traces reused across repetitions.
+func (ft *FreqTrace) Reset() { ft.Points = ft.Points[:0] }
+
 // BusyCurve is cumulative CPU busy time sampled at a fixed period. It
 // answers "how much CPU work happened between t0 and t1" with linear
 // interpolation between samples — the primitive oracle construction uses to
@@ -89,6 +108,13 @@ func NewBusyCurve(step sim.Duration) *BusyCurve {
 func (c *BusyCurve) AppendSample(cum sim.Duration) {
 	c.Cum = append(c.Cum, cum)
 }
+
+// Reserve grows the curve's capacity to hold at least n samples, so a replay
+// of known length appends without reallocating.
+func (c *BusyCurve) Reserve(n int) { c.Cum = reserve(c.Cum, n) }
+
+// Reset empties the curve keeping its capacity and sampling period.
+func (c *BusyCurve) Reset() { c.Cum = c.Cum[:0] }
 
 // At returns cumulative busy time at t, interpolating linearly and clamping
 // beyond the recorded range.
@@ -149,6 +175,32 @@ func NewClusterTraces(name string, step sim.Duration) *ClusterTraces {
 		Freq: &FreqTrace{}, Busy: NewBusyCurve(step),
 		Temp: &TempTrace{}, Throttle: &ThrottleTrace{},
 	}
+}
+
+// Reserve pre-sizes every series for a run of the given wall-clock window
+// and thermal tick period (tick <= 0 skips the temperature series). Sizing
+// from the window turns the dozen-odd doubling reallocations of a long
+// replay — each copying the whole series so far — into one up-front
+// allocation per series.
+func (ct *ClusterTraces) Reserve(window sim.Duration, tick sim.Duration) {
+	if window <= 0 {
+		return
+	}
+	if ct.Busy.Step > 0 {
+		ct.Busy.Reserve(int(window/ct.Busy.Step) + 2)
+	}
+	if tick > 0 {
+		ct.Temp.Reserve(int(window/tick) + 2)
+	}
+}
+
+// Reset empties every series keeping capacity, so one ClusterTraces can be
+// recycled across repetitions.
+func (ct *ClusterTraces) Reset() {
+	ct.Freq.Reset()
+	ct.Busy.Reset()
+	ct.Temp.Reset()
+	ct.Throttle.Reset()
 }
 
 // Residency returns the wall time spent at each OPP index over [0, end),

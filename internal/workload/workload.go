@@ -107,14 +107,16 @@ type driver struct {
 	enc     *evdev.Encoder
 	steps   []Step
 	i       int
-	pending int // ground-truth index we are waiting on, -1 if none
+	pending int    // ground-truth index we are waiting on, -1 if none
+	nextFn  func() // next bound once, so step scheduling never allocates
 }
 
 // runScript installs the driver on the device and schedules the first step.
 func runScript(dev *device.Device, steps []Step) {
 	drv := &driver{dev: dev, enc: evdev.NewEncoder(), steps: steps, pending: -1}
+	drv.nextFn = drv.next
 	dev.OnInteraction = drv.onInteraction
-	dev.Eng.After(500*sim.Millisecond, func(*sim.Engine) { drv.next() })
+	dev.Eng.AfterFunc(500*sim.Millisecond, drv.nextFn)
 }
 
 func (drv *driver) next() {
@@ -124,12 +126,12 @@ func (drv *driver) next() {
 	step := drv.steps[drv.i]
 	drv.i++
 	if step.Gesture == nil {
-		drv.dev.Eng.After(step.Think, func(*sim.Engine) { drv.next() })
+		drv.dev.Eng.AfterFunc(step.Think, drv.nextFn)
 		return
 	}
 	g := step.Gesture(drv.dev)
 	if g == nil {
-		drv.dev.Eng.After(step.Think, func(*sim.Engine) { drv.next() })
+		drv.dev.Eng.AfterFunc(step.Think, drv.nextFn)
 		return
 	}
 	g.Start = drv.dev.Eng.Now()
@@ -169,7 +171,7 @@ func (drv *driver) onInteraction(gt device.GroundTruth) {
 			resumeAt = worstCase.Add(step.Think)
 		}
 	}
-	drv.dev.Eng.At(resumeAt, func(*sim.Engine) { drv.next() })
+	drv.dev.Eng.AtFunc(resumeAt, drv.nextFn)
 }
 
 // Record performs the workload's script on a fresh device under the stock
@@ -245,6 +247,7 @@ func Replay(w *Workload, rec *Recording, gov governor.Governor, configName strin
 func ReplayMulti(w *Workload, rec *Recording, govs []governor.Governor, configName string, seed uint64, capture bool) *RunArtifacts {
 	eng := sim.NewEngine()
 	dev := device.NewMulti(eng, seed, govs, w.Profile)
+	dev.ReserveTraces(rec.RunWindow())
 	agent := record.NewAgent()
 	agent.Replay(dev, rec.Events, sim.NewRand(seed^0x5eed))
 

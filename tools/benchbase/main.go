@@ -1,0 +1,199 @@
+// Command benchbase measures the replay-path benchmarks outside the go test
+// harness and records them in BENCH_results.json, so every PR leaves a
+// committed performance trajectory instead of folklore. It covers the four
+// benchmarks the performance work is gated on: single-cluster replay
+// throughput, big.LITTLE replay throughput, the thermal pipeline replay, and
+// the full single-dataset evaluation matrix.
+//
+// Usage:
+//
+//	benchbase [-o BENCH_results.json] [-label "PR N short description"]
+//
+// The tool appends one labelled entry to the file's history (creating the
+// file if needed), keeping earlier entries untouched — compare the latest
+// entry against its predecessors to see whether a change helped. Metrics are
+// ns/op, allocs/op, B/op and, for the replay benches, simulated seconds per
+// wall second.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/governor"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/soc"
+	"repro/internal/thermal"
+	"repro/internal/workload"
+)
+
+// Metrics is one benchmark's measurement.
+type Metrics struct {
+	NsPerOp      int64   `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	SimSPerWallS float64 `json:"sim_s_per_wall_s,omitempty"`
+	Iterations   int     `json:"iterations"`
+}
+
+// Entry is one labelled benchmark session.
+type Entry struct {
+	Label   string             `json:"label"`
+	Go      string             `json:"go"`
+	Benches map[string]Metrics `json:"benches"`
+}
+
+// File is the BENCH_results.json schema.
+type File struct {
+	Comment string  `json:"_comment"`
+	History []Entry `json:"history"`
+}
+
+const fileComment = "Replay-path benchmark trajectory; append entries with `go run ./tools/benchbase -label \"...\"`. See docs/performance.md."
+
+func main() {
+	out := flag.String("o", "BENCH_results.json", "results file to append to")
+	label := flag.String("label", "", "label for this entry (required)")
+	flag.Parse()
+	if *label == "" {
+		fmt.Fprintln(os.Stderr, "benchbase: -label is required (e.g. -label \"PR 5 idle states\")")
+		os.Exit(1)
+	}
+
+	entry := Entry{Label: *label, Go: runtime.Version(), Benches: map[string]Metrics{}}
+	for _, b := range []struct {
+		name string
+		run  func() (testing.BenchmarkResult, float64)
+	}{
+		{"ReplayThroughput", benchReplayThroughput},
+		{"BigLittleReplay", benchBigLittleReplay},
+		{"ThermalReplay", benchThermalReplay},
+		{"EvaluationMatrix", benchEvaluationMatrix},
+	} {
+		fmt.Fprintf(os.Stderr, "benchbase: running %s...\n", b.name)
+		r, simSPerWallS := b.run()
+		entry.Benches[b.name] = Metrics{
+			NsPerOp:      r.NsPerOp(),
+			AllocsPerOp:  r.AllocsPerOp(),
+			BytesPerOp:   r.AllocedBytesPerOp(),
+			SimSPerWallS: simSPerWallS,
+			Iterations:   r.N,
+		}
+		fmt.Fprintf(os.Stderr, "benchbase: %s: %d ns/op, %d allocs/op, %.0f sim-s/wall-s\n",
+			b.name, r.NsPerOp(), r.AllocsPerOp(), simSPerWallS)
+	}
+
+	f, err := appendEntry(*out, entry)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchbase:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchbase: %s now holds %d entries\n", *out, len(f.History))
+}
+
+// appendEntry loads path (if present), appends entry and writes it back.
+func appendEntry(path string, entry Entry) (*File, error) {
+	f := &File{Comment: fileComment}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, f); err != nil {
+			return nil, fmt.Errorf("parse %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	f.Comment = fileComment
+	f.History = append(f.History, entry)
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return f, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// benchReplayThroughput mirrors BenchmarkReplayThroughput: the first dataset
+// replayed under ondemand with video capture.
+func benchReplayThroughput() (testing.BenchmarkResult, float64) {
+	w := workload.Datasets()[0]
+	rec, _, err := w.Record(1)
+	if err != nil {
+		fatal(err)
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			workload.Replay(w, rec, governor.NewOndemand(), "ondemand", uint64(i), true)
+		}
+	})
+	return r, rec.RunWindow().Seconds() * float64(r.N) / r.T.Seconds()
+}
+
+// benchBigLittleReplay mirrors BenchmarkBigLittleReplay: the quickstart
+// workload on the 4+4 big.LITTLE spec under per-cluster stock governors.
+func benchBigLittleReplay() (testing.BenchmarkResult, float64) {
+	w := workload.Quickstart()
+	w.Profile.SoC = soc.BigLittle44()
+	rec, _, err := w.Record(1)
+	if err != nil {
+		fatal(err)
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			workload.ReplayMulti(w, rec, workload.StockGovernors(w.Profile), "interactive", uint64(i), false)
+		}
+	})
+	return r, rec.RunWindow().Seconds() * float64(r.N) / r.T.Seconds()
+}
+
+// benchThermalReplay mirrors BenchmarkThermalReplay: the sustained export
+// marathon with thermal zones and a binding trip.
+func benchThermalReplay() (testing.BenchmarkResult, float64) {
+	w := workload.ExportMarathon()
+	w.Profile.SoC = soc.BigLittle44()
+	w.Profile.Thermal = thermal.PhoneConfig(2, 30, 5)
+	model, err := w.Profile.SoC.Calibrate(0)
+	if err != nil {
+		fatal(err)
+	}
+	w.Profile.ThermalPower = model
+	rec, _, err := w.Record(1)
+	if err != nil {
+		fatal(err)
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			workload.ReplayMulti(w, rec, workload.StockGovernors(w.Profile), "interactive", uint64(i), false)
+		}
+	})
+	return r, rec.RunWindow().Seconds() * float64(r.N) / r.T.Seconds()
+}
+
+// benchEvaluationMatrix mirrors BenchmarkEvaluationMatrix: record, annotate,
+// 17 configurations x 2 reps, oracle — for one dataset.
+func benchEvaluationMatrix() (testing.BenchmarkResult, float64) {
+	model, err := power.Calibrate(power.Snapdragon8074(), power.DefaultSilicon(), 100*sim.Millisecond)
+	if err != nil {
+		fatal(err)
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiment.RunDataset(workload.Dataset02(), model, experiment.Options{Reps: 2, Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return r, 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchbase:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAppendEntryRoundTrip checks the trajectory file accumulates entries
+// without disturbing earlier ones.
+func TestAppendEntryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_results.json")
+	e1 := Entry{Label: "first", Go: "go1.x", Benches: map[string]Metrics{
+		"ReplayThroughput": {NsPerOp: 100, AllocsPerOp: 5, SimSPerWallS: 123, Iterations: 10},
+	}}
+	if _, err := appendEntry(path, e1); err != nil {
+		t.Fatal(err)
+	}
+	e2 := Entry{Label: "second", Go: "go1.x", Benches: map[string]Metrics{
+		"ReplayThroughput": {NsPerOp: 50, AllocsPerOp: 1, SimSPerWallS: 246, Iterations: 20},
+	}}
+	f, err := appendEntry(path, e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.History) != 2 || f.History[0].Label != "first" || f.History[1].Label != "second" {
+		t.Fatalf("history wrong: %+v", f.History)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back File
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.History) != 2 || back.History[0].Benches["ReplayThroughput"].SimSPerWallS != 123 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back.Comment == "" {
+		t.Fatal("comment header missing")
+	}
+}
+
+// TestAppendEntryRejectsGarbage checks a corrupt file errors instead of
+// being silently overwritten.
+func TestAppendEntryRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_results.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := appendEntry(path, Entry{Label: "x"}); err == nil {
+		t.Fatal("corrupt file accepted")
+	}
+}
