@@ -14,12 +14,18 @@
 // per-cluster governor arms, plus the energy-aware cluster oracle, rendered
 // as the config-matrix table.
 //
+// With -idle every cluster gets the default C-state ladder
+// (wfi/core-off/cluster-off): an idle cluster sinks down the ladder, work
+// arrival pays the state's exit latency before dispatch, and idle residency
+// is priced as leakage — the per-cluster summary then includes idle time,
+// leakage energy, wake and mispredict counts.
+//
 // Usage:
 //
 //	qoereplay -workload dataset01 -trace dataset01.trace -db dataset01.adb \
 //	          -config ondemand [-soc dragonboard|biglittle] [-seed 2] [-o profile.json] \
-//	          [-repeat 3] [-trip 32] [-clear 30] [-mincap 5]
-//	qoereplay -workload quickstart -soc biglittle -sweep [-reps 2]
+//	          [-repeat 3] [-trip 32] [-clear 30] [-mincap 5] [-idle]
+//	qoereplay -workload quickstart -soc biglittle -sweep [-reps 2] [-idle]
 package main
 
 import (
@@ -54,6 +60,7 @@ func main() {
 	minCap := flag.Int("mincap", 5, "lowest OPP index the throttler may cap to")
 	sweep := flag.Bool("sweep", false, "run the full config matrix + cluster oracle on the chosen SoC instead of one replay")
 	reps := flag.Int("reps", 2, "repetitions per configuration in -sweep mode (paper: 5)")
+	idle := flag.Bool("idle", false, "enable the per-cluster C-state ladder (wfi/core-off/cluster-off): wakes cost exit latency and idle time leaks")
 	flag.Parse()
 
 	w := workload.ByName(*name)
@@ -68,6 +75,9 @@ func main() {
 		spec = soc.BigLittle44()
 	default:
 		fatal(fmt.Errorf("unknown SoC spec %q (use dragonboard or biglittle)", *socName))
+	}
+	if *idle {
+		spec = soc.WithDefaultIdle(spec)
 	}
 	if *sweep {
 		if *tracePath != "" || *dbPath != "" || *repeat > 1 || *trip > 0 {
@@ -178,7 +188,7 @@ func main() {
 	fmt.Printf("total lag time: %s\n", total)
 	fmt.Printf("user irritation (HCI thresholds): %s\n", irritation)
 	fmt.Printf("dynamic energy: %.2f J\n", energy)
-	if len(art.Clusters) > 1 || *trip > 0 {
+	if len(art.Clusters) > 1 || *trip > 0 || *idle {
 		fmt.Println()
 		if err := report.ClusterSummary(os.Stdout, art, socModel); err != nil {
 			fatal(err)

@@ -1,0 +1,125 @@
+// Idlestates walks the per-cluster C-state ladder end to end on a 4+4
+// big.LITTLE SoC: the quickstart workload replayed under a performance pin
+// and under per-cluster interactive governors, each once with the ladder
+// disabled (the pre-idle simulator: a sleeping cluster is free) and once
+// with the default wfi/core-off/cluster-off ladder enabled.
+//
+// The headline result is the one the idle subsystem exists for: with the
+// ladder on, the performance pin's total energy rises — its clusters finish
+// their bursts quickly and then sit parked, and parked silicon now leaks —
+// while the wake-up costs show up as exit-latency stalls charged to the
+// burst that ends each sleep. The per-cluster summary prints the per-state
+// residency, the wake and mispredict counts of the menu-style selector, and
+// the leakage column that closes the energy model.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/governor"
+	"repro/internal/report"
+	"repro/internal/soc"
+	"repro/internal/workload"
+)
+
+func main() {
+	specOff := soc.BigLittle44()
+	specOn := soc.WithDefaultIdle(specOff)
+
+	fmt.Printf("platform %s, ladder per cluster:\n", specOn.Name)
+	for _, cs := range specOn.Clusters {
+		fmt.Printf("  %-6s:", cs.Name)
+		for _, st := range cs.IdleStates {
+			fmt.Printf("  %s (exit %v, %.1f mW)", st.Name, st.ExitLatency, st.PowerW*1000)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	type arm struct {
+		name string
+		govs func(spec soc.Spec) []governor.Governor
+	}
+	arms := []arm{
+		{"performance", func(spec soc.Spec) []governor.Governor {
+			return []governor.Governor{
+				governor.Performance(spec.Clusters[0].Table),
+				governor.Performance(spec.Clusters[1].Table),
+			}
+		}},
+		{"interactive", func(spec soc.Spec) []governor.Governor {
+			return []governor.Governor{governor.NewInteractive(), governor.NewInteractive()}
+		}},
+	}
+
+	fmt.Printf("%-12s %12s %12s %12s %8s %8s\n",
+		"config", "dyn off (J)", "dyn on (J)", "leak on (J)", "wakes", "mispred")
+	for _, a := range arms {
+		dynOff := replayEnergy(specOff, a.name, a.govs, nil, nil)
+		var wakes, mispred int
+		var leak float64
+		dynOn := replayEnergy(specOn, a.name, a.govs, &leak, func(art *workload.RunArtifacts) {
+			for _, ct := range art.Clusters {
+				wakes += ct.Idle.Wakes
+				mispred += ct.Idle.Mispredicts
+			}
+		})
+		fmt.Printf("%-12s %12.2f %12.2f %12.3f %8d %8d\n",
+			a.name, dynOff, dynOn, leak, wakes, mispred)
+	}
+
+	// The full per-cluster view of the idle-enabled performance pin:
+	// residency bars per C-state, leakage and wake columns.
+	fmt.Println()
+	w := workload.Quickstart()
+	w.Profile.SoC = specOn
+	model, err := specOn.Calibrate(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, _, err := w.Record(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	art := workload.ReplayMulti(w, rec, arms[0].govs(specOn), "performance", 42, false)
+	if err := report.ClusterSummary(os.Stdout, art, model); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// replayEnergy records and replays the quickstart workload on the given spec
+// and returns its dynamic energy; when leak is non-nil it adds the idle
+// leakage (residency under the ladder plus stalls at the wfi floor).
+func replayEnergy(spec soc.Spec, name string, govs func(soc.Spec) []governor.Governor,
+	leak *float64, inspect func(*workload.RunArtifacts)) float64 {
+	w := workload.Quickstart()
+	w.Profile.SoC = spec
+	model, err := spec.Calibrate(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, _, err := w.Record(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	art := workload.ReplayMulti(w, rec, govs(spec), name, 42, false)
+	dyn, err := model.Energy(art.BusyByCluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if leak != nil {
+		for i, ct := range art.Clusters {
+			e, err := model.IdleLeakEnergy(i, ct.Idle.Residency, ct.Idle.StallTime)
+			if err != nil {
+				log.Fatal(err)
+			}
+			*leak += e
+		}
+	}
+	if inspect != nil {
+		inspect(art)
+	}
+	return dyn
+}

@@ -90,6 +90,14 @@ type Profile struct {
 	// whenever the video's frames outlive the replay (annotation builds,
 	// anything that stores frames). A pool is not safe for concurrent use.
 	FramePool *video.FramePool
+	// TraceScratch, when set, supplies recycled per-cluster trace storage:
+	// cluster i reuses TraceScratch[i] (Reset, renamed) instead of
+	// allocating fresh series. Sweeps that keep only the profile and the
+	// aggregate busy curve of a replay — the oracle-candidate runs — hand
+	// the previous replay's ClusterTraces back through here. Leave nil
+	// whenever the per-cluster traces outlive the replay. Not safe for
+	// concurrent use.
+	TraceScratch []*trace.ClusterTraces
 }
 
 // SoCSpec returns the profile's SoC spec, defaulting to the paper's
@@ -213,8 +221,15 @@ func NewMulti(eng *sim.Engine, seed uint64, govs []governor.Governor, prof Profi
 		BusyCurve:   trace.NewBusyCurve(33333 * sim.Microsecond),
 	}
 	d.Core = d.SoC.Cluster(0)
-	for _, cl := range d.SoC.Clusters() {
-		ct := trace.NewClusterTraces(cl.Name(), d.BusyCurve.Step)
+	for i, cl := range d.SoC.Clusters() {
+		var ct *trace.ClusterTraces
+		if i < len(prof.TraceScratch) && prof.TraceScratch[i] != nil {
+			ct = prof.TraceScratch[i]
+			ct.Reset()
+			ct.Name = cl.Name()
+		} else {
+			ct = trace.NewClusterTraces(cl.Name(), d.BusyCurve.Step)
+		}
 		ct.Freq.Append(0, cl.OPPIndex())
 		ctf := ct.Freq
 		cl.OnFreqChange = func(at sim.Time, idx int) { ctf.Append(at, idx) }
@@ -404,6 +419,30 @@ func (d *Device) ReserveTraces(window sim.Duration) {
 	}
 	for _, ct := range d.ClusterTraces {
 		ct.Reserve(window, tick)
+	}
+}
+
+// SnapshotIdle copies every idle-enabled cluster's residency counters into
+// its ClusterTraces.Idle: per-state residency, wake and mispredict counts,
+// wake-stall and active-wall time. Unlike the event traces, which accumulate
+// as the run executes, the idle numbers are counters inside soc.Cluster;
+// replay runners call this once after the run window so the artefacts carry
+// them. Clusters without a ladder keep an empty IdleTrace.
+func (d *Device) SnapshotIdle() {
+	for i, cl := range d.SoC.Clusters() {
+		if !cl.IdleEnabled() {
+			continue
+		}
+		it := d.ClusterTraces[i].Idle
+		it.States = it.States[:0]
+		for _, st := range cl.IdleStates() {
+			it.States = append(it.States, st.Name)
+		}
+		it.Residency = cl.CopyIdleResidency(it.Residency)
+		it.Wakes = cl.IdleWakes()
+		it.Mispredicts = cl.IdleMispredicts()
+		it.StallTime = cl.IdleStallTime()
+		it.ActiveTime = cl.ActiveWallTime()
 	}
 }
 

@@ -122,6 +122,10 @@ type Run struct {
 	Profile *core.Profile
 	// EnergyJ is the run's dynamic energy in joules.
 	EnergyJ float64
+	// LeakEnergyJ is the run's idle leakage energy in joules: per-state
+	// residency priced by the C-state ladder, plus wake stalls at the
+	// shallowest-state floor. 0 on specs without idle ladders.
+	LeakEnergyJ float64
 	// BusyCurve and FreqTrace are the SoC-aggregate busy curve and the
 	// first cluster's frequency transition trace.
 	BusyCurve *trace.BusyCurve
@@ -290,17 +294,44 @@ func executeRun(w *workload.Workload, rec *workload.Recording, db *annotate.DB,
 	if err != nil {
 		return nil, err
 	}
+	var leak float64
+	if socModel != nil && socModel.HasIdle() {
+		if leak, err = idleLeakEnergy(socModel, art.Clusters); err != nil {
+			return nil, err
+		}
+	}
 	return &Run{
-		Config:     cfg.Name,
-		Rep:        rep,
-		Profile:    profile,
-		EnergyJ:    energy,
-		BusyCurve:  art.BusyCurve,
-		FreqTrace:  art.FreqTrace,
-		Clusters:   art.Clusters,
-		Migrations: art.Migrations,
+		Config:      cfg.Name,
+		Rep:         rep,
+		Profile:     profile,
+		EnergyJ:     energy,
+		LeakEnergyJ: leak,
+		BusyCurve:   art.BusyCurve,
+		FreqTrace:   art.FreqTrace,
+		Clusters:    art.Clusters,
+		Migrations:  art.Migrations,
 	}, nil
 }
+
+// idleLeakEnergy sums the model's idle leakage pricing over every
+// idle-enabled cluster of a replay.
+func idleLeakEnergy(model *power.SoCModel, clusters []*trace.ClusterTraces) (float64, error) {
+	var leak float64
+	for i, ct := range clusters {
+		if !ct.Idle.Enabled() {
+			continue
+		}
+		e, err := model.IdleLeakEnergy(i, ct.Idle.Residency, ct.Idle.StallTime)
+		if err != nil {
+			return 0, err
+		}
+		leak += e
+	}
+	return leak, nil
+}
+
+// TotalEnergyJ returns the run's dynamic plus leakage energy in joules.
+func (r *Run) TotalEnergyJ() float64 { return r.EnergyJ + r.LeakEnergyJ }
 
 // buildThresholdsAndOracles derives the dataset thresholds (110% of the mean
 // fastest-frequency lag durations) and one oracle per repetition.

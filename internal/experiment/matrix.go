@@ -275,6 +275,10 @@ func executeCandidateRun(w *workload.Workload, rec *workload.Recording, db *anno
 	wc := *w
 	wc.Profile.SoC = soc.Spec{Name: spec.Name + "-" + cs.Name + "-only", Clusters: []soc.ClusterSpec{cs}}
 	wc.Profile.FramePool = scratch.frames
+	// Candidate runs retain only the profile and the aggregate busy curve,
+	// so the per-cluster trace series recycle from one candidate replay into
+	// the worker's next one.
+	wc.Profile.TraceScratch = scratch.takeTraces()
 	name := cs.Name + "@" + cs.Table[opp].Label()
 	govs := []governor.Governor{governor.NewFixed(cs.Table, opp)}
 	art := workload.ReplayMulti(&wc, rec, govs, name, seed, true)
@@ -284,6 +288,9 @@ func executeCandidateRun(w *workload.Workload, rec *workload.Recording, db *anno
 	}
 	scratch.release(art.Video)
 	art.Video = nil
+	scratch.releaseTraces(art.Clusters)
+	art.Clusters = nil
+	art.FreqTrace = nil // aliases the released cluster traces
 	return oracle.ClusterFixedRun{
 		Cluster:   cluster,
 		OPPIndex:  opp,
@@ -370,13 +377,35 @@ func (res *MatrixResult) MeanEnergyJ(config string) float64 {
 	return s / float64(len(rs))
 }
 
-// NormEnergy returns a configuration's mean energy normalised to the cluster
-// oracle's.
+// MeanLeakEnergyJ returns the mean idle leakage energy of a configuration in
+// joules (0 on specs without C-state ladders).
+func (res *MatrixResult) MeanLeakEnergyJ(config string) float64 {
+	rs := res.Runs[config]
+	if len(rs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range rs {
+		s += r.LeakEnergyJ
+	}
+	return s / float64(len(rs))
+}
+
+// MeanTotalEnergyJ returns the mean dynamic-plus-leakage energy of a
+// configuration in joules. Without idle ladders it equals MeanEnergyJ.
+func (res *MatrixResult) MeanTotalEnergyJ(config string) float64 {
+	return res.MeanEnergyJ(config) + res.MeanLeakEnergyJ(config)
+}
+
+// NormEnergy returns a configuration's mean total energy normalised to the
+// cluster oracle's. The oracle's EnergyJ prices idle time the same way the
+// runs do (leakage is zero without ladders), so the ratio compares like with
+// like on both kinds of spec.
 func (res *MatrixResult) NormEnergy(config string) float64 {
 	if res.OracleEnergyJ == 0 {
 		return 0
 	}
-	return res.MeanEnergyJ(config) / res.OracleEnergyJ
+	return res.MeanTotalEnergyJ(config) / res.OracleEnergyJ
 }
 
 // MeanIrritation returns a configuration's mean user irritation under the

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/trace"
 	"repro/internal/video"
 	"repro/internal/workload"
 )
@@ -12,10 +13,26 @@ import (
 // goroutine owns exactly one, so nothing in it needs locking: the frame pool
 // recycles captured frame storage from one repetition into the next, which
 // is the bulk of a replay's allocations once the engine and callback paths
-// stopped allocating.
+// stopped allocating, and the trace slot recycles per-cluster trace series
+// across the runs that retain only a profile and a busy curve (the
+// oracle-candidate replays).
 type replayScratch struct {
 	frames *video.FramePool
+	traces []*trace.ClusterTraces
 }
+
+// takeTraces hands out the recycled per-cluster traces for the next replay
+// (nil on the worker's first candidate run; the device then allocates fresh
+// series which come back through releaseTraces).
+func (s *replayScratch) takeTraces() []*trace.ClusterTraces {
+	t := s.traces
+	s.traces = nil
+	return t
+}
+
+// releaseTraces takes back per-cluster traces no longer referenced by any
+// retained artefact. The traces must not be read afterwards.
+func (s *replayScratch) releaseTraces(cts []*trace.ClusterTraces) { s.traces = cts }
 
 // pooledWorkload returns the workload with the worker's frame pool installed
 // in its device profile (a value copy; the shared workload is untouched).

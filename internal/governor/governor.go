@@ -85,6 +85,12 @@ type Governor interface {
 // saturated core), which is exactly the artifact the heterogeneous sweeps
 // would otherwise measure. On a single-core domain max-of-CPUs and the
 // domain average coincide, so the paper's Dragonboard traces are unchanged.
+//
+// Idle-state wake stalls never register as demand: while a cluster pays a
+// C-state's exit latency, queued work is not running and no busy time
+// accrues, so a sample window spanning the stall sees only the cycles that
+// actually executed — a governor cannot be tricked into ramping by wake
+// latency alone (pinned by TestLoadMeterIgnoresWakeStalls in soc).
 type loadMeter struct {
 	cpu      CPU
 	lastWall sim.Time

@@ -108,12 +108,31 @@ func BuildCluster(runs []ClusterFixedRun, model *power.SoCModel, factor float64,
 	dynW := func(ch ClusterChoice) float64 {
 		return model.Cluster(ch.Cluster).DynamicPowerW(ch.OPPIndex)
 	}
+	// windowEnergy prices one wall-clock window of a candidate run: dynamic
+	// power for the busy core-time plus — when the model carries C-state
+	// ladders — the cluster's deepest-state (parked) leakage for the
+	// remainder of the window. Candidate artefacts keep only the busy curve,
+	// so a constant idle rate is the resolution pricing has here; the park
+	// rate is the faithful one because the oracle's idle windows are the
+	// workload's long think-time gaps, which measured runs sink to the
+	// bottom of the ladder almost exclusively. This is what makes
+	// race-to-idle pay: a fast candidate finishes its burst early and then
+	// leaks for the rest of the window, where the pre-idle oracle priced
+	// that remainder at zero.
+	windowEnergy := func(ch ClusterChoice, busy, wall sim.Duration) float64 {
+		e := dynW(ch) * busy.Seconds()
+		if wall > busy {
+			e += model.IdleParkW(ch.Cluster) * (wall - busy).Seconds()
+		}
+		return e
+	}
 
-	// Base: lowest whole-workload dynamic energy among the candidates.
+	// Base: lowest whole-workload energy among the candidates (dynamic plus,
+	// with idle ladders, leakage over the run window).
 	var base ClusterChoice
 	bestE := -1.0
 	for ch, r := range byChoice {
-		e := dynW(ch) * r.BusyCurve.Total().Seconds()
+		e := windowEnergy(ch, r.BusyCurve.Total(), r.BusyCurve.Window())
 		if bestE < 0 || e < bestE || (e == bestE && less(ch, base)) {
 			base, bestE = ch, e
 		}
@@ -145,7 +164,7 @@ func BuildCluster(runs []ClusterFixedRun, model *power.SoCModel, factor float64,
 			if !ok || cand.Duration() > limit {
 				continue
 			}
-			e := dynW(ch) * r.BusyCurve.Between(cand.Begin, cand.End).Seconds()
+			e := windowEnergy(ch, r.BusyCurve.Between(cand.Begin, cand.End), cand.Duration())
 			if chosenE < 0 || e < chosenE || (e == chosenE && less(ch, chosen)) {
 				chosen, chosenLag, chosenE = ch, cand, e
 			}
@@ -155,7 +174,8 @@ func BuildCluster(runs []ClusterFixedRun, model *power.SoCModel, factor float64,
 			// fits; guard anyway.
 			chosen = ClusterChoice{Cluster: fastest.Cluster, OPPIndex: fastest.OPPIndex}
 			chosenLag = fastLags[lag.Index]
-			chosenE = dynW(chosen) * byChoice[chosen].BusyCurve.Between(chosenLag.Begin, chosenLag.End).Seconds()
+			chosenE = windowEnergy(chosen,
+				byChoice[chosen].BusyCurve.Between(chosenLag.Begin, chosenLag.End), chosenLag.Duration())
 		}
 		o.PerLag[lag.Index] = chosen
 		o.Profile.Lags = append(o.Profile.Lags, core.Lag{
@@ -166,19 +186,25 @@ func BuildCluster(runs []ClusterFixedRun, model *power.SoCModel, factor float64,
 	}
 
 	// Energy outside lags: the base run's busy time minus its own lag
-	// windows, at the base candidate's power.
+	// windows, at the base candidate's power — plus, with idle ladders,
+	// leakage over the out-of-lag wall time the busy work does not cover.
 	baseRun := byChoice[base]
 	outside := baseRun.BusyCurve.Total()
+	outsideWall := baseRun.BusyCurve.Window()
 	for _, lag := range baseRun.Profile.Lags {
 		if lag.Spurious {
 			continue
 		}
 		outside -= baseRun.BusyCurve.Between(lag.Begin, lag.End)
+		outsideWall -= lag.Duration()
 	}
 	if outside < 0 {
 		outside = 0
 	}
-	o.EnergyJ = lagEnergy + dynW(base)*outside.Seconds()
+	if outsideWall < 0 {
+		outsideWall = 0
+	}
+	o.EnergyJ = lagEnergy + windowEnergy(base, outside, outsideWall)
 	return o, nil
 }
 

@@ -187,6 +187,45 @@ func TestClusterOracleDeterministic(t *testing.T) {
 	}
 }
 
+// TestClusterOracleIdleAwarePricing checks the C-state extension: with
+// leakage ladders attached to the model, the oracle's energy grows by the
+// idle-floor charge over the un-busy remainder of every window — a faster
+// candidate that races to idle now pays to stay parked — and building with
+// the same model minus ladders reproduces the pre-idle result exactly.
+func TestClusterOracleIdleAwarePricing(t *testing.T) {
+	m := socModel(t)
+	runs := synthClusterRuns(t, m)
+	plain, err := BuildCluster(runs, m, 1.10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mi := socModel(t)
+	mi.SetIdleLadder(0, []string{"wfi", "off"}, []float64{0.005, 0.001})
+	mi.SetIdleLadder(1, []string{"wfi", "off"}, []float64{0.013, 0.003})
+	priced, err := BuildCluster(synthClusterRuns(t, mi), mi, 1.10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if priced.EnergyJ <= plain.EnergyJ {
+		t.Errorf("idle-aware oracle energy %.4f J <= leakage-free %.4f J; idle time is still free",
+			priced.EnergyJ, plain.EnergyJ)
+	}
+	if priced.Irritation() != 0 {
+		t.Errorf("idle-aware oracle irritation = %v, want 0", priced.Irritation())
+	}
+	// Re-building against the ladder-free model must be bit-identical to the
+	// pre-idle build: the pricing is gated entirely on the model's ladders.
+	again, err := BuildCluster(synthClusterRuns(t, m), m, 1.10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.EnergyJ != plain.EnergyJ || again.Base != plain.Base {
+		t.Errorf("ladder-free rebuild diverged: (%v, %.6f) vs (%v, %.6f)",
+			again.Base, again.EnergyJ, plain.Base, plain.EnergyJ)
+	}
+}
+
 func TestClusterOracleErrors(t *testing.T) {
 	m := socModel(t)
 	if _, err := BuildCluster(nil, m, 1.1, nil); err == nil {

@@ -1,0 +1,49 @@
+package power
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSoCModelIdleLadders(t *testing.T) {
+	m, err := CalibrateClusters(
+		[]string{"little", "big"},
+		[]Table{LittleCortex(), Snapdragon8074()},
+		[]Silicon{LittleSilicon(), BigSilicon()},
+		100*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.HasIdle() {
+		t.Error("fresh model reports idle ladders")
+	}
+	if m.IdleFloorW(0) != 0 || m.IdleLadderOf(1) != nil {
+		t.Error("ladder-free model returned non-empty idle data")
+	}
+	if e, err := m.IdleEnergy(0, []sim.Duration{sim.Second}); err != nil || e != 0 {
+		t.Errorf("ladder-free IdleEnergy = (%v, %v), want (0, nil)", e, err)
+	}
+
+	m.SetIdleLadder(1, []string{"wfi", "core-off"}, []float64{0.010, 0.002})
+	if !m.HasIdle() {
+		t.Error("model with a ladder reports HasIdle false")
+	}
+	if m.IdleLadderOf(0) != nil {
+		t.Error("cluster 0 gained a ladder it was never given")
+	}
+	if got := m.IdleFloorW(1); got != 0.010 {
+		t.Errorf("IdleFloorW = %v, want the shallowest state's 0.010", got)
+	}
+	// 10 s at wfi (0.01 W) + 5 s at core-off (0.002 W) = 0.11 J.
+	e, err := m.IdleEnergy(1, []sim.Duration{10 * sim.Second, 5 * sim.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 0.11; e < want-1e-12 || e > want+1e-12 {
+		t.Errorf("IdleEnergy = %v J, want %v", e, want)
+	}
+	if _, err := m.IdleEnergy(1, []sim.Duration{sim.Second}); err == nil {
+		t.Error("residency/ladder length mismatch accepted")
+	}
+}

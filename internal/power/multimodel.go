@@ -38,10 +38,23 @@ func BigSilicon() Silicon { return DefaultSilicon() }
 // SoCModel is the calibrated power model of a multi-cluster SoC: one per-OPP
 // dynamic model per cluster, in the SoC's little-to-big cluster order. It
 // attributes energy per cluster, which is what the big.LITTLE experiments
-// report.
+// report. Clusters with a C-state ladder additionally carry per-state
+// leakage (Idle), so idle residency is priced instead of treated as free.
 type SoCModel struct {
 	Names  []string
 	Models []*Model
+	// Idle holds one leakage ladder per cluster, parallel to Models; a nil
+	// entry (or a nil slice) means that cluster has no C-state ladder and
+	// its idle time costs nothing, the pre-idle behaviour.
+	Idle []*IdleLadder
+}
+
+// IdleLadder is the leakage view of one cluster's C-state ladder: state
+// names shallow to deep and the cluster leakage power (watts) while
+// resident in each.
+type IdleLadder struct {
+	Names  []string
+	PowerW []float64
 }
 
 // CalibrateClusters runs the paper's microbenchmark calibration once per
@@ -64,6 +77,90 @@ func CalibrateClusters(names []string, tables []Table, silicon []Silicon, benchD
 
 // Cluster returns the calibrated model of cluster i.
 func (m *SoCModel) Cluster(i int) *Model { return m.Models[i] }
+
+// SetIdleLadder attaches the per-state leakage of cluster i's C-state
+// ladder. names and powerW run parallel, shallow to deep.
+func (m *SoCModel) SetIdleLadder(i int, names []string, powerW []float64) {
+	if m.Idle == nil {
+		m.Idle = make([]*IdleLadder, len(m.Models))
+	}
+	m.Idle[i] = &IdleLadder{Names: names, PowerW: powerW}
+}
+
+// IdleLadderOf returns cluster i's leakage ladder, or nil when the cluster
+// has no C-state ladder.
+func (m *SoCModel) IdleLadderOf(i int) *IdleLadder {
+	if m.Idle == nil || i < 0 || i >= len(m.Idle) {
+		return nil
+	}
+	return m.Idle[i]
+}
+
+// HasIdle reports whether any cluster carries a leakage ladder.
+func (m *SoCModel) HasIdle() bool {
+	for _, l := range m.Idle {
+		if l != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// IdleFloorW returns cluster i's shallowest-state leakage power — what the
+// silicon draws when it has just stopped (or is about to resume) executing,
+// the rate wake stalls are priced at. 0 when the cluster has no ladder.
+func (m *SoCModel) IdleFloorW(i int) float64 {
+	l := m.IdleLadderOf(i)
+	if l == nil || len(l.PowerW) == 0 {
+		return 0
+	}
+	return l.PowerW[0]
+}
+
+// IdleParkW returns cluster i's deepest-state leakage power — what a
+// long-parked cluster draws once the idle selector has sunk it to the bottom
+// of the ladder. Oracle pricing uses this for candidate idle windows: the
+// windows are the workload's long think-time gaps, which measured runs park
+// in the deepest state almost exclusively. 0 when the cluster has no ladder.
+func (m *SoCModel) IdleParkW(i int) float64 {
+	l := m.IdleLadderOf(i)
+	if l == nil || len(l.PowerW) == 0 {
+		return 0
+	}
+	return l.PowerW[len(l.PowerW)-1]
+}
+
+// IdleLeakEnergy prices cluster i's whole idle record in joules: per-state
+// residency at each state's leakage power plus the wake-stall time at the
+// shallowest-state floor (the silicon is awake but not yet executing). This
+// is the one formula behind every leakage number reported — the experiment
+// energy columns and the per-cluster summary both call it.
+func (m *SoCModel) IdleLeakEnergy(i int, residency []sim.Duration, stall sim.Duration) (float64, error) {
+	e, err := m.IdleEnergy(i, residency)
+	if err != nil {
+		return 0, err
+	}
+	return e + m.IdleFloorW(i)*stall.Seconds(), nil
+}
+
+// IdleEnergy computes cluster i's leakage energy in joules from its
+// per-state idle residency (shallow-to-deep, as trace.IdleTrace records
+// it). A cluster without a ladder charges nothing.
+func (m *SoCModel) IdleEnergy(i int, residency []sim.Duration) (float64, error) {
+	l := m.IdleLadderOf(i)
+	if l == nil {
+		return 0, nil
+	}
+	if len(residency) != len(l.PowerW) {
+		return 0, fmt.Errorf("power: cluster %s idle residency has %d states, ladder has %d",
+			m.Names[i], len(residency), len(l.PowerW))
+	}
+	var e float64
+	for k, d := range residency {
+		e += l.PowerW[k] * d.Seconds()
+	}
+	return e, nil
+}
 
 // ClusterEnergy computes the dynamic energy of one cluster from its per-OPP
 // busy histogram.

@@ -20,9 +20,13 @@ func ClusterSummary(w io.Writer, art *workload.RunArtifacts, model *power.SoCMod
 	}
 	end := sim.Time(art.Window)
 	thermal := false
+	idle := false
 	for _, ct := range art.Clusters {
 		if ct.Temp.Len() > 0 {
 			thermal = true
+		}
+		if ct.Idle.Enabled() {
+			idle = true
 		}
 	}
 	fmt.Fprintf(w, "PER-CLUSTER SUMMARY, %s / %s (window %.0fs, %d migrations)\n",
@@ -31,9 +35,12 @@ func ClusterSummary(w io.Writer, art *workload.RunArtifacts, model *power.SoCMod
 	if thermal {
 		fmt.Fprintf(w, " %8s %8s %9s %6s", "peak °C", "stdy °C", "thr time", "caps")
 	}
+	if idle {
+		fmt.Fprintf(w, " %9s %9s %6s %7s", "idle (s)", "leak (J)", "wakes", "mispred")
+	}
 	fmt.Fprintln(w)
 
-	var totalE float64
+	var totalE, totalLeak float64
 	for i, ct := range art.Clusters {
 		var busy sim.Duration
 		for _, d := range art.BusyByCluster[i] {
@@ -51,9 +58,22 @@ func ClusterSummary(w io.Writer, art *workload.RunArtifacts, model *power.SoCMod
 				ct.Temp.PeakC(), ct.Temp.SteadyC(sim.Time(art.Duration), 0.2),
 				ct.Throttle.ThrottledTime(end).Seconds(), ct.Throttle.Len())
 		}
+		if idle {
+			leak, err := model.IdleLeakEnergy(i, ct.Idle.Residency, ct.Idle.StallTime)
+			if err != nil {
+				return fmt.Errorf("report: %w", err)
+			}
+			totalLeak += leak
+			fmt.Fprintf(w, " %8.1fs %9.3f %6d %7d",
+				ct.Idle.TotalIdle().Seconds(), leak, ct.Idle.Wakes, ct.Idle.Mispredicts)
+		}
 		fmt.Fprintln(w)
 	}
-	fmt.Fprintf(w, "%-8s %14s %12.2f\n\n", "total", "", totalE)
+	fmt.Fprintf(w, "%-8s %14s %12.2f", "total", "", totalE)
+	if idle {
+		fmt.Fprintf(w, " (+%.3f J leakage = %.2f J)", totalLeak, totalE+totalLeak)
+	}
+	fmt.Fprint(w, "\n\n")
 
 	for i, ct := range art.Clusters {
 		tbl := model.Cluster(i).Table
@@ -64,6 +84,21 @@ func ClusterSummary(w io.Writer, art *workload.RunArtifacts, model *power.SoCMod
 				continue
 			}
 			fmt.Fprintf(w, "  %-10s %8.1fs |%s\n", tbl[idx].Label(), d.Seconds(),
+				bar(d.Seconds(), art.Window.Seconds(), 40))
+		}
+	}
+	for _, ct := range art.Clusters {
+		if !ct.Idle.Enabled() {
+			continue
+		}
+		fmt.Fprintf(w, "idle residency, %s (%d wakes, %d mispredicted, %.1f ms stalled):\n",
+			ct.Name, ct.Idle.Wakes, ct.Idle.Mispredicts, ct.Idle.StallTime.Seconds()*1000)
+		for k, name := range ct.Idle.States {
+			d := ct.Idle.Residency[k]
+			if d == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  %-12s %8.1fs |%s\n", name, d.Seconds(),
 				bar(d.Seconds(), art.Window.Seconds(), 40))
 		}
 	}

@@ -26,9 +26,14 @@ func MatrixTable(w io.Writer, res *experiment.MatrixResult) error {
 			reps = len(rs)
 		}
 	}
+	idle := res.Model.HasIdle()
 	fmt.Fprintf(w, "CONFIG MATRIX, %s on %s (%d clusters, %d reps)\n",
 		res.Workload.Name, res.Spec.Name, len(names), reps)
-	fmt.Fprintf(w, "%-26s %10s %11s %9s %7s", "config", "irrit (s)", "energy (J)", "vs orcl", "migr")
+	fmt.Fprintf(w, "%-26s %10s %11s", "config", "irrit (s)", "energy (J)")
+	if idle {
+		fmt.Fprintf(w, " %9s", "leak (J)")
+	}
+	fmt.Fprintf(w, " %9s %7s", "vs orcl", "migr")
 	for _, n := range names {
 		fmt.Fprintf(w, " %7s", n+"%")
 	}
@@ -38,10 +43,14 @@ func MatrixTable(w io.Writer, res *experiment.MatrixResult) error {
 		if len(res.Runs[cfg.Name]) == 0 {
 			continue
 		}
-		fmt.Fprintf(w, "%-26s %10.2f %11.2f %9.2f %7.1f",
+		fmt.Fprintf(w, "%-26s %10.2f %11.2f",
 			cfg.Name,
 			res.MeanIrritation(cfg.Name).Seconds(),
-			res.MeanEnergyJ(cfg.Name),
+			res.MeanEnergyJ(cfg.Name))
+		if idle {
+			fmt.Fprintf(w, " %9.3f", res.MeanLeakEnergyJ(cfg.Name))
+		}
+		fmt.Fprintf(w, " %9.2f %7.1f",
 			res.NormEnergy(cfg.Name),
 			res.MeanMigrations(cfg.Name))
 		for _, s := range res.ClusterBusyShare(cfg.Name) {
@@ -51,8 +60,13 @@ func MatrixTable(w io.Writer, res *experiment.MatrixResult) error {
 	}
 
 	// The oracle row: zero irritation by construction; the shares are the
-	// fraction of lags each cluster served across the per-rep oracles.
-	fmt.Fprintf(w, "%-26s %10.2f %11.2f %9.2f %7s", "oracle", 0.0, res.OracleEnergyJ, 1.0, "-")
+	// fraction of lags each cluster served across the per-rep oracles. Its
+	// energy already prices idle time (leakage folded in), hence the dash.
+	fmt.Fprintf(w, "%-26s %10.2f %11.2f", "oracle", 0.0, res.OracleEnergyJ)
+	if idle {
+		fmt.Fprintf(w, " %9s", "-")
+	}
+	fmt.Fprintf(w, " %9.2f %7s", 1.0, "-")
 	for _, s := range res.OracleClusterShares() {
 		fmt.Fprintf(w, " %6.0f%%", 100*s)
 	}

@@ -106,6 +106,26 @@ type Cluster struct {
 	coreBusy  []sim.Duration // cumulative busy per core slot, len nCores
 	busyByOPP []sim.Duration
 
+	// idle is the C-state ladder (nil keeps the idle subsystem disabled and
+	// the pre-idle simulator bit for bit). While enabled, every instant of
+	// cluster wall time is attributed to exactly one of: active (>=1 running
+	// task), a wake stall, or residency in one idle state — the conservation
+	// the residency tests pin.
+	idle        []IdleState
+	idleState   int          // current C-state, -1 while not idle
+	idleSince   sim.Time     // entry instant of the current residency
+	idlePred    sim.Duration // predicted next idle gap (last observed gap)
+	idleRes     []sim.Duration
+	idleWakes   int
+	idleMispred int
+	waking      bool     // exit-latency stall in progress
+	wakeUntil   sim.Time // when the stall ends and dispatch resumes
+	stallSince  sim.Time
+	stallTime   sim.Duration
+	activeOpen  bool // an active (>=1 running task) window is open
+	activeSince sim.Time
+	activeWall  sim.Duration
+
 	// OnFreqChange, if set, observes every OPP transition (trace capture).
 	OnFreqChange func(at sim.Time, oppIdx int)
 	// OnCapChange, if set, observes every change of the effective frequency
@@ -137,6 +157,9 @@ func NewCluster(eng *sim.Engine, spec ClusterSpec) *Cluster {
 	if n < 1 {
 		n = 1
 	}
+	if err := validateIdleLadder(spec.IdleStates); err != nil {
+		panic(fmt.Sprintf("soc: invalid idle ladder for cluster %q: %v", spec.Name, err))
+	}
 	c := &Cluster{
 		eng:       eng,
 		tbl:       spec.Table,
@@ -145,10 +168,19 @@ func NewCluster(eng *sim.Engine, spec ClusterSpec) *Cluster {
 		coreUsed:  make([]bool, n),
 		coreBusy:  make([]sim.Duration, n),
 		busyByOPP: make([]sim.Duration, len(spec.Table)),
+		idleState: -1,
 	}
 	c.execCb = func() {
 		c.havePending = false
 		c.onExecEvent()
+	}
+	if len(spec.IdleStates) > 0 {
+		c.idle = append([]IdleState(nil), spec.IdleStates...)
+		c.idleRes = make([]sim.Duration, len(c.idle))
+		c.idlePred = idlePredInit
+		// A freshly booted cluster is idle: sink to the deepest state so the
+		// very first burst already pays a wake-up cost.
+		c.enterIdle(eng.Now())
 	}
 	return c
 }
@@ -382,8 +414,77 @@ func completeZeroCycle(eng *sim.Engine, t *Task) {
 func (c *Cluster) enqueue(t *Task) {
 	t.owner = c
 	c.settle()
+	c.wakeFromIdle()
 	c.runq = append(c.runq, t)
 	c.reschedule()
+}
+
+// wakeFromIdle leaves the current C-state because work arrived: the
+// residency is closed, the gap feeds the selector's predictor, and the
+// state's exit latency opens a wake stall during which nothing dispatches —
+// the wake-up cost race-to-idle pays on its next burst. A wake whose
+// residency was shorter than the state's entry+exit latency is a selector
+// misprediction (the sleep cost more than it saved).
+func (c *Cluster) wakeFromIdle() {
+	if c.idleState < 0 {
+		return
+	}
+	now := c.eng.Now()
+	st := c.idle[c.idleState]
+	gap := now.Sub(c.idleSince)
+	c.idleRes[c.idleState] += gap
+	c.idleWakes++
+	if gap < st.EntryLatency+st.ExitLatency {
+		c.idleMispred++
+	}
+	c.idlePred = gap
+	c.idleState = -1
+	if st.ExitLatency > 0 {
+		c.waking = true
+		c.stallSince = now
+		c.wakeUntil = now.Add(st.ExitLatency)
+	}
+}
+
+// enterIdle starts a residency in the deepest state whose entry+exit
+// latency fits the predicted idle gap — cpuidle's menu-governor selection
+// with the last observed gap as the prediction. The shallowest state always
+// fits (there is nothing cheaper to fall back to).
+func (c *Cluster) enterIdle(now sim.Time) {
+	k := 0
+	for j := 1; j < len(c.idle); j++ {
+		if c.idle[j].EntryLatency+c.idle[j].ExitLatency > c.idlePred {
+			break
+		}
+		k = j
+	}
+	c.idleState = k
+	c.idleSince = now
+}
+
+// idleTransition closes the active window and, with nothing left to run,
+// enters an idle state. No-op while the ladder is disabled.
+func (c *Cluster) idleTransition(now sim.Time) {
+	if c.idle == nil {
+		return
+	}
+	if c.activeOpen {
+		c.activeWall += now.Sub(c.activeSince)
+		c.activeOpen = false
+	}
+	if c.idleState < 0 {
+		c.enterIdle(now)
+	}
+}
+
+// markActive opens the active wall-clock window (>=1 running task). No-op
+// while the ladder is disabled.
+func (c *Cluster) markActive(now sim.Time) {
+	if c.idle == nil || c.activeOpen {
+		return
+	}
+	c.activeOpen = true
+	c.activeSince = now
 }
 
 // Cancel removes a task from the cluster. A running task is stopped with its
@@ -492,6 +593,20 @@ func (c *Cluster) reschedule() {
 		c.havePending = false
 	}
 	now := c.eng.Now()
+	if c.waking {
+		if now < c.wakeUntil {
+			// Dispatch is blocked until the wake transition completes; the
+			// pending event resumes execution (or re-enters idle if the
+			// queued work was cancelled meanwhile). No busy time accrues
+			// here, so governors never read the stall as demand.
+			c.pending = c.eng.AtFunc(c.wakeUntil, c.execCb)
+			c.havePending = true
+			c.lastSettle = now
+			return
+		}
+		c.stallTime += now.Sub(c.stallSince)
+		c.waking = false
+	}
 	// Fill idle cores from the run queue, lowest free core slot first. The
 	// queue head is shifted out in place: re-slicing with runq[1:] walks
 	// the slice base forward, so once the queue drains to len 0 its spare
@@ -512,8 +627,10 @@ func (c *Cluster) reschedule() {
 	}
 	if len(c.running) == 0 {
 		c.lastSettle = now
+		c.idleTransition(now)
 		return
 	}
+	c.markActive(now)
 	// Finished tasks (zero remaining after a settle) complete immediately.
 	for _, t := range c.running {
 		if t.remaining <= 0 {
@@ -576,6 +693,68 @@ func (c *Cluster) finish(t *Task) {
 	if c.onIdleCore != nil && c.FreeCores() > 0 {
 		c.onIdleCore()
 	}
+}
+
+// IdleEnabled reports whether this cluster has a C-state ladder.
+func (c *Cluster) IdleEnabled() bool { return c.idle != nil }
+
+// IdleStates returns the C-state ladder, shallow to deep (nil when the idle
+// subsystem is disabled). Callers must not mutate it.
+func (c *Cluster) IdleStates() []IdleState { return c.idle }
+
+// syncIdleClocks closes the open idle/stall/active window at the current
+// virtual time, so the residency counters are exact at read time.
+func (c *Cluster) syncIdleClocks() {
+	if c.idle == nil {
+		return
+	}
+	now := c.eng.Now()
+	if c.idleState >= 0 {
+		c.idleRes[c.idleState] += now.Sub(c.idleSince)
+		c.idleSince = now
+	}
+	if c.waking {
+		c.stallTime += now.Sub(c.stallSince)
+		c.stallSince = now
+	}
+	if c.activeOpen {
+		c.activeWall += now.Sub(c.activeSince)
+		c.activeSince = now
+	}
+}
+
+// CopyIdleResidency copies the per-state idle residency into dst
+// (reallocated if too small) and returns it, one entry per ladder state in
+// shallow-to-deep order. Empty when the ladder is disabled.
+func (c *Cluster) CopyIdleResidency(dst []sim.Duration) []sim.Duration {
+	c.syncIdleClocks()
+	if cap(dst) < len(c.idleRes) {
+		dst = make([]sim.Duration, len(c.idleRes))
+	}
+	dst = dst[:len(c.idleRes)]
+	copy(dst, c.idleRes)
+	return dst
+}
+
+// IdleWakes returns how many times work arrival ended an idle residency.
+func (c *Cluster) IdleWakes() int { return c.idleWakes }
+
+// IdleMispredicts returns how many wakes cut a residency shorter than the
+// chosen state's entry+exit latency — sleeps that cost more than they saved.
+func (c *Cluster) IdleMispredicts() int { return c.idleMispred }
+
+// IdleStallTime returns total wall time spent in exit-latency wake stalls.
+func (c *Cluster) IdleStallTime() sim.Duration {
+	c.syncIdleClocks()
+	return c.stallTime
+}
+
+// ActiveWallTime returns total wall time with at least one running task.
+// Only tracked while the idle ladder is enabled; with it, active + stall +
+// idle residencies account for every instant of cluster wall time.
+func (c *Cluster) ActiveWallTime() sim.Duration {
+	c.syncIdleClocks()
+	return c.activeWall
 }
 
 // IdleTime returns total core-idle time since boot (wall clock times cores,

@@ -1,0 +1,96 @@
+package soc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// IdleState is one C-state of a cluster's idle ladder, ordered shallow to
+// deep: progressively more of the cluster is power-gated, the residency
+// leakage drops, and the entry/exit transitions get slower. The ladder is
+// the simulator's stand-in for cpuidle's per-state tables (WFI → core-off →
+// cluster-off on a typical ARM platform).
+//
+// Units: latencies are virtual microseconds (sim.Duration), PowerW is the
+// whole-cluster leakage power while resident in the state, in watts.
+type IdleState struct {
+	// Name labels the state in traces and reports, e.g. "wfi".
+	Name string
+	// EntryLatency is the time needed to enter the state. The selector only
+	// picks a state whose entry+exit fits the predicted idle gap; entering is
+	// otherwise free (the cluster has nothing to run while it transitions).
+	EntryLatency sim.Duration
+	// ExitLatency is the wake-up cost: work arriving while the cluster is
+	// resident stalls this long before the first task can dispatch. This is
+	// what makes race-to-idle pay for waking the silicon back up.
+	ExitLatency sim.Duration
+	// PowerW is the cluster's leakage power while resident, in watts. Deeper
+	// states must not leak more than shallower ones.
+	PowerW float64
+}
+
+// idlePredInit is the idle-gap prediction before the first observed gap: it
+// admits every state, so a cluster that idles at boot sinks to the deepest
+// state (and pays the full wake cost on its first burst).
+const idlePredInit = sim.Duration(math.MaxInt64 / 4)
+
+// validateIdleLadder checks a C-state ladder is well-formed: non-negative
+// latencies and powers, transition cost non-decreasing and leakage
+// non-increasing with depth, and non-empty unique names. An empty ladder is
+// valid (the idle subsystem stays disabled).
+func validateIdleLadder(states []IdleState) error {
+	for k, st := range states {
+		if st.Name == "" {
+			return fmt.Errorf("idle state %d has no name", k)
+		}
+		if st.EntryLatency < 0 || st.ExitLatency < 0 {
+			return fmt.Errorf("idle state %q has negative latency", st.Name)
+		}
+		if st.PowerW < 0 {
+			return fmt.Errorf("idle state %q has negative power", st.Name)
+		}
+		if k == 0 {
+			continue
+		}
+		prev := states[k-1]
+		if st.Name == prev.Name {
+			return fmt.Errorf("duplicate idle state name %q", st.Name)
+		}
+		if st.EntryLatency+st.ExitLatency < prev.EntryLatency+prev.ExitLatency {
+			return fmt.Errorf("idle state %q is deeper than %q but transitions faster", st.Name, prev.Name)
+		}
+		if st.PowerW > prev.PowerW {
+			return fmt.Errorf("idle state %q is deeper than %q but leaks more", st.Name, prev.Name)
+		}
+	}
+	return nil
+}
+
+// DefaultIdleStates returns the standard three-state ladder for a cluster
+// built from the given silicon: WFI (clock gating, cheap and fast), core-off
+// (per-core power gating) and cluster-off (the whole domain including L2
+// power-gated). Leakage scales with the silicon's active floor so a little
+// cluster idles cheaper than a big one, the way real heterogeneous packages
+// behave; latencies are typical ARM cpuidle magnitudes.
+func DefaultIdleStates(si power.Silicon) []IdleState {
+	return []IdleState{
+		{Name: "wfi", EntryLatency: 5 * sim.Microsecond, ExitLatency: 10 * sim.Microsecond, PowerW: 0.40 * si.BaseActiveW},
+		{Name: "core-off", EntryLatency: 150 * sim.Microsecond, ExitLatency: 300 * sim.Microsecond, PowerW: 0.10 * si.BaseActiveW},
+		{Name: "cluster-off", EntryLatency: 800 * sim.Microsecond, ExitLatency: 1500 * sim.Microsecond, PowerW: 0.01 * si.BaseActiveW},
+	}
+}
+
+// WithDefaultIdle returns a copy of the spec with the default C-state ladder
+// installed on every cluster (derived from each cluster's own silicon). The
+// input spec is not modified.
+func WithDefaultIdle(spec Spec) Spec {
+	out := spec
+	out.Clusters = append([]ClusterSpec(nil), spec.Clusters...)
+	for i := range out.Clusters {
+		out.Clusters[i].IdleStates = DefaultIdleStates(out.Clusters[i].Silicon)
+	}
+	return out
+}

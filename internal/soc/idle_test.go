@@ -1,0 +1,244 @@
+package soc_test
+
+import (
+	"testing"
+
+	"repro/internal/governor"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/soc"
+)
+
+// testLadder is a small deterministic ladder with distinct, easily checked
+// latencies: state 1 wakes in 1 ms, state 2 in 4 ms.
+func testLadder() []soc.IdleState {
+	return []soc.IdleState{
+		{Name: "wfi", EntryLatency: 0, ExitLatency: 0, PowerW: 0.010},
+		{Name: "core-off", EntryLatency: 500 * sim.Microsecond, ExitLatency: 1 * sim.Millisecond, PowerW: 0.004},
+		{Name: "cluster-off", EntryLatency: 2 * sim.Millisecond, ExitLatency: 4 * sim.Millisecond, PowerW: 0.001},
+	}
+}
+
+func idleCluster(eng *sim.Engine, nCores int) *soc.Cluster {
+	return soc.NewCluster(eng, soc.ClusterSpec{
+		Name: "test", NumCores: nCores, Table: power.Snapdragon8074(),
+		IdleStates: testLadder(),
+	})
+}
+
+// TestIdleWakeChargesExitLatency pins the tentpole behaviour: a cluster that
+// sank into a deep state delays its next burst by that state's exit latency,
+// so race-to-idle pays for waking the silicon.
+func TestIdleWakeChargesExitLatency(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := idleCluster(eng, 1)
+	// Boot idle with no gap history: the selector sinks to the deepest
+	// state (cluster-off, 4 ms exit).
+	var doneAt sim.Time
+	eng.AfterFunc(10*sim.Millisecond, func() {
+		cl.Submit("burst", 1000, func(at sim.Time) { doneAt = at })
+	})
+	eng.RunUntil(sim.Time(100 * sim.Millisecond))
+	if doneAt == 0 {
+		t.Fatal("burst never completed")
+	}
+	// 1000 cycles at the lowest OPP complete in well under a millisecond;
+	// the completion must land at or after submit + 4 ms exit latency.
+	wakeEnd := sim.Time(10 * sim.Millisecond).Add(4 * sim.Millisecond)
+	if doneAt < wakeEnd {
+		t.Errorf("burst completed at %v, before the 4 ms wake stall ended (%v)", doneAt, wakeEnd)
+	}
+	if got := cl.IdleWakes(); got != 1 {
+		t.Errorf("IdleWakes = %d, want 1", got)
+	}
+	if got := cl.IdleStallTime(); got != 4*sim.Millisecond {
+		t.Errorf("IdleStallTime = %v, want 4ms", got)
+	}
+}
+
+// TestIdleSelectorUsesPredictedGap checks the menu-style selection: after a
+// short observed gap the next idle period picks a shallow state, after a
+// long one it sinks deeper.
+func TestIdleSelectorUsesPredictedGap(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := idleCluster(eng, 1)
+	// First wake at 1 ms: observed gap 1 ms < core-off entry+exit (1.5 ms),
+	// so the boot-time deep sleep is a mispredict and the predictor learns a
+	// 1 ms gap.
+	eng.AfterFunc(1*sim.Millisecond, func() { cl.Submit("a", 1000, nil) })
+	// Second submit long after: the cluster re-idles with pred = 1 ms, which
+	// only fits wfi (state 0), so this wake must not stall 1 ms or more.
+	var doneAt sim.Time
+	submitAt := sim.Time(200 * sim.Millisecond)
+	eng.AtFunc(submitAt, func() {
+		cl.Submit("b", 1000, func(at sim.Time) { doneAt = at })
+	})
+	eng.RunUntil(sim.Time(400 * sim.Millisecond))
+	if cl.IdleMispredicts() < 1 {
+		t.Errorf("IdleMispredicts = %d, want >= 1 (boot deep sleep cut short)", cl.IdleMispredicts())
+	}
+	if doneAt == 0 {
+		t.Fatal("second burst never completed")
+	}
+	if limit := submitAt.Add(1 * sim.Millisecond); doneAt >= limit {
+		t.Errorf("second burst completed at %v; a shallow (wfi) wake should beat %v", doneAt, limit)
+	}
+	res := cl.CopyIdleResidency(nil)
+	if res[0] == 0 {
+		t.Error("no wfi residency recorded after the short-gap prediction")
+	}
+}
+
+// TestIdleResidencyConservation pins the accounting identity: with a ladder
+// enabled, active wall time + wake stalls + per-state residencies account
+// for every instant of cluster wall time.
+func TestIdleResidencyConservation(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := idleCluster(eng, 2)
+	// A deterministic mix: overlapping bursts, cancellations, and gaps long
+	// and short enough to exercise every ladder state.
+	eng.AfterFunc(2*sim.Millisecond, func() { cl.Submit("a", 5_000_000, nil) })
+	eng.AfterFunc(3*sim.Millisecond, func() { cl.Submit("b", 8_000_000, nil) })
+	eng.AfterFunc(40*sim.Millisecond, func() {
+		tk := cl.Submit("c", 50_000_000, nil)
+		eng.AfterFunc(1*sim.Millisecond, func() { cl.Cancel(tk) })
+	})
+	eng.AfterFunc(200*sim.Millisecond, func() { cl.Submit("d", 1_000_000, nil) })
+	eng.AfterFunc(200*sim.Millisecond+200*sim.Microsecond, func() { cl.Submit("e", 1_000_000, nil) })
+	end := sim.Time(500 * sim.Millisecond)
+	eng.RunUntil(end)
+
+	var idle sim.Duration
+	for _, d := range cl.CopyIdleResidency(nil) {
+		idle += d
+	}
+	total := cl.ActiveWallTime() + cl.IdleStallTime() + idle
+	if total != sim.Duration(end) {
+		t.Errorf("active %v + stall %v + idle %v = %v, want wall time %v",
+			cl.ActiveWallTime(), cl.IdleStallTime(), idle, total, sim.Duration(end))
+	}
+	if cl.IdleWakes() == 0 {
+		t.Error("expected at least one wake in the mix")
+	}
+}
+
+// TestIdleDisabledUnchanged pins the compatibility guarantee at the cluster
+// level: without a ladder, the idle accessors report nothing and no wake
+// stall ever delays a burst.
+func TestIdleDisabledUnchanged(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := soc.NewCluster(eng, soc.ClusterSpec{Name: "plain", NumCores: 1, Table: power.Snapdragon8074()})
+	if cl.IdleEnabled() {
+		t.Fatal("cluster without a ladder reports IdleEnabled")
+	}
+	var doneAt sim.Time
+	eng.AfterFunc(10*sim.Millisecond, func() {
+		cl.Submit("burst", 300, func(at sim.Time) { doneAt = at })
+	})
+	eng.RunUntil(sim.Time(100 * sim.Millisecond))
+	// 300 cycles at 300 MHz = 1 µs: completes immediately, no stall.
+	if want := sim.Time(10*sim.Millisecond + 1*sim.Microsecond); doneAt != want {
+		t.Errorf("burst completed at %v, want %v (no wake stall without a ladder)", doneAt, want)
+	}
+	if got := len(cl.CopyIdleResidency(nil)); got != 0 {
+		t.Errorf("disabled cluster has %d residency entries", got)
+	}
+	if cl.IdleStallTime() != 0 || cl.ActiveWallTime() != 0 || cl.IdleWakes() != 0 {
+		t.Error("disabled cluster accumulated idle counters")
+	}
+}
+
+// TestLoadMeterIgnoresWakeStalls pins the governor-facing contract: no busy
+// time accrues while queued work waits out an exit-latency stall, so a
+// governor sample spanning the stall sees only executed cycles as load.
+func TestLoadMeterIgnoresWakeStalls(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := idleCluster(eng, 1)
+	// Boot-idle cluster sleeps deepest (4 ms exit). Submit and inspect busy
+	// accounting mid-stall.
+	eng.AfterFunc(10*sim.Millisecond, func() { cl.Submit("burst", 1_000_000, nil) })
+	eng.RunUntil(sim.Time(12 * sim.Millisecond)) // 2 ms into the 4 ms stall
+	if busy := cl.CumulativeBusy(); busy != 0 {
+		t.Fatalf("busy = %v during the wake stall, want 0 (stalls must not read as demand)", busy)
+	}
+	eng.RunUntil(sim.Time(100 * sim.Millisecond))
+	if busy := cl.CumulativeBusy(); busy <= 0 {
+		t.Fatalf("busy = %v after the stall, want > 0", busy)
+	}
+}
+
+// TestIdleHotPathAllocFree gates the idle machinery the way the engine and
+// governor paths are gated: a warm submit → run → idle-enter → wake cycle
+// performs exactly one allocation — the *Task itself, the same budget
+// TestClusterRescheduleAllocFree pins — so idle enter/exit/wake add zero.
+func TestIdleHotPathAllocFree(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := idleCluster(eng, 1)
+	next := eng.Now()
+	step := func() {
+		cl.Submit("burst", 3_000_000, nil) // ~10 ms at the boot OPP
+		next = next.Add(50 * sim.Millisecond)
+		eng.RunUntil(next) // completes, idles, next iteration wakes it
+	}
+	for i := 0; i < 8; i++ {
+		step() // warm the engine pool and ladder counters
+	}
+	if avg := testing.AllocsPerRun(100, step); avg != 1 {
+		t.Fatalf("submit+run+idle+wake cycle allocates %.2f, want exactly 1 (the *Task)", avg)
+	}
+}
+
+// TestIdleGovernorEndToEnd drives a governor on an idle-enabled cluster to
+// confirm the two subsystems compose: the governor keeps sampling across
+// sleep periods and the cluster keeps conserving residency.
+func TestIdleGovernorEndToEnd(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := idleCluster(eng, 4)
+	gov := governor.NewOndemand()
+	gov.Start(cl)
+	for i := 0; i < 5; i++ {
+		at := sim.Time(int64(i) * int64(80*sim.Millisecond))
+		eng.AtFunc(at.Add(5*sim.Millisecond), func() { cl.Submit("work", 20_000_000, nil) })
+	}
+	end := sim.Time(1 * sim.Second)
+	eng.RunUntil(end)
+	var idle sim.Duration
+	for _, d := range cl.CopyIdleResidency(nil) {
+		idle += d
+	}
+	if total := cl.ActiveWallTime() + cl.IdleStallTime() + idle; total != sim.Duration(end) {
+		t.Errorf("conservation broke under a live governor: %v != %v", total, sim.Duration(end))
+	}
+	if idle == 0 || cl.IdleWakes() == 0 {
+		t.Error("governor run never idled or never woke")
+	}
+}
+
+// TestIdleLadderValidation exercises Spec.Validate on malformed ladders.
+func TestIdleLadderValidation(t *testing.T) {
+	base := soc.ClusterSpec{Name: "c", NumCores: 1, Table: power.Snapdragon8074()}
+	bad := [][]soc.IdleState{
+		{{Name: "", PowerW: 1}},
+		{{Name: "a", ExitLatency: -1}},
+		{{Name: "a", PowerW: -0.1}},
+		{{Name: "a", ExitLatency: 10, PowerW: 0.1}, {Name: "b", ExitLatency: 5, PowerW: 0.05}},
+		{{Name: "a", ExitLatency: 10, PowerW: 0.1}, {Name: "b", ExitLatency: 20, PowerW: 0.2}},
+		{{Name: "a", ExitLatency: 10, PowerW: 0.1}, {Name: "a", ExitLatency: 20, PowerW: 0.05}},
+	}
+	for i, states := range bad {
+		cs := base
+		cs.IdleStates = states
+		spec := soc.Spec{Name: "bad", Clusters: []soc.ClusterSpec{cs}}
+		if err := spec.Validate(); err == nil {
+			t.Errorf("case %d: invalid ladder accepted", i)
+		}
+	}
+	good := soc.WithDefaultIdle(soc.BigLittle44())
+	if err := good.Validate(); err != nil {
+		t.Errorf("default ladder rejected: %v", err)
+	}
+	// WithDefaultIdle must not mutate its input.
+	if len(soc.BigLittle44().Clusters[0].IdleStates) != 0 {
+		t.Error("BigLittle44 gained idle states")
+	}
+}

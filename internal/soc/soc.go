@@ -18,6 +18,12 @@ type ClusterSpec struct {
 	// Silicon holds the physical constants used to calibrate the cluster's
 	// power model.
 	Silicon power.Silicon
+	// IdleStates is the cluster's C-state ladder, shallow to deep. Empty
+	// disables the idle subsystem entirely: the cluster never sleeps, wakes
+	// cost nothing, and every trace is bit-for-bit identical to the pre-idle
+	// simulator. DefaultIdleStates builds the standard WFI/core-off/
+	// cluster-off ladder from the cluster's silicon.
+	IdleStates []IdleState
 }
 
 // Spec describes a whole SoC: its clusters (little-to-big order) and the
@@ -45,6 +51,9 @@ func (s Spec) Validate() error {
 		if err := cs.Table.Validate(); err != nil {
 			return fmt.Errorf("soc: spec %q cluster %d (%s): %w", s.Name, i, cs.Name, err)
 		}
+		if err := validateIdleLadder(cs.IdleStates); err != nil {
+			return fmt.Errorf("soc: spec %q cluster %d (%s): %w", s.Name, i, cs.Name, err)
+		}
 	}
 	return nil
 }
@@ -60,7 +69,9 @@ func (s Spec) ClusterNames() []string {
 
 // Calibrate runs the paper's microbenchmark power calibration for every
 // cluster of the spec, returning the multi-table model used for per-cluster
-// energy attribution.
+// energy attribution. Clusters with a C-state ladder also attach their
+// per-state leakage to the model, so energy accounting can price idle
+// residency instead of treating a sleeping cluster as free.
 func (s Spec) Calibrate(benchDur sim.Duration) (*power.SoCModel, error) {
 	var tables []power.Table
 	var silicon []power.Silicon
@@ -68,7 +79,23 @@ func (s Spec) Calibrate(benchDur sim.Duration) (*power.SoCModel, error) {
 		tables = append(tables, cs.Table)
 		silicon = append(silicon, cs.Silicon)
 	}
-	return power.CalibrateClusters(s.ClusterNames(), tables, silicon, benchDur)
+	m, err := power.CalibrateClusters(s.ClusterNames(), tables, silicon, benchDur)
+	if err != nil {
+		return nil, err
+	}
+	for i, cs := range s.Clusters {
+		if len(cs.IdleStates) == 0 {
+			continue
+		}
+		names := make([]string, len(cs.IdleStates))
+		powers := make([]float64, len(cs.IdleStates))
+		for k, st := range cs.IdleStates {
+			names[k] = st.Name
+			powers[k] = st.PowerW
+		}
+		m.SetIdleLadder(i, names, powers)
+	}
+	return m, nil
 }
 
 // Dragonboard returns the paper's platform: the Qualcomm Dragonboard APQ8074

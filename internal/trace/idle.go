@@ -1,0 +1,53 @@
+package trace
+
+import "repro/internal/sim"
+
+// IdleTrace is the per-cluster idle-residency record of one run: wall time
+// resident in each C-state of the cluster's ladder (shallow to deep), how
+// often work arrival ended a residency, how many of those wakes were
+// selector mispredictions, and the wake-stall and active-wall totals that
+// complete the accounting. It stays empty (no states) on runs without an
+// idle ladder.
+//
+// With a ladder enabled, ActiveTime + StallTime + TotalIdle() equals the
+// cluster's wall time at snapshot — every instant is attributed to exactly
+// one of running, waking, or an idle state. Unlike the event traces, this is
+// a counter snapshot, filled once per run by device.Device.SnapshotIdle.
+type IdleTrace struct {
+	// States names the ladder's C-states, shallow to deep.
+	States []string `json:"states,omitempty"`
+	// Residency is wall time resident per state, parallel to States.
+	Residency []sim.Duration `json:"residency,omitempty"`
+	// Wakes counts residencies ended by work arrival.
+	Wakes int `json:"wakes,omitempty"`
+	// Mispredicts counts wakes whose residency was shorter than the chosen
+	// state's entry+exit latency — sleeps that cost more than they saved.
+	Mispredicts int `json:"mispredicts,omitempty"`
+	// StallTime is total wall time work waited on exit-latency wake stalls.
+	StallTime sim.Duration `json:"stall_time,omitempty"`
+	// ActiveTime is total wall time with at least one running task.
+	ActiveTime sim.Duration `json:"active_time,omitempty"`
+}
+
+// Enabled reports whether the run had an idle ladder on this cluster.
+func (it *IdleTrace) Enabled() bool { return len(it.States) > 0 }
+
+// TotalIdle returns wall time spent in any idle state.
+func (it *IdleTrace) TotalIdle() sim.Duration {
+	var total sim.Duration
+	for _, d := range it.Residency {
+		total += d
+	}
+	return total
+}
+
+// Reset empties the snapshot keeping slice capacity, so one IdleTrace can be
+// recycled across repetitions.
+func (it *IdleTrace) Reset() {
+	it.States = it.States[:0]
+	it.Residency = it.Residency[:0]
+	it.Wakes = 0
+	it.Mispredicts = 0
+	it.StallTime = 0
+	it.ActiveTime = 0
+}

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestIdleTrace(t *testing.T) {
+	it := &IdleTrace{}
+	if it.Enabled() {
+		t.Error("empty idle trace reports Enabled")
+	}
+	if it.TotalIdle() != 0 {
+		t.Error("empty idle trace has residency")
+	}
+	it.States = append(it.States, "wfi", "core-off")
+	it.Residency = append(it.Residency, 3*sim.Second, 2*sim.Second)
+	it.Wakes, it.Mispredicts = 7, 2
+	it.StallTime, it.ActiveTime = 10*sim.Millisecond, 5*sim.Second
+	if !it.Enabled() {
+		t.Error("filled idle trace reports disabled")
+	}
+	if got := it.TotalIdle(); got != 5*sim.Second {
+		t.Errorf("TotalIdle = %v, want 5s", got)
+	}
+	it.Reset()
+	if it.Enabled() || it.TotalIdle() != 0 || it.Wakes != 0 || it.Mispredicts != 0 ||
+		it.StallTime != 0 || it.ActiveTime != 0 {
+		t.Errorf("Reset left state behind: %+v", it)
+	}
+	if cap(it.Residency) < 2 {
+		t.Error("Reset dropped the residency capacity it should recycle")
+	}
+}
+
+func TestClusterTracesIdleWiring(t *testing.T) {
+	ct := NewClusterTraces("little", 33333*sim.Microsecond)
+	if ct.Idle == nil {
+		t.Fatal("NewClusterTraces left Idle nil")
+	}
+	ct.Idle.States = append(ct.Idle.States, "wfi")
+	ct.Idle.Residency = append(ct.Idle.Residency, sim.Second)
+	ct.Reset()
+	if ct.Idle.Enabled() {
+		t.Error("ClusterTraces.Reset did not reset the idle snapshot")
+	}
+}
+
+func TestBusyCurveWindow(t *testing.T) {
+	c := NewBusyCurve(100 * sim.Millisecond)
+	if c.Window() != 0 {
+		t.Error("empty curve has a window")
+	}
+	c.AppendSample(0)
+	if c.Window() != 0 {
+		t.Error("single-sample curve has a window")
+	}
+	for i := 0; i < 10; i++ {
+		c.AppendSample(sim.Duration(i))
+	}
+	if got, want := c.Window(), sim.Duration(1*sim.Second); got != want {
+		t.Errorf("Window = %v, want %v (11 samples at 100ms)", got, want)
+	}
+}

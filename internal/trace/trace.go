@@ -151,6 +151,16 @@ func (c *BusyCurve) Total() sim.Duration {
 	return c.Cum[len(c.Cum)-1]
 }
 
+// Window returns the wall-clock span the curve covers ((samples−1) × step;
+// 0 with fewer than two samples) — the denominator idle-time pricing uses
+// when only the curve survives from a run.
+func (c *BusyCurve) Window() sim.Duration {
+	if len(c.Cum) < 2 {
+		return 0
+	}
+	return sim.Duration(int64(c.Step) * int64(len(c.Cum)-1))
+}
+
 // ClusterTraces bundles the background traces of one frequency domain: the
 // DVFS transition trace, the cumulative busy curve, and — on thermal-enabled
 // runs — the zone temperature series and throttle-event trace, labelled with
@@ -165,6 +175,9 @@ type ClusterTraces struct {
 	// zero events) on runs without a thermal config.
 	Temp     *TempTrace     `json:"temp"`
 	Throttle *ThrottleTrace `json:"throttle"`
+	// Idle is always allocated and stays empty (no states) on runs without a
+	// C-state ladder on this cluster.
+	Idle *IdleTrace `json:"idle"`
 }
 
 // NewClusterTraces returns empty traces for one named cluster with the given
@@ -174,6 +187,7 @@ func NewClusterTraces(name string, step sim.Duration) *ClusterTraces {
 		Name: name,
 		Freq: &FreqTrace{}, Busy: NewBusyCurve(step),
 		Temp: &TempTrace{}, Throttle: &ThrottleTrace{},
+		Idle: &IdleTrace{},
 	}
 }
 
@@ -201,6 +215,7 @@ func (ct *ClusterTraces) Reset() {
 	ct.Busy.Reset()
 	ct.Temp.Reset()
 	ct.Throttle.Reset()
+	ct.Idle.Reset()
 }
 
 // Residency returns the wall time spent at each OPP index over [0, end),

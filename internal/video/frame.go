@@ -11,6 +11,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"repro/internal/screen"
@@ -145,8 +146,10 @@ func (m *Mask) MaskedCount() int {
 // DiffCount counts pixels that differ by more than tol, ignoring masked
 // pixels. This is the primitive behind both the suggester's change detector
 // and the matcher's image comparison. The mask nil-check is hoisted out of
-// the pixel loop: the matcher calls this once per distinct frame per lag,
-// which adds up to millions of pixels per analysed run.
+// the pixel loop, and the unmasked tol==0 case — the matcher's default
+// configuration — compares eight pixels per step: the matcher calls this
+// once per distinct frame per lag, which adds up to millions of pixels per
+// analysed run.
 func DiffCount(a, b *Frame, mask *Mask, tol uint8) int {
 	if a == b {
 		return 0
@@ -154,6 +157,9 @@ func DiffCount(a, b *Frame, mask *Mask, tol uint8) int {
 	n := 0
 	t := int(tol)
 	if mask == nil {
+		if tol == 0 {
+			return diffCountExact(a.pix, b.pix)
+		}
 		for i := range a.pix {
 			d := int(a.pix[i]) - int(b.pix[i])
 			if d < 0 {
@@ -175,6 +181,33 @@ func DiffCount(a, b *Frame, mask *Mask, tol uint8) int {
 			d = -d
 		}
 		if d > t {
+			n++
+		}
+	}
+	return n
+}
+
+// diffCountExact counts differing bytes eight at a time: XOR a word of each
+// input and popcount the per-byte non-zero mask (the SWAR zero-byte trick —
+// (x&0x7f…)+0x7f… overflows bit 7 of every byte with a non-zero low part,
+// OR-ing x itself catches 0x80). Equal words — the overwhelmingly common
+// case when the matcher compares near-identical frames — cost one compare.
+// The scalar tail handles lengths that are not a multiple of eight.
+func diffCountExact(a, b []uint8) int {
+	const (
+		low7 = 0x7f7f7f7f7f7f7f7f
+		high = 0x8080808080808080
+	)
+	n := 0
+	for len(a) >= 8 && len(b) >= 8 {
+		x := binary.LittleEndian.Uint64(a) ^ binary.LittleEndian.Uint64(b)
+		if x != 0 {
+			n += bits.OnesCount64(((x & low7) + low7 | x) & high)
+		}
+		a, b = a[8:], b[8:]
+	}
+	for i := range a {
+		if a[i] != b[i] {
 			n++
 		}
 	}

@@ -16,6 +16,65 @@ func solidFrame(shade uint8) *Frame {
 	return NewFrame(pix)
 }
 
+// scalarDiffExact is the reference byte-by-byte implementation the word-wide
+// tol==0 fast path must agree with.
+func scalarDiffExact(a, b []uint8) int {
+	n := 0
+	for i := range a {
+		if a[i] != b[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// TestDiffCountExactEquivalence drives the word-wide tol==0 fast path
+// against the scalar reference: dense and sparse differences, every byte
+// value class (including 0x80, the SWAR trick's edge), differences inside
+// one word and at slice tails of every alignment.
+func TestDiffCountExactEquivalence(t *testing.T) {
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 { // xorshift64*, deterministic
+		rng ^= rng >> 12
+		rng ^= rng << 25
+		rng ^= rng >> 27
+		return rng * 0x2545f4914f6cdd1d
+	}
+	for _, size := range []int{0, 1, 7, 8, 9, 15, 16, 63, 64, 257, screen.FBW * screen.FBH} {
+		for trial := 0; trial < 20; trial++ {
+			a := make([]uint8, size)
+			b := make([]uint8, size)
+			for i := range a {
+				a[i] = uint8(next())
+			}
+			copy(b, a)
+			// Flip a varying fraction of bytes, biased toward word-internal
+			// clusters and the tail; include 0x80 and 0x00 targets.
+			flips := trial * size / 20
+			for f := 0; f < flips; f++ {
+				i := int(next() % uint64(size))
+				switch f % 3 {
+				case 0:
+					b[i] ^= uint8(next()) | 1
+				case 1:
+					b[i] = 0x80
+				default:
+					b[i] = 0
+				}
+			}
+			if got, want := diffCountExact(a, b), scalarDiffExact(a, b); got != want {
+				t.Fatalf("size %d trial %d: diffCountExact = %d, scalar = %d", size, trial, got, want)
+			}
+		}
+	}
+	// Full-frame path through the public API.
+	x, y := solidFrame(10), solidFrame(10)
+	y.pix[0], y.pix[screen.FBW*screen.FBH-1], y.pix[1234] = 11, 12, 0x80
+	if got := DiffCount(x, y, nil, 0); got != 3 {
+		t.Fatalf("DiffCount tol==0 fast path = %d, want 3", got)
+	}
+}
+
 func TestFrameEquality(t *testing.T) {
 	a, b, c := solidFrame(10), solidFrame(10), solidFrame(11)
 	if !Equal(a, b) {

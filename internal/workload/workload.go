@@ -258,6 +258,7 @@ func ReplayMulti(w *Workload, rec *Recording, govs []governor.Governor, configNa
 	}
 	window := rec.RunWindow()
 	eng.RunUntil(sim.Time(window))
+	dev.SnapshotIdle()
 
 	art := &RunArtifacts{
 		Workload:      rec.Workload,

@@ -8,12 +8,22 @@
 // Usage:
 //
 //	benchbase [-o BENCH_results.json] [-label "PR N short description"]
+//	benchbase -compare [-against BENCH_results.json] [-threshold 0.15] \
+//	          [-benches ReplayThroughput,EvaluationMatrix]
 //
-// The tool appends one labelled entry to the file's history (creating the
-// file if needed), keeping earlier entries untouched — compare the latest
-// entry against its predecessors to see whether a change helped. Metrics are
-// ns/op, allocs/op, B/op and, for the replay benches, simulated seconds per
-// wall second.
+// In record mode the tool appends one labelled entry to the file's history
+// (creating the file if needed), keeping earlier entries untouched — compare
+// the latest entry against its predecessors to see whether a change helped.
+// Metrics are ns/op, allocs/op, B/op and, for the replay benches, simulated
+// seconds per wall second.
+//
+// In -compare mode (the CI bench-regression gate) the tool re-runs the named
+// benchmarks and fails (exit 1) if any regresses more than the threshold
+// against the most recent committed entry that measured it: ns/op and
+// allocs/op may each grow at most threshold×. Allocation counts are
+// deterministic; wall time on shared runners is noisy, which is why the
+// default threshold is a generous 15% and the gate covers only the two
+// benches whose regressions have bitten before.
 package main
 
 import (
@@ -22,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	"repro/internal/experiment"
@@ -57,36 +68,39 @@ type File struct {
 
 const fileComment = "Replay-path benchmark trajectory; append entries with `go run ./tools/benchbase -label \"...\"`. See docs/performance.md."
 
+// bench is one named measurable benchmark.
+type bench struct {
+	name string
+	run  func() (testing.BenchmarkResult, float64)
+}
+
+// allBenches lists the committed benchmarks in trajectory order.
+var allBenches = []bench{
+	{"ReplayThroughput", benchReplayThroughput},
+	{"BigLittleReplay", benchBigLittleReplay},
+	{"ThermalReplay", benchThermalReplay},
+	{"EvaluationMatrix", benchEvaluationMatrix},
+}
+
 func main() {
 	out := flag.String("o", "BENCH_results.json", "results file to append to")
-	label := flag.String("label", "", "label for this entry (required)")
+	label := flag.String("label", "", "label for this entry (required unless -compare)")
+	compareMode := flag.Bool("compare", false, "regression gate: re-run benchmarks and fail if they regress against the committed baseline")
+	against := flag.String("against", "BENCH_results.json", "baseline file for -compare")
+	threshold := flag.Float64("threshold", 0.15, "allowed fractional regression per metric in -compare (0.15 = 15%)")
+	benches := flag.String("benches", "ReplayThroughput,EvaluationMatrix", "comma-separated benchmarks to run in -compare")
 	flag.Parse()
+	if *compareMode {
+		os.Exit(runCompare(*against, *benches, *threshold))
+	}
 	if *label == "" {
 		fmt.Fprintln(os.Stderr, "benchbase: -label is required (e.g. -label \"PR 5 idle states\")")
 		os.Exit(1)
 	}
 
 	entry := Entry{Label: *label, Go: runtime.Version(), Benches: map[string]Metrics{}}
-	for _, b := range []struct {
-		name string
-		run  func() (testing.BenchmarkResult, float64)
-	}{
-		{"ReplayThroughput", benchReplayThroughput},
-		{"BigLittleReplay", benchBigLittleReplay},
-		{"ThermalReplay", benchThermalReplay},
-		{"EvaluationMatrix", benchEvaluationMatrix},
-	} {
-		fmt.Fprintf(os.Stderr, "benchbase: running %s...\n", b.name)
-		r, simSPerWallS := b.run()
-		entry.Benches[b.name] = Metrics{
-			NsPerOp:      r.NsPerOp(),
-			AllocsPerOp:  r.AllocsPerOp(),
-			BytesPerOp:   r.AllocedBytesPerOp(),
-			SimSPerWallS: simSPerWallS,
-			Iterations:   r.N,
-		}
-		fmt.Fprintf(os.Stderr, "benchbase: %s: %d ns/op, %d allocs/op, %.0f sim-s/wall-s\n",
-			b.name, r.NsPerOp(), r.AllocsPerOp(), simSPerWallS)
+	for _, b := range allBenches {
+		entry.Benches[b.name] = measure(b)
 	}
 
 	f, err := appendEntry(*out, entry)
@@ -95,6 +109,114 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchbase: %s now holds %d entries\n", *out, len(f.History))
+}
+
+// measure runs one benchmark and reports its metrics.
+func measure(b bench) Metrics {
+	fmt.Fprintf(os.Stderr, "benchbase: running %s...\n", b.name)
+	r, simSPerWallS := b.run()
+	m := Metrics{
+		NsPerOp:      r.NsPerOp(),
+		AllocsPerOp:  r.AllocsPerOp(),
+		BytesPerOp:   r.AllocedBytesPerOp(),
+		SimSPerWallS: simSPerWallS,
+		Iterations:   r.N,
+	}
+	fmt.Fprintf(os.Stderr, "benchbase: %s: %d ns/op, %d allocs/op, %.0f sim-s/wall-s\n",
+		b.name, m.NsPerOp, m.AllocsPerOp, m.SimSPerWallS)
+	return m
+}
+
+// runCompare is the bench-regression gate: re-measure the selected
+// benchmarks and compare each against the most recent baseline entry that
+// recorded it. Returns the process exit code.
+func runCompare(path, names string, threshold float64) int {
+	f := &File{}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchbase:", err)
+		return 1
+	}
+	if err := json.Unmarshal(data, f); err != nil {
+		fmt.Fprintf(os.Stderr, "benchbase: parse %s: %v\n", path, err)
+		return 1
+	}
+	var failures []string
+	for _, want := range strings.Split(names, ",") {
+		want = strings.TrimSpace(want)
+		if want == "" {
+			continue
+		}
+		var b *bench
+		for i := range allBenches {
+			if allBenches[i].name == want {
+				b = &allBenches[i]
+				break
+			}
+		}
+		if b == nil {
+			fmt.Fprintf(os.Stderr, "benchbase: unknown benchmark %q\n", want)
+			return 1
+		}
+		base, label, ok := latestBaseline(f, want)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchbase: %s: no baseline in %s, skipping\n", want, path)
+			continue
+		}
+		cur := measure(*b)
+		regs := regressions(want, base, cur, threshold)
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "benchbase: REGRESSION vs %q: %s\n", label, r)
+		}
+		failures = append(failures, regs...)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchbase: %d metric(s) regressed more than %.0f%%\n",
+			len(failures), threshold*100)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "benchbase: no regressions beyond the threshold")
+	return 0
+}
+
+// latestBaseline returns the newest history entry measuring the benchmark.
+func latestBaseline(f *File, name string) (Metrics, string, bool) {
+	for i := len(f.History) - 1; i >= 0; i-- {
+		if m, ok := f.History[i].Benches[name]; ok {
+			return m, f.History[i].Label, true
+		}
+	}
+	return Metrics{}, "", false
+}
+
+// regressions compares one benchmark's current metrics against its baseline
+// and describes every metric that grew beyond the threshold. ns/op and
+// allocs/op gate; B/op and sim-s/wall-s are derived views of the same two
+// and would only double-report. A zero baseline admits no growth at all —
+// the repo's allocation work drives benches to 0 allocs/op, and a threshold
+// scaled from zero would otherwise disable that gate permanently.
+func regressions(name string, base, cur Metrics, threshold float64) []string {
+	var out []string
+	check := func(metric string, baseV, curV int64) {
+		if baseV < 0 {
+			return
+		}
+		if baseV == 0 {
+			if curV > 0 {
+				out = append(out, fmt.Sprintf("%s %s: %d, baseline is 0 (zero-%s benches admit no growth)",
+					name, metric, curV, metric))
+			}
+			return
+		}
+		limit := float64(baseV) * (1 + threshold)
+		if float64(curV) > limit {
+			out = append(out, fmt.Sprintf("%s %s: %d > %d allowed (baseline %d, +%.0f%%)",
+				name, metric, curV, int64(limit), baseV, 100*(float64(curV)/float64(baseV)-1)))
+		}
+	}
+	check("ns/op", base.NsPerOp, cur.NsPerOp)
+	check("allocs/op", base.AllocsPerOp, cur.AllocsPerOp)
+	return out
 }
 
 // appendEntry loads path (if present), appends entry and writes it back.

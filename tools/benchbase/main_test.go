@@ -55,3 +55,53 @@ func TestAppendEntryRejectsGarbage(t *testing.T) {
 		t.Fatal("corrupt file accepted")
 	}
 }
+
+// TestRegressions pins the compare-mode gate rule: ns/op and allocs/op may
+// each grow at most threshold×; improvements and within-threshold noise
+// pass; a zero baseline metric never divides.
+func TestRegressions(t *testing.T) {
+	base := Metrics{NsPerOp: 1000, AllocsPerOp: 100}
+	cases := []struct {
+		name string
+		cur  Metrics
+		want int
+	}{
+		{"identical", Metrics{NsPerOp: 1000, AllocsPerOp: 100}, 0},
+		{"improved", Metrics{NsPerOp: 500, AllocsPerOp: 10}, 0},
+		{"within threshold", Metrics{NsPerOp: 1140, AllocsPerOp: 114}, 0},
+		{"time regressed", Metrics{NsPerOp: 1200, AllocsPerOp: 100}, 1},
+		{"allocs regressed", Metrics{NsPerOp: 1000, AllocsPerOp: 120}, 1},
+		{"both regressed", Metrics{NsPerOp: 2000, AllocsPerOp: 200}, 2},
+	}
+	for _, c := range cases {
+		if got := regressions("Bench", base, c.cur, 0.15); len(got) != c.want {
+			t.Errorf("%s: %d regressions (%v), want %d", c.name, len(got), got, c.want)
+		}
+	}
+	// A zero baseline admits no growth: a bench driven to 0 allocs/op must
+	// not have its allocation gate silently disabled.
+	if got := regressions("Bench", Metrics{NsPerOp: 1000}, Metrics{NsPerOp: 1000, AllocsPerOp: 5000}, 0.15); len(got) != 1 {
+		t.Errorf("zero-alloc baseline regression missed: %v", got)
+	}
+	if got := regressions("Bench", Metrics{NsPerOp: 1000}, Metrics{NsPerOp: 1000}, 0.15); len(got) != 0 {
+		t.Errorf("zero-alloc baseline flagged a still-zero run: %v", got)
+	}
+}
+
+// TestLatestBaseline checks compare mode reads the newest entry that
+// measured the benchmark, skipping newer entries that did not.
+func TestLatestBaseline(t *testing.T) {
+	f := &File{History: []Entry{
+		{Label: "old", Benches: map[string]Metrics{"A": {NsPerOp: 1}, "B": {NsPerOp: 10}}},
+		{Label: "new", Benches: map[string]Metrics{"A": {NsPerOp: 2}}},
+	}}
+	if m, label, ok := latestBaseline(f, "A"); !ok || label != "new" || m.NsPerOp != 2 {
+		t.Errorf("A baseline = (%+v, %q, %v), want newest", m, label, ok)
+	}
+	if m, label, ok := latestBaseline(f, "B"); !ok || label != "old" || m.NsPerOp != 10 {
+		t.Errorf("B baseline = (%+v, %q, %v), want the older entry", m, label, ok)
+	}
+	if _, _, ok := latestBaseline(f, "C"); ok {
+		t.Error("missing benchmark produced a baseline")
+	}
+}
