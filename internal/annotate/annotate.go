@@ -59,6 +59,12 @@ func (e *Entry) Similar(f *video.Frame) bool {
 	return video.Similar(e.Image, f, e.Mask(), e.Tolerance, e.MaxDiff)
 }
 
+// SimilarWith is Similar with a caller-held comparer that accelerates a
+// stream of comparisons against this entry's image (the matcher's scan).
+func (e *Entry) SimilarWith(f *video.Frame, c *video.Comparer) bool {
+	return c.Similar(e.Image, f, e.Mask(), e.Tolerance, e.MaxDiff)
+}
+
 // DB is the annotation database of one workload.
 type DB struct {
 	Workload string  `json:"workload"`
@@ -177,12 +183,13 @@ func countOccurrences(v *video.Video, start, pick int, e *Entry) int {
 	runs := v.Runs()
 	occ := 0
 	inSegment := false
+	var cmp video.Comparer
 	for k := v.RunIndexOf(start + 1); k < len(runs); k++ {
 		r := runs[k]
 		if r.Start > pick {
 			break
 		}
-		sim := e.Similar(r.Frame)
+		sim := e.SimilarWith(r.Frame, &cmp)
 		if sim && !inSegment {
 			occ++
 		}

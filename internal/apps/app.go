@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/screen"
 	"repro/internal/sim"
+	"repro/internal/snap"
 )
 
 // Host is the device-side interface applications program against: work and
@@ -43,8 +44,13 @@ type Host interface {
 	Launch(name string, ix *Interaction)
 	// InteractionStarted/Finished record ground truth; apps use Begin and
 	// Interaction.Finish instead of calling these directly.
+	// InteractionFinished reports whether the interaction was newly finished:
+	// false means it had already been recorded as finished. The host owns the
+	// dedup (keyed on its ground-truth log) so that a checkpoint restore that
+	// rewinds the log also rewinds finish idempotence — an Interaction whose
+	// work chain replays after a fork finishes again in the new timeline.
 	InteractionStarted(label string, class core.HCIClass) int
-	InteractionFinished(id int)
+	InteractionFinished(id int) bool
 }
 
 // App is one application. Exactly one app is foreground at a time and
@@ -70,6 +76,11 @@ type App interface {
 	// interaction state (blinking cursors, media progress). The annotation
 	// stage masks them, as the paper's workload-creator GUI does.
 	VolatileRects() []screen.Rect
+	// SaveState/LoadState serialise the app's mutable state into a snapshot
+	// buffer for device checkpoints. Both must visit fields in the same
+	// order; LoadState must leave the app exactly as it was at SaveState.
+	SaveState(b *snap.Buf)
+	LoadState(b *snap.Buf)
 }
 
 // Service is a background workload generator (music decoding, account sync,
@@ -109,19 +120,21 @@ func (ix *Interaction) IO(name string, d sim.Duration, then func()) {
 func (ix *Interaction) OnFinish(fn func()) { ix.onFinish = append(ix.onFinish, fn) }
 
 // Finish marks the ground-truth end: the state the user perceives as "input
-// serviced" is now on screen. Idempotent.
+// serviced" is now on screen. Idempotent within one timeline; the host's
+// ground-truth log is the source of truth, so a fork that rewinds the log
+// lets the replayed chain finish again.
 func (ix *Interaction) Finish() {
-	if ix.finished {
+	if !ix.h.InteractionFinished(ix.id) {
 		return
 	}
 	ix.finished = true
-	ix.h.InteractionFinished(ix.id)
 	for _, fn := range ix.onFinish {
 		fn()
 	}
 }
 
-// Finished reports whether Finish was called.
+// Finished reports whether Finish was called on this Interaction value (a
+// local cache of the host's ground-truth record, used by tests).
 func (ix *Interaction) Finished() bool { return ix.finished }
 
 // Chunks runs n sequential CPU bursts of cyclesEach, invoking update(i)

@@ -14,6 +14,7 @@ type fakeHost struct {
 	now          sim.Time
 	rnd          *sim.Rand
 	started      []string
+	done         map[int]bool
 	finished     int
 	invalidates  int
 	anims        map[string]bool
@@ -22,7 +23,7 @@ type fakeHost struct {
 }
 
 func newFakeHost() *fakeHost {
-	return &fakeHost{rnd: sim.NewRand(1), anims: map[string]bool{}}
+	return &fakeHost{rnd: sim.NewRand(1), anims: map[string]bool{}, done: map[int]bool{}}
 }
 
 func (h *fakeHost) Now() sim.Time   { return h.now }
@@ -61,7 +62,14 @@ func (h *fakeHost) InteractionStarted(label string, class core.HCIClass) int {
 	h.started = append(h.started, label)
 	return len(h.started) - 1
 }
-func (h *fakeHost) InteractionFinished(id int) { h.finished++ }
+func (h *fakeHost) InteractionFinished(id int) bool {
+	if h.done[id] {
+		return false
+	}
+	h.done[id] = true
+	h.finished++
+	return true
+}
 
 func tapCenter(t *testing.T, a App, r screen.Rect) bool {
 	t.Helper()

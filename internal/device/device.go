@@ -136,14 +136,34 @@ type Device struct {
 	foreground apps.App
 	launcher   *apps.Launcher
 	music      *apps.MusicService
+	svcs       []apps.Service
 
 	fb     screen.Framebuffer
 	dirty  bool
 	cached *video.Frame
 	anims  map[string]bool
 
+	// Periodic tick machinery, pre-bound once at boot. The loop counters
+	// live on the device (not in closure locals) so a checkpoint can capture
+	// and restore a mid-run tick cadence exactly. The vsync tick is demand
+	// driven: the chain runs only while an animation is active (busy-curve
+	// sampling moved into the clusters' own accounting), so vsyncOn tracks
+	// whether a tick event is currently in flight.
+	vsyncOn       bool
+	vsyncFn       func()
+	minuteFn      func()
+	thermalN      int
+	thermalFn     func()
+	thermalPeriod sim.Duration
+
+	// busyCurveScratch, when set via SetBusyScratch, is recycled storage for
+	// the next Seal's SoC-aggregate busy curve (consumed by that Seal, like
+	// TraceScratch).
+	busyCurveScratch *trace.BusyCurve
+
 	// input assembly
 	curGesture  *evdev.Gesture
+	gestureBuf  evdev.Gesture // restore target, so Restore never allocates
 	gotX, gotY  bool
 	subscribers []func(evdev.Event)
 
@@ -151,6 +171,10 @@ type Device struct {
 	truths        []GroundTruth
 	dispatchIdx   int // index of gesture being dispatched, -1 otherwise
 	OnInteraction func(gt GroundTruth)
+	// OnDirty, if set, observes every clean→dirty transition of the screen,
+	// firing before the content change lands (see markDirty). Run-scoped:
+	// Seal clears it.
+	OnDirty func()
 
 	// ClusterTraces holds the per-cluster frequency and busy traces, in
 	// cluster order. FreqTrace aliases the first cluster's transition trace;
@@ -193,7 +217,33 @@ func New(eng *sim.Engine, seed uint64, gov governor.Governor, prof Profile) *Dev
 // service work is routed through the SoC scheduler: on the Dragonboard spec
 // that degenerates to the original single-core submission path, so the
 // paper's runs reproduce bit for bit.
+//
+// NewMulti is exactly Boot followed by Seal — the checkpoint layer relies on
+// this: restoring a boot checkpoint and Sealing again is indistinguishable
+// from a cold NewMulti with the same seed and governors.
 func NewMulti(eng *sim.Engine, seed uint64, govs []governor.Governor, prof Profile) *Device {
+	d := Boot(eng, prof)
+	d.Seal(seed, govs)
+	return d
+}
+
+// busyStep is the busy-curve sampling period: one 30 Hz display frame.
+const busyStep = 33333 * sim.Microsecond
+
+// bootRandSeed seeds the device RNG during Boot. Boot-time draws (background
+// service start jitter) deliberately come from this fixed stream, not the run
+// seed: the warm prefix up to the boot checkpoint is then identical for every
+// run of the same profile, and Seal reseeds the RNG with the run seed at the
+// exact instant a forked replay diverges from the shared prefix.
+const bootRandSeed uint64 = 0xb007_b007_b007_b007
+
+// Boot constructs the device hardware and cold software state that is shared
+// by every run on the same profile: silicon, installed apps, started
+// background services, and the pre-bound periodic tick closures. It schedules
+// no ticks, attaches no governors and creates no traces — that is Seal's job.
+// A booted-but-unsealed device is the natural checkpoint instant for forked
+// replays: everything before it is seed-independent.
+func Boot(eng *sim.Engine, prof Profile) *Device {
 	if prof.AnimFrameWork == 0 {
 		prof.AnimFrameWork = 1_500_000
 	}
@@ -203,65 +253,170 @@ func NewMulti(eng *sim.Engine, seed uint64, govs []governor.Governor, prof Profi
 	if prof.WorkJitterFrac == 0 {
 		prof.WorkJitterFrac = 0.02
 	}
-	spec := prof.SoCSpec()
+	d := &Device{
+		Eng:         eng,
+		SoC:         soc.New(eng, prof.SoCSpec()),
+		prof:        prof,
+		rand:        sim.NewRand(bootRandSeed),
+		appsByName:  make(map[string]apps.App),
+		anims:       make(map[string]bool),
+		dispatchIdx: -1,
+	}
+	d.Core = d.SoC.Cluster(0)
+	for i, cl := range d.SoC.Clusters() {
+		// The hook reads d.ClusterTraces at call time (not capture time), so
+		// one closure per cluster survives every Seal's fresh trace set.
+		i := i
+		cl.OnFreqChange = func(at sim.Time, idx int) {
+			if i < len(d.ClusterTraces) {
+				d.ClusterTraces[i].Freq.Append(at, idx)
+			}
+		}
+	}
+	d.music = apps.NewMusicService(prof.MusicAutoPlay)
+	d.installApps()
+	d.startServices()
+	d.bindTicks()
+	return d
+}
+
+// Seal finishes booting the device for one concrete run: reseed the RNG with
+// the run seed, attach one governor per cluster, create the run's traces,
+// bring up the thermal zones and schedule the periodic ticks. Seal may be
+// called again after Restore of a boot checkpoint; each call produces a
+// device indistinguishable from a cold NewMulti.
+func (d *Device) Seal(seed uint64, govs []governor.Governor) {
+	spec := d.SoC.Spec()
 	if len(govs) != len(spec.Clusters) {
 		panic(fmt.Sprintf("device: spec %q has %d clusters but %d governors were supplied",
 			spec.Name, len(spec.Clusters), len(govs)))
 	}
-	d := &Device{
-		Eng:         eng,
-		SoC:         soc.New(eng, spec),
-		Govs:        govs,
-		Gov:         govs[0],
-		prof:        prof,
-		rand:        sim.NewRand(seed),
-		appsByName:  make(map[string]apps.App),
-		anims:       make(map[string]bool),
-		dispatchIdx: -1,
-		BusyCurve:   trace.NewBusyCurve(33333 * sim.Microsecond),
+	d.rand.Reseed(seed)
+
+	// Run-scoped state from a previous life of this device.
+	d.truths = d.truths[:0]
+	d.dispatchIdx = -1
+	d.curGesture = nil
+	d.gotX, d.gotY = false, false
+	d.subscribers = d.subscribers[:0]
+	for k := range d.anims {
+		delete(d.anims, k)
 	}
-	d.Core = d.SoC.Cluster(0)
+	d.cached = nil
+	d.OnInteraction = nil
+	d.OnDirty = nil
+
+	// Fresh traces per run: a caller that retains a run's artefacts never
+	// races the next Seal. Scratch setters opt back into reuse.
+	if d.busyCurveScratch != nil {
+		d.BusyCurve = d.busyCurveScratch
+		d.BusyCurve.Reset()
+		d.busyCurveScratch = nil
+	} else {
+		d.BusyCurve = trace.NewBusyCurve(busyStep)
+	}
+	ts := d.prof.TraceScratch
+	d.prof.TraceScratch = nil
+	d.ClusterTraces = d.ClusterTraces[:0]
 	for i, cl := range d.SoC.Clusters() {
 		var ct *trace.ClusterTraces
-		if i < len(prof.TraceScratch) && prof.TraceScratch[i] != nil {
-			ct = prof.TraceScratch[i]
+		if i < len(ts) && ts[i] != nil {
+			ct = ts[i]
 			ct.Reset()
 			ct.Name = cl.Name()
 		} else {
-			ct = trace.NewClusterTraces(cl.Name(), d.BusyCurve.Step)
+			ct = trace.NewClusterTraces(cl.Name(), busyStep)
 		}
 		ct.Freq.Append(0, cl.OPPIndex())
-		ctf := ct.Freq
-		cl.OnFreqChange = func(at sim.Time, idx int) { ctf.Append(at, idx) }
+		// The cluster fills the busy grid itself as it settles; the samples
+		// come back into ct.Busy via FinishTraces after the run window.
+		cl.StartBusyGrid(busyStep, ct.Busy.Cum[:0])
+		ct.Busy.Cum = nil
 		d.ClusterTraces = append(d.ClusterTraces, ct)
 	}
 	d.FreqTrace = d.ClusterTraces[0].Freq
 
-	d.music = apps.NewMusicService(prof.MusicAutoPlay)
-	d.installApps()
-	d.startServices()
-
+	d.Govs = append(d.Govs[:0], govs...)
+	d.Gov = govs[0]
 	for i, gov := range govs {
 		if gov != nil {
 			gov.Start(d.SoC.Cluster(i))
 		}
 	}
-	d.bootThermal()
+	d.sealThermal()
+	// Arm the vsync chain before the launcher enters: vsyncOn suppresses the
+	// on-demand re-arm in SetAnimating, so an Enter that starts an animation
+	// rides the t=0 tick scheduled below instead of starting a second chain.
+	d.vsyncOn = true
 	d.foreground = d.launcher
 	d.foreground.Enter(nil)
 	d.dirty = true
-	d.vsyncLoop()
-	d.minuteClock()
-	return d
+	d.Eng.AtFunc(0, d.vsyncFn)
+	d.Eng.AfterFunc(sim.Duration(sim.Minute), d.minuteFn)
 }
 
-// bootThermal brings up one RC thermal zone and throttler per cluster and
+// FinishTraces materialises the lazily-sampled busy grids into the run's
+// trace series: each cluster's curve plus the SoC aggregate (their
+// elementwise sum, exactly what the retired 30 Hz sampling tick collected).
+// Replay runners call it once after the run window has fully executed, with
+// the engine clock standing at the window.
+func (d *Device) FinishTraces(window sim.Duration) {
+	until := sim.Time(window)
+	agg := d.BusyCurve.Cum[:0]
+	for i, ct := range d.ClusterTraces {
+		g := d.SoC.Cluster(i).FinishBusyGrid(until)
+		ct.Busy.Cum = g
+		if i == 0 {
+			agg = append(agg, g...)
+		} else {
+			for j, v := range g {
+				agg[j] += v
+			}
+		}
+	}
+	d.BusyCurve.Cum = agg
+}
+
+// bindTicks creates the periodic tick closures once per boot. Each closure
+// reads its cadence counter from the device, so a checkpoint restore rewinds
+// the tick phase along with everything else, and re-binding is never needed.
+func (d *Device) bindTicks() {
+	// vsync: charges animation work and keeps animated content invalidated.
+	// The chain is demand driven — with no animation active the tick lets
+	// itself die instead of burning an engine event every 33 ms for the whole
+	// window (busy-curve sampling happens inside cluster accounting now);
+	// SetAnimating re-arms it on the next grid instant. Ticks only ever fire
+	// on multiples of busyStep, so rescheduling stays on the grid.
+	d.vsyncFn = func() {
+		if !d.animating() {
+			d.vsyncOn = false
+			return
+		}
+		d.SpawnWork("ui.anim", d.prof.AnimFrameWork, nil)
+		d.markDirty()
+		d.Eng.AtFunc(d.Eng.Now().Add(busyStep), d.vsyncFn)
+	}
+	// Minute clock: invalidates the screen at each minute boundary so the
+	// status bar clock advances — the content the paper's Fig. 8 masks.
+	d.minuteFn = func() {
+		d.markDirty()
+		d.Eng.AfterFunc(sim.Duration(sim.Minute), d.minuteFn)
+	}
+	d.thermalFn = func() {
+		d.thermalTick(d.thermalPeriod)
+		d.thermalN++
+		d.Eng.AtFunc(sim.Time(int64(d.thermalN+1)*int64(d.thermalPeriod)), d.thermalFn)
+	}
+}
+
+// sealThermal brings up one RC thermal zone and throttler per cluster and
 // starts the periodic thermal tick. Heat input is the cluster's mean dynamic
 // power over each tick window, computed from the calibrated per-cluster
 // power model exactly the way energy accounting integrates it. Throttler
 // verdicts feed the cluster's frequency-cap arbiter under the "thermal"
-// source; cap transitions land in the per-cluster throttle trace.
-func (d *Device) bootThermal() {
+// source; cap transitions land in the per-cluster throttle trace. On a
+// re-Seal the zones and throttlers already exist and are Reset in place.
+func (d *Device) sealThermal() {
 	cfg := d.prof.Thermal
 	if !cfg.Enabled() {
 		return
@@ -269,48 +424,52 @@ func (d *Device) bootThermal() {
 	if err := cfg.Validate(d.SoC.NumClusters()); err != nil {
 		panic(fmt.Sprintf("device: %v", err))
 	}
-	model := d.prof.ThermalPower
-	if model == nil {
-		var err error
-		if model, err = d.SoC.Spec().Calibrate(0); err != nil {
-			panic(fmt.Sprintf("device: thermal calibration: %v", err))
+	d.thermalN = 0
+	d.thermalPeriod = cfg.Tick()
+	if d.Zones == nil {
+		model := d.prof.ThermalPower
+		if model == nil {
+			var err error
+			if model, err = d.SoC.Spec().Calibrate(0); err != nil {
+				panic(fmt.Sprintf("device: thermal calibration: %v", err))
+			}
+		} else if len(model.Models) != d.SoC.NumClusters() {
+			panic(fmt.Sprintf("device: thermal power model covers %d clusters, spec has %d",
+				len(model.Models), d.SoC.NumClusters()))
 		}
-	} else if len(model.Models) != d.SoC.NumClusters() {
-		panic(fmt.Sprintf("device: thermal power model covers %d clusters, spec has %d",
-			len(model.Models), d.SoC.NumClusters()))
-	}
-	d.Power = model
-	d.prevBusy = make([][]sim.Duration, d.SoC.NumClusters())
-	d.busyScratch = make([][]sim.Duration, d.SoC.NumClusters())
-	d.riseScratch = make([]float64, d.SoC.NumClusters())
-	for i := range d.prevBusy {
-		n := len(d.SoC.Cluster(i).Table())
-		d.prevBusy[i] = make([]sim.Duration, n)
-		d.busyScratch[i] = make([]sim.Duration, n)
-	}
-	for i, zc := range cfg.Zones {
-		d.Zones = append(d.Zones, thermal.NewZone(zc.Zone))
-		cl := d.SoC.Cluster(i)
-		th := thermal.NewThrottler(zc.Throttle, len(cl.Table())-1)
-		d.throttlers = append(d.throttlers, th)
-		tt := d.ClusterTraces[i].Throttle
-		cl.OnCapChange = func(at sim.Time, capIdx int, capped bool) {
-			tt.Append(at, capIdx, capped)
+		d.Power = model
+		d.prevBusy = make([][]sim.Duration, d.SoC.NumClusters())
+		d.busyScratch = make([][]sim.Duration, d.SoC.NumClusters())
+		d.riseScratch = make([]float64, d.SoC.NumClusters())
+		for i := range d.prevBusy {
+			n := len(d.SoC.Cluster(i).Table())
+			d.prevBusy[i] = make([]sim.Duration, n)
+			d.busyScratch[i] = make([]sim.Duration, n)
 		}
+		for i, zc := range cfg.Zones {
+			d.Zones = append(d.Zones, thermal.NewZone(zc.Zone))
+			cl := d.SoC.Cluster(i)
+			th := thermal.NewThrottler(zc.Throttle, len(cl.Table())-1)
+			d.throttlers = append(d.throttlers, th)
+			// Like OnFreqChange, the hook reads the trace set at call time.
+			i := i
+			cl.OnCapChange = func(at sim.Time, capIdx int, capped bool) {
+				d.ClusterTraces[i].Throttle.Append(at, capIdx, capped)
+			}
+		}
+	} else {
+		for i := range d.Zones {
+			d.Zones[i].Reset()
+			d.throttlers[i].Reset()
+			for k := range d.prevBusy[i] {
+				d.prevBusy[i][k] = 0
+			}
+		}
+	}
+	for i := range d.Zones {
 		d.ClusterTraces[i].Temp.Append(0, d.Zones[i].TempC())
 	}
-	// The tick is one pooled callback rescheduled forever: with the slot
-	// pool in sim.Engine this path performs zero allocations per 100 ms of
-	// simulated time once the temperature traces have grown to capacity.
-	period := cfg.Tick()
-	n := 0
-	var tick func()
-	tick = func() {
-		d.thermalTick(period)
-		n++
-		d.Eng.AtFunc(sim.Time(int64(n+1)*int64(period)), tick)
-	}
-	d.Eng.AtFunc(sim.Time(period), tick)
+	d.Eng.AtFunc(sim.Time(d.thermalPeriod), d.thermalFn)
 }
 
 // thermalTick advances every zone by one period and evaluates throttling.
@@ -383,21 +542,20 @@ func (d *Device) installApps() {
 }
 
 func (d *Device) startServices() {
-	var svcs []apps.Service
-	svcs = append(svcs, d.music)
+	d.svcs = append(d.svcs[:0], d.music)
 	if d.prof.NewsSync {
-		svcs = append(svcs, apps.NewNewsSyncService(d.prof.NewsSyncEvery))
+		d.svcs = append(d.svcs, apps.NewNewsSyncService(d.prof.NewsSyncEvery))
 	}
 	if d.prof.AccountSync {
-		svcs = append(svcs, apps.NewAccountSyncService(d.prof.AccountEvery))
+		d.svcs = append(d.svcs, apps.NewAccountSyncService(d.prof.AccountEvery))
 	}
 	if d.prof.Telemetry {
-		svcs = append(svcs, apps.NewTelemetryService())
+		d.svcs = append(d.svcs, apps.NewTelemetryService())
 	}
 	for _, mk := range d.prof.ExtraServices {
-		svcs = append(svcs, mk())
+		d.svcs = append(d.svcs, mk())
 	}
-	for _, s := range svcs {
+	for _, s := range d.svcs {
 		s.Start(d)
 	}
 }
@@ -417,8 +575,15 @@ func (d *Device) ReserveTraces(window sim.Duration) {
 	if d.prof.Thermal.Enabled() {
 		tick = d.prof.Thermal.Tick()
 	}
-	for _, ct := range d.ClusterTraces {
-		ct.Reserve(window, tick)
+	for i, ct := range d.ClusterTraces {
+		if tick > 0 {
+			ct.Temp.Reserve(int(window/tick) + 2)
+		}
+		// During the run the busy samples accrue in the cluster's lazily
+		// filled grid (Seal hands it the storage; FinishTraces returns the
+		// series to ct.Busy), so the busy reservation belongs there — ct.Busy
+		// itself is empty until the run ends.
+		d.SoC.Cluster(i).ReserveBusyGrid(int(window/busyStep) + 2)
 	}
 }
 
@@ -445,6 +610,21 @@ func (d *Device) SnapshotIdle() {
 		it.ActiveTime = cl.ActiveWallTime()
 	}
 }
+
+// SetFramePool redirects frame capture to a recycled pool (or back to fresh
+// allocation with nil). Replay sessions call it before each Seal so one
+// booted device can serve sweeps that pool frames and callers that keep them.
+func (d *Device) SetFramePool(p *video.FramePool) { d.prof.FramePool = p }
+
+// SetTraceScratch hands recycled per-cluster trace storage to the next Seal,
+// which consumes it (see Profile.TraceScratch). Without it every Seal
+// allocates fresh traces, which is what lets callers retain run artefacts.
+func (d *Device) SetTraceScratch(ts []*trace.ClusterTraces) { d.prof.TraceScratch = ts }
+
+// SetBusyScratch hands a recycled SoC-aggregate busy curve to the next Seal,
+// which consumes it. Only callers that do not retain the run's BusyCurve
+// (e.g. the checkpoint allocation gate) should use this.
+func (d *Device) SetBusyScratch(c *trace.BusyCurve) { d.busyCurveScratch = c }
 
 // App returns a registered app by name (nil if unknown).
 func (d *Device) App(name string) apps.App { return d.appsByName[name] }
@@ -505,16 +685,41 @@ func (d *Device) SpawnIO(name string, dur sim.Duration, onDone func()) {
 }
 
 // Invalidate implements apps.Host.
-func (d *Device) Invalidate() { d.dirty = true }
+func (d *Device) Invalidate() { d.markDirty() }
 
-// SetAnimating implements apps.Host.
+// Dirty reports whether screen content changed since the last Frame render.
+func (d *Device) Dirty() bool { return d.dirty }
+
+// markDirty flips the clean→dirty transition and notifies OnDirty. The hook
+// fires before the flag is set, so an observer (the demand-driven video
+// recorder) can still read the pre-change content for the capture instants
+// it slept through.
+func (d *Device) markDirty() {
+	if d.dirty {
+		return
+	}
+	if d.OnDirty != nil {
+		d.OnDirty()
+	}
+	d.dirty = true
+}
+
+// SetAnimating implements apps.Host. Starting an animation re-arms the
+// demand-driven vsync chain on the next grid instant strictly after now —
+// matching the always-on tick, whose same-instant firing preceded the event
+// that set the flag and so never charged animation work at the set instant.
 func (d *Device) SetAnimating(token string, on bool) {
 	if on {
+		if !d.vsyncOn {
+			d.vsyncOn = true
+			next := (int64(d.Eng.Now())/int64(busyStep) + 1) * int64(busyStep)
+			d.Eng.AtFunc(sim.Time(next), d.vsyncFn)
+		}
 		d.anims[token] = true
 	} else {
 		delete(d.anims, token)
 	}
-	d.dirty = true
+	d.markDirty()
 }
 
 func (d *Device) animating() bool { return len(d.anims) > 0 }
@@ -530,7 +735,7 @@ func (d *Device) Launch(name string, ix *apps.Interaction) {
 		return
 	}
 	d.foreground = a
-	d.dirty = true
+	d.markDirty()
 	a.Enter(ix)
 }
 
@@ -551,14 +756,16 @@ func (d *Device) InteractionStarted(label string, class core.HCIClass) int {
 }
 
 // InteractionFinished implements apps.Host: the ground-truth "input
-// serviced" instant.
-func (d *Device) InteractionFinished(id int) {
+// serviced" instant. The ground-truth log owns finish idempotence — it is
+// checkpointed state, so a fork that rewinds the log lets replayed
+// interaction chains finish again in the new timeline.
+func (d *Device) InteractionFinished(id int) bool {
 	if id < 0 || id >= len(d.truths) {
-		return
+		return false
 	}
 	gt := &d.truths[id]
 	if gt.Complete {
-		return
+		return false
 	}
 	gt.Complete = true
 	gt.CompleteTime = d.Eng.Now()
@@ -566,6 +773,7 @@ func (d *Device) InteractionFinished(id int) {
 	if d.OnInteraction != nil {
 		d.OnInteraction(*gt)
 	}
+	return true
 }
 
 // ---- input pipeline ----
@@ -700,52 +908,13 @@ func (d *Device) goHome() bool {
 	_ = from
 	d.SpawnWork("nav.home", apps.CostTinyUI, func() {
 		d.foreground = d.launcher
-		d.dirty = true
+		d.markDirty()
 		d.launcher.Enter(ix)
 	})
 	return true
 }
 
 // ---- rendering and capture ----
-
-// vsyncLoop ticks at the display rate: it samples the busy curve, charges
-// animation UI work, and keeps animated content invalidated. The tick is one
-// pooled callback rescheduled forever — the hottest periodic path of a
-// replay runs allocation-free once the busy curves have grown to capacity.
-func (d *Device) vsyncLoop() {
-	period := d.BusyCurve.Step
-	var tick func()
-	n := 0
-	tick = func() {
-		// One pass over the clusters feeds both the per-cluster curves and
-		// the SoC-aggregate curve (their sum).
-		var total sim.Duration
-		for i, ct := range d.ClusterTraces {
-			busy := d.SoC.Cluster(i).CumulativeBusy()
-			ct.Busy.AppendSample(busy)
-			total += busy
-		}
-		d.BusyCurve.AppendSample(total)
-		if d.animating() {
-			d.SpawnWork("ui.anim", d.prof.AnimFrameWork, nil)
-			d.dirty = true
-		}
-		n++
-		d.Eng.AtFunc(sim.Time(int64(n)*int64(period)), tick)
-	}
-	d.Eng.AtFunc(0, tick)
-}
-
-// minuteClock invalidates the screen at each minute boundary so the status
-// bar clock advances — the content the paper's Fig. 8 masks.
-func (d *Device) minuteClock() {
-	var tick func()
-	tick = func() {
-		d.dirty = true
-		d.Eng.AfterFunc(sim.Duration(sim.Minute), tick)
-	}
-	d.Eng.AfterFunc(sim.Duration(sim.Minute), tick)
-}
 
 // Frame renders (if needed) and returns the current screen frame; this is
 // the HDMI output the video recorder captures. The capture path is

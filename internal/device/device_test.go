@@ -190,6 +190,7 @@ func TestFreqTraceRecorded(t *testing.T) {
 	cx, cy := r.Center()
 	tapAt(d, sim.Time(sim.Second), cx, cy)
 	eng.RunUntil(sim.Time(20 * sim.Second))
+	d.FinishTraces(20 * sim.Second)
 	if d.FreqTrace.TransitionCount() < 3 {
 		t.Fatalf("only %d DVFS transitions recorded under ondemand with a launch burst", d.FreqTrace.TransitionCount())
 	}

@@ -276,7 +276,7 @@ func executeRun(w *workload.Workload, rec *workload.Recording, db *annotate.DB,
 	gestures []evdev.Gesture, model *power.Model, socModel *power.SoCModel,
 	cfg Config, rep int, seed uint64, scratch *replayScratch) (*Run, error) {
 	w = scratch.pooledWorkload(w)
-	art := workload.ReplayMulti(w, rec, cfg.Governors(w.Profile), cfg.Name, seed, true)
+	art := scratch.session(w, rec).Replay(cfg.Governors(w.Profile), cfg.Name, seed, true)
 	profile, err := match.Match(art.Video, db, gestures, cfg.Name, match.Options{Strict: true})
 	if err != nil {
 		return nil, err

@@ -275,13 +275,14 @@ func executeCandidateRun(w *workload.Workload, rec *workload.Recording, db *anno
 	wc := *w
 	wc.Profile.SoC = soc.Spec{Name: spec.Name + "-" + cs.Name + "-only", Clusters: []soc.ClusterSpec{cs}}
 	wc.Profile.FramePool = scratch.frames
+	name := cs.Name + "@" + cs.Table[opp].Label()
+	sess := scratch.session(&wc, rec)
 	// Candidate runs retain only the profile and the aggregate busy curve,
 	// so the per-cluster trace series recycle from one candidate replay into
-	// the worker's next one.
-	wc.Profile.TraceScratch = scratch.takeTraces()
-	name := cs.Name + "@" + cs.Table[opp].Label()
+	// the worker's next one (the next Seal consumes the scratch).
+	sess.Dev.SetTraceScratch(scratch.takeTraces())
 	govs := []governor.Governor{governor.NewFixed(cs.Table, opp)}
-	art := workload.ReplayMulti(&wc, rec, govs, name, seed, true)
+	art := sess.Replay(govs, name, seed, true)
 	profile, err := match.Match(art.Video, db, gestures, name, match.Options{Strict: true})
 	if err != nil {
 		return oracle.ClusterFixedRun{}, err

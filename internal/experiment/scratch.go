@@ -17,8 +17,30 @@ import (
 // across the runs that retain only a profile and a busy curve (the
 // oracle-candidate replays).
 type replayScratch struct {
-	frames *video.FramePool
-	traces []*trace.ClusterTraces
+	frames   *video.FramePool
+	traces   []*trace.ClusterTraces
+	sessions map[string]*workload.ReplaySession
+}
+
+// session returns the worker's replay session for the workload's SoC spec,
+// booting one on first use. Sessions replay the seed-independent warm prefix
+// (engine, silicon, app install, service start) exactly once per worker and
+// fork every subsequent run off the boot checkpoint — the sweep's dominant
+// fixed cost paid once instead of per run. Keying by spec name is sound
+// within one sweep: a scratch lives for one worker of one sweep, whose
+// workload and recording are fixed, and the oracle's placement-pinned
+// sub-specs carry distinct names ("<spec>-<cluster>-only").
+func (s *replayScratch) session(w *workload.Workload, rec *workload.Recording) *workload.ReplaySession {
+	key := w.Profile.SoCSpec().Name
+	sess := s.sessions[key]
+	if sess == nil {
+		if s.sessions == nil {
+			s.sessions = make(map[string]*workload.ReplaySession)
+		}
+		sess = workload.NewReplaySession(w, rec)
+		s.sessions[key] = sess
+	}
+	return sess
 }
 
 // takeTraces hands out the recycled per-cluster traces for the next replay

@@ -1,0 +1,93 @@
+package governor
+
+import (
+	"repro/internal/sim"
+	"repro/internal/snap"
+)
+
+// Checkpointable is implemented by governors whose mutable runtime state
+// can be captured into a snapshot buffer and restored bit-for-bit. All the
+// governors in this package implement it; the device checkpoint layer uses
+// it to rewind attached governors for mid-run forks. Tunables are not
+// saved — a checkpoint restores state within one attachment, it does not
+// transplant a governor between clusters.
+type Checkpointable interface {
+	SaveState(b *snap.Buf)
+	LoadState(b *snap.Buf)
+}
+
+func (m *loadMeter) save(b *snap.Buf) {
+	b.PutInt(int64(m.lastWall))
+	b.PutInt(int64(len(m.lastPerCore)))
+	for _, d := range m.lastPerCore {
+		b.PutInt(int64(d))
+	}
+}
+
+func (m *loadMeter) load(b *snap.Buf) {
+	m.lastWall = sim.Time(b.Int())
+	n := int(b.Int())
+	if cap(m.lastPerCore) < n {
+		m.lastPerCore = make([]sim.Duration, n)
+	}
+	m.lastPerCore = m.lastPerCore[:n]
+	for i := range m.lastPerCore {
+		m.lastPerCore[i] = sim.Duration(b.Int())
+	}
+}
+
+// SaveState implements Checkpointable (fixed governors have no runtime state).
+func (f *Fixed) SaveState(*snap.Buf) {}
+
+// LoadState implements Checkpointable.
+func (f *Fixed) LoadState(*snap.Buf) {}
+
+// SaveState implements Checkpointable.
+func (g *Ondemand) SaveState(b *snap.Buf) { g.meter.save(b) }
+
+// LoadState implements Checkpointable.
+func (g *Ondemand) LoadState(b *snap.Buf) { g.meter.load(b) }
+
+// SaveState implements Checkpointable.
+func (g *Conservative) SaveState(b *snap.Buf) {
+	g.meter.save(b)
+	b.PutInt(int64(g.requested))
+}
+
+// LoadState implements Checkpointable.
+func (g *Conservative) LoadState(b *snap.Buf) {
+	g.meter.load(b)
+	g.requested = int(b.Int())
+}
+
+// SaveState implements Checkpointable.
+func (g *Interactive) SaveState(b *snap.Buf) {
+	g.meter.save(b)
+	b.PutInt(int64(g.lastRaise))
+	b.PutInt(int64(g.hispeedAt))
+	b.PutBool(g.atHispeed)
+}
+
+// LoadState implements Checkpointable.
+func (g *Interactive) LoadState(b *snap.Buf) {
+	g.meter.load(b)
+	g.lastRaise = sim.Time(b.Int())
+	g.hispeedAt = sim.Time(b.Int())
+	g.atHispeed = b.Bool()
+}
+
+// SaveState implements Checkpointable.
+func (g *QoEAware) SaveState(b *snap.Buf) {
+	g.meter.save(b)
+	b.PutInt(int64(g.boostStart))
+	b.PutInt(int64(g.boostUntil))
+	b.PutBool(g.boosting)
+}
+
+// LoadState implements Checkpointable.
+func (g *QoEAware) LoadState(b *snap.Buf) {
+	g.meter.load(b)
+	g.boostStart = sim.Time(b.Int())
+	g.boostUntil = sim.Time(b.Int())
+	g.boosting = b.Bool()
+}

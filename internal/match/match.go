@@ -69,9 +69,10 @@ func findEnding(v *video.Video, e *annotate.Entry, start int) (int, bool) {
 		need = 1
 	}
 	inSegment := false
+	var cmp video.Comparer
 	for k := v.RunIndexOf(start + 1); k >= 0 && k < len(runs); k++ {
 		r := runs[k]
-		sim := e.Similar(r.Frame)
+		sim := e.SimilarWith(r.Frame, &cmp)
 		if sim && !inSegment {
 			need--
 			if need == 0 {

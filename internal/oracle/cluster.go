@@ -149,6 +149,12 @@ func BuildCluster(runs []ClusterFixedRun, model *power.SoCModel, factor float64,
 	// meeting the threshold. Map iteration order is randomised, so ties
 	// break deterministically via less().
 	fastLags := fastest.Profile.ByIndex()
+	// Index every candidate's lags once up front: rebuilding these maps
+	// inside the per-lag scan is quadratic in (lags x candidates).
+	lagsByChoice := make(map[ClusterChoice]map[int]core.Lag, len(byChoice))
+	for ch, r := range byChoice {
+		lagsByChoice[ch] = r.Profile.ByIndex()
+	}
 	var lagEnergy float64
 	for _, lag := range fastest.Profile.Lags {
 		if lag.Spurious {
@@ -160,7 +166,7 @@ func BuildCluster(runs []ClusterFixedRun, model *power.SoCModel, factor float64,
 		var chosenLag core.Lag
 		chosenE := -1.0
 		for ch, r := range byChoice {
-			cand, ok := r.Profile.ByIndex()[lag.Index]
+			cand, ok := lagsByChoice[ch][lag.Index]
 			if !ok || cand.Duration() > limit {
 				continue
 			}

@@ -92,6 +92,12 @@ func Build(runs []FixedRun, model *power.Model, factor float64, override *core.T
 
 	// Per lag: lowest OPP within the threshold.
 	fastLags := fastest.Profile.ByIndex()
+	// Index every candidate's lags once up front: rebuilding these maps
+	// inside the per-lag scan is quadratic in (lags x OPPs).
+	lagsByOPP := make(map[int]map[int]core.Lag, len(byOPP))
+	for idx, r := range byOPP {
+		lagsByOPP[idx] = r.Profile.ByIndex()
+	}
 	var lagEnergy float64
 	type window struct{ begin, end sim.Time }
 	lagWindows := make(map[int][]window) // OPP -> windows charged at that OPP
@@ -105,11 +111,10 @@ func Build(runs []FixedRun, model *power.Model, factor float64, override *core.T
 		var chosenLag core.Lag
 		found := false
 		for idx := 0; idx < len(model.Table); idx++ {
-			r, ok := byOPP[idx]
-			if !ok {
+			if _, ok := byOPP[idx]; !ok {
 				continue
 			}
-			cand, ok := r.Profile.ByIndex()[lag.Index]
+			cand, ok := lagsByOPP[idx][lag.Index]
 			if !ok {
 				continue
 			}

@@ -45,44 +45,72 @@ type Agent struct {
 	// GestureJitter is the ± injection error applied uniformly to all
 	// events of one gesture, preserving intra-gesture spacing.
 	GestureJitter sim.Duration
+
+	// Replay cursor: one in-flight engine event at a time. Keeping the
+	// cursor on the agent (not in a closure) lets checkpoint tests capture
+	// and restore an in-flight replay alongside the engine state.
+	dev    *device.Device
+	events []evdev.Event
+	rnd    *sim.Rand
+	next   int
+	offset sim.Duration
+	last   sim.Time
+	step   func()
 }
 
 // NewAgent returns an agent with ±1 ms per-gesture injection error.
 func NewAgent() *Agent { return &Agent{GestureJitter: 1 * sim.Millisecond} }
 
-// Replay schedules the whole trace onto the device's engine. rnd drives the
+// Replay starts replaying the trace onto the device's engine. rnd drives the
 // per-gesture jitter (pass nil for exact replay). Call before running the
 // engine.
 //
-// All events are scheduled upfront at their (jittered, monotonic) times and
-// fire through one shared injector callback: the adjusted times are
-// non-decreasing and scheduled in trace order, so FIFO tie-breaking
-// guarantees firing order equals trace order and the injector can walk the
-// slice with a cursor. This costs one allocation per replay instead of two
-// per event.
+// Events are scheduled lazily, one at a time: injecting event i schedules
+// event i+1 at its (jittered, monotonic) timestamp. The adjusted times are
+// non-decreasing, so firing order equals trace order, while the engine's
+// queue holds a single agent event instead of the whole trace — thousands of
+// pre-scheduled events used to dominate the heap depth every push and pop
+// paid for. Jitter draws happen in trace order exactly as the pre-scheduling
+// variant made them, so replays remain seed-for-seed deterministic.
 func (a *Agent) Replay(d *device.Device, events []evdev.Event, rnd *sim.Rand) {
-	next := 0
-	inject := func() {
-		ev := events[next]
-		next++
-		d.Inject(ev)
+	a.dev, a.events, a.rnd = d, events, rnd
+	a.next, a.offset, a.last = 0, 0, sim.Time(-1)
+	if a.step == nil {
+		a.step = a.injectNext
 	}
-	var offset sim.Duration
-	last := sim.Time(-1)
-	for _, ev := range events {
-		if ev.Type == evdev.EVAbs && ev.Code == evdev.AbsMTTrackingID && ev.Value != evdev.TrackingRelease {
-			// New gesture: draw a fresh injection offset.
-			if rnd != nil && a.GestureJitter > 0 {
-				offset = rnd.Jitter(a.GestureJitter)
-			}
-		}
-		at := ev.Time.Add(offset)
-		if at < last {
-			at = last // keep the stream monotonic
-		}
-		last = at
-		d.Eng.AtFunc(at, inject)
+	a.scheduleNext()
+}
+
+// scheduleNext arms the engine event for the next trace event, drawing the
+// per-gesture jitter offset when that event starts a new gesture.
+func (a *Agent) scheduleNext() {
+	if a.next >= len(a.events) {
+		return
 	}
+	ev := a.events[a.next]
+	if ev.Type == evdev.EVAbs && ev.Code == evdev.AbsMTTrackingID && ev.Value != evdev.TrackingRelease {
+		// New gesture: draw a fresh injection offset.
+		if a.rnd != nil && a.GestureJitter > 0 {
+			a.offset = a.rnd.Jitter(a.GestureJitter)
+		}
+	}
+	at := ev.Time.Add(a.offset)
+	if at < a.last {
+		at = a.last // keep the stream monotonic
+	}
+	a.last = at
+	a.dev.Eng.AtFunc(at, a.step)
+}
+
+// injectNext delivers the due event. The successor is scheduled before the
+// injection so that, at equal timestamps, the next trace event keeps a lower
+// sequence number than anything the injection itself schedules — the same
+// ordering the old schedule-everything-upfront strategy produced.
+func (a *Agent) injectNext() {
+	ev := a.events[a.next]
+	a.next++
+	a.scheduleNext()
+	a.dev.Inject(ev)
 }
 
 // NaiveReplay models the stock sendevent tool, which the paper found "very

@@ -112,6 +112,18 @@ func (fb *Framebuffer) FillRectFB(x, y, w, h int, shade uint8) {
 	if x >= x1 || y >= y1 {
 		return
 	}
+	if x == 0 && x1 == FBW {
+		// Full-width fill: the rows form one contiguous byte range, so a
+		// doubling copy (a handful of memmoves) beats the per-row loop.
+		// Full-width clears — content area, keyboard band, bars — are the
+		// most common fills on the render path.
+		region := fb.Pix[y*FBW : y1*FBW]
+		region[0] = shade
+		for i := 1; i < len(region); i *= 2 {
+			copy(region[i:], region[:i])
+		}
+		return
+	}
 	pat := uint64(shade) * 0x0101010101010101
 	for yy := y; yy < y1; yy++ {
 		row := fb.Pix[yy*FBW+x : yy*FBW+x1]

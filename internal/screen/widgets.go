@@ -103,6 +103,11 @@ type Key struct {
 type Keyboard struct {
 	Keys []Key
 	R    Rect
+	// strips memoises the rendered keyboard band per pressed key. Draw
+	// overwrites every pixel of R, so the band depends only on which key is
+	// highlighted — repeat draws become one contiguous copy instead of ~40
+	// rectangle fills. Pure memoization: never changes what is drawn.
+	strips map[rune][]uint8
 }
 
 // NewKeyboard lays out a 3-row QWERTY plus a space row.
@@ -150,6 +155,28 @@ func (kb *Keyboard) KeyRect(c rune) (Rect, bool) {
 
 // Draw renders the keyboard; pressed highlights one key (0 for none).
 func (kb *Keyboard) Draw(fb *Framebuffer, pressed rune) {
+	x0, y0, w, h := FBRect(kb.R)
+	if x0 != 0 || w != FBW {
+		// Non-full-width layout (none today): no contiguous band to memoise.
+		kb.drawDirect(fb, pressed)
+		return
+	}
+	band := fb.Pix[y0*FBW : (y0+h)*FBW]
+	if strip, ok := kb.strips[pressed]; ok {
+		copy(band, strip)
+		return
+	}
+	kb.drawDirect(fb, pressed)
+	strip := make([]uint8, len(band))
+	copy(strip, band)
+	if kb.strips == nil {
+		kb.strips = make(map[rune][]uint8)
+	}
+	kb.strips[pressed] = strip
+}
+
+// drawDirect rasterises the keyboard rectangle by rectangle.
+func (kb *Keyboard) drawDirect(fb *Framebuffer, pressed rune) {
 	fb.FillRect(kb.R, ShadeBackground)
 	for _, k := range kb.Keys {
 		shade := ShadeWidget

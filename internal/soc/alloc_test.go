@@ -49,26 +49,79 @@ func TestGovernorSampleAllocFree(t *testing.T) {
 }
 
 // TestClusterRescheduleAllocFree gates the execution-event path: submitting
-// work to a warm cluster and running it to completion re-arms the pooled
-// execution callback without allocating anything beyond the Task itself.
+// work to a warm cluster and running it to completion allocates nothing at
+// all. The Task is recycled through the cluster's pool (callers hold only a
+// generation-checked Handle), the completion event comes from the engine's
+// slot pool, and the execution callback is pre-bound.
 func TestClusterRescheduleAllocFree(t *testing.T) {
 	eng := sim.NewEngine()
 	cl := soc.NewCluster(eng, soc.ClusterSpec{
 		Name: "krait", NumCores: 1, Table: power.Snapdragon8074(),
 	})
-	// Warm up pool, runq and running slices.
+	// Warm up task pool, runq and running slices.
 	for i := 0; i < 8; i++ {
 		cl.Submit("warm", 1000, nil)
 	}
 	eng.Run()
 
-	// Steady state: one Task allocation per burst is inherent (the caller
-	// owns the returned *Task); everything else — completion event, cancel,
-	// re-arm — must come from the pools.
 	if avg := testing.AllocsPerRun(100, func() {
 		cl.Submit("burst", 1000, nil)
 		eng.Run()
-	}); avg > 1 {
-		t.Fatalf("submit+run of one burst allocates %.2f, want <= 1 (the Task itself)", avg)
+	}); avg != 0 {
+		t.Fatalf("submit+run of one burst allocates %.2f, want 0", avg)
+	}
+}
+
+// TestZeroCycleSubmitAllocFree gates the zero-cycle completion path: warm
+// submit of an empty burst (the UI's instant-completion case) draws from the
+// task pool and the pre-bound drain callback, allocating nothing.
+func TestZeroCycleSubmitAllocFree(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := soc.NewCluster(eng, soc.ClusterSpec{
+		Name: "krait", NumCores: 1, Table: power.Snapdragon8074(),
+	})
+	done := 0
+	onDone := func(sim.Time) { done++ }
+	for i := 0; i < 8; i++ {
+		cl.Submit("warm", 0, onDone)
+	}
+	eng.Run()
+
+	if avg := testing.AllocsPerRun(100, func() {
+		cl.Submit("empty", 0, onDone)
+		eng.Run()
+	}); avg != 0 {
+		t.Fatalf("zero-cycle submit+complete allocates %.2f, want 0", avg)
+	}
+	if done == 0 {
+		t.Fatal("onDone never ran")
+	}
+}
+
+// TestStaleHandleCancelIsNoOp pins the ownership story of the task pool: a
+// handle kept past its task's retirement goes stale when the pooled slot is
+// recycled, and cancelling through it must not touch the newer burst now
+// occupying the slot.
+func TestStaleHandleCancelIsNoOp(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := soc.NewCluster(eng, soc.ClusterSpec{
+		Name: "krait", NumCores: 1, Table: power.Snapdragon8074(),
+	})
+	old := cl.Submit("first", 1000, nil)
+	eng.Run() // first completes and drains back to the pool
+	if !old.Done() {
+		t.Fatal("completed task's handle reports !Done")
+	}
+
+	ran := false
+	fresh := cl.Submit("second", 1000, func(sim.Time) { ran = true })
+	// The pool recycled first's slot for second; the old handle is now stale.
+	cl.Cancel(old)
+	eng.Run()
+	if !ran {
+		t.Fatal("stale-handle Cancel killed an unrelated recycled task")
+	}
+	if !fresh.Done() {
+		t.Fatal("second task did not complete")
 	}
 }

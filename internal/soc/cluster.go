@@ -38,9 +38,10 @@ const TimeSlice = 10 * sim.Millisecond
 // AnyCluster marks a task as migratable to any cluster by the scheduler.
 const AnyCluster = -1
 
-// Task is a runnable CPU burst. Tasks are created via Cluster.Submit or
-// SoC.Submit and run to completion (possibly interleaved with other tasks)
-// unless cancelled. Like every soc type, a Task belongs to its engine's
+// Task is a runnable CPU burst. Tasks are pool-owned: Cluster.Submit and
+// SoC.Submit draw one from the pool, the cluster owns it until completion or
+// cancellation drains it back, and callers only ever hold a generation-
+// checked Handle. Like every soc type, a Task belongs to its engine's
 // goroutine: inspect or cancel it only from simulation callbacks.
 type Task struct {
 	// Name labels the burst in traces and diagnostics, e.g. "ui.anim".
@@ -55,6 +56,12 @@ type Task struct {
 	affinity int
 	// owner is the cluster currently holding the task (nil once finished).
 	owner *Cluster
+	// gen is the pool generation, bumped when the pooled slot is reused, so
+	// stale Handles can never touch a recycled task.
+	gen uint32
+	// mark is the liveness epoch used to rebuild the pool free list on a
+	// checkpoint restore.
+	mark uint32
 }
 
 // Done reports whether the task has finished executing.
@@ -106,6 +113,17 @@ type Cluster struct {
 	coreBusy  []sim.Duration // cumulative busy per core slot, len nCores
 	busyByOPP []sim.Duration
 
+	// Busy grid: lazily filled samples of cumBusy on a fixed period, the
+	// series the busy curves used to collect with a periodic engine event.
+	// Because cumBusy accrues linearly (slope = number of running cores)
+	// between settle points, every grid instant crossed by a settle can be
+	// reconstructed exactly with integer math — so the samples are filled as
+	// a side effect of the accounting the cluster does anyway, and the
+	// 30 Hz sampling tick disappears from the event queue entirely.
+	gridStep sim.Duration
+	gridNext sim.Time
+	grid     []sim.Duration
+
 	// idle is the C-state ladder (nil keeps the idle subsystem disabled and
 	// the pre-idle simulator bit for bit). While enabled, every instant of
 	// cluster wall time is attributed to exactly one of: active (>=1 running
@@ -135,6 +153,12 @@ type Cluster struct {
 	// onIdleCore, if set, notifies the SoC scheduler that a core slot became
 	// free (used to pull queued work from sibling clusters immediately).
 	onIdleCore func()
+
+	// pool recycles Task objects; zq completes zero-cycle tasks through the
+	// event queue. A standalone cluster owns both; clusters built by soc.New
+	// share their SoC's, so migrated tasks drain to one pool.
+	pool *taskPool
+	zq   *zeroQ
 }
 
 // freqCap is one named frequency ceiling, e.g. {"thermal", 7}.
@@ -174,6 +198,8 @@ func NewCluster(eng *sim.Engine, spec ClusterSpec) *Cluster {
 		c.havePending = false
 		c.onExecEvent()
 	}
+	c.pool = &taskPool{}
+	c.zq = newZeroQ(eng, c.pool)
 	if len(spec.IdleStates) > 0 {
 		c.idle = append([]IdleState(nil), spec.IdleStates...)
 		c.idleRes = make([]sim.Duration, len(c.idle))
@@ -382,32 +408,22 @@ func (c *Cluster) apply() {
 }
 
 // Submit enqueues a CPU burst pinned to this cluster. onDone, if non-nil,
-// fires at the completion instant. Zero-cycle tasks complete at the current
-// virtual time but through the event queue (so callback ordering stays
-// consistent with non-empty tasks), and remain cancellable until that event
-// fires — Cancel before the completion event dequeues the pending onDone.
-func (c *Cluster) Submit(name string, cycles Cycles, onDone func(at sim.Time)) *Task {
-	t := &Task{Name: name, remaining: cycles, onDone: onDone, affinity: c.id}
+// fires at the completion instant. The returned Handle is generation-checked:
+// once the burst retires and its pooled Task is recycled, the handle goes
+// permanently stale. Zero-cycle tasks complete at the current virtual time
+// but through the event queue (so callback ordering stays consistent with
+// non-empty tasks), and remain cancellable until that event fires — Cancel
+// before the completion event dequeues the pending onDone.
+func (c *Cluster) Submit(name string, cycles Cycles, onDone func(at sim.Time)) Handle {
+	t := c.pool.get()
+	t.Name, t.remaining, t.onDone, t.affinity = name, cycles, onDone, c.id
+	h := Handle{t: t, gen: t.gen}
 	if cycles <= 0 {
-		completeZeroCycle(c.eng, t)
-		return t
+		c.zq.push(t)
+		return h
 	}
 	c.enqueue(t)
-	return t
-}
-
-// completeZeroCycle finishes an empty task through the event queue, honouring
-// a Cancel that lands before the completion event runs.
-func completeZeroCycle(eng *sim.Engine, t *Task) {
-	eng.After(0, func(e *sim.Engine) {
-		if t.cancelled {
-			return
-		}
-		t.done = true
-		if t.onDone != nil {
-			t.onDone(e.Now())
-		}
-	})
+	return h
 }
 
 // enqueue admits an existing task (fresh or migrated) to the run queue.
@@ -488,12 +504,23 @@ func (c *Cluster) markActive(now sim.Time) {
 }
 
 // Cancel removes a task from the cluster. A running task is stopped with its
-// work unfinished; its onDone callback never fires.
-func (c *Cluster) Cancel(t *Task) {
-	if t == nil || t.done || t.cancelled {
+// work unfinished; its onDone callback never fires. A stale handle — its
+// pooled Task already recycled for a newer burst — is a no-op.
+func (c *Cluster) Cancel(h Handle) {
+	if !h.ok() || h.t.done || h.t.cancelled {
 		return
 	}
+	c.cancelTask(h.t)
+}
+
+// cancelTask is the generation-checked core of Cancel. A pending zero-cycle
+// task (owner nil) is only flagged; its completion event discards it and
+// drains it back to the pool.
+func (c *Cluster) cancelTask(t *Task) {
 	t.cancelled = true
+	if t.owner == nil {
+		return
+	}
 	t.owner = nil
 	c.settle()
 	if !c.removeRunning(t) {
@@ -505,6 +532,7 @@ func (c *Cluster) Cancel(t *Task) {
 		}
 	}
 	c.reschedule()
+	c.pool.put(t)
 }
 
 // removeRunning takes t off its core slot, reporting whether it was running.
@@ -553,9 +581,57 @@ func (c *Cluster) stealQueued() *Task {
 	return nil
 }
 
+// StartBusyGrid begins (or restarts) busy-grid sampling with the given
+// period, reusing scratch as the sample buffer. The first sample lands on
+// virtual time zero; replay runners call this at seal time, right after a
+// checkpoint restore rewound the clock.
+func (c *Cluster) StartBusyGrid(step sim.Duration, scratch []sim.Duration) {
+	c.gridStep = step
+	c.gridNext = 0
+	c.grid = scratch[:0]
+}
+
+// FinishBusyGrid settles, extends the grid through until (exclusive of any
+// later instants) and returns the samples. The slice is owned by the cluster
+// until the next StartBusyGrid; callers that retain it must hand a fresh
+// scratch to the next run.
+// ReserveBusyGrid grows the lazily filled busy grid's capacity so a full run
+// window of samples appends without reallocating. No-op unless a grid is
+// active.
+func (c *Cluster) ReserveBusyGrid(n int) {
+	if c.gridStep > 0 && cap(c.grid) < n {
+		grown := make([]sim.Duration, len(c.grid), n)
+		copy(grown, c.grid)
+		c.grid = grown
+	}
+}
+
+func (c *Cluster) FinishBusyGrid(until sim.Time) []sim.Duration {
+	c.settle()
+	if c.gridStep > 0 {
+		c.fillGrid(until)
+	}
+	return c.grid
+}
+
+// fillGrid appends one sample per grid instant in (lastFilled, now]. Between
+// settle points cumBusy accrues at exactly len(running) core-seconds per
+// wall second, so the reconstruction matches what a sampler calling
+// CumulativeBusy at each instant would have read, bit for bit.
+func (c *Cluster) fillGrid(now sim.Time) {
+	rate := sim.Duration(len(c.running))
+	for c.gridNext <= now {
+		c.grid = append(c.grid, c.cumBusy+rate*sim.Duration(c.gridNext.Sub(c.lastSettle)))
+		c.gridNext = c.gridNext.Add(c.gridStep)
+	}
+}
+
 // settle attributes execution since lastSettle to the running tasks and OPP.
 func (c *Cluster) settle() {
 	now := c.eng.Now()
+	if c.gridStep > 0 && c.gridNext <= now {
+		c.fillGrid(now)
+	}
 	if len(c.running) == 0 {
 		c.lastSettle = now
 		return
@@ -681,7 +757,9 @@ func (c *Cluster) onExecEvent() {
 }
 
 // finish completes one running task and re-arms execution. onDone runs after
-// the task is removed, so it may submit follow-up work.
+// the task is removed, so it may submit follow-up work; the task drains back
+// to the pool last, so everything observing the completion sees it done under
+// its issued generation.
 func (c *Cluster) finish(t *Task) {
 	c.removeRunning(t)
 	t.done = true
@@ -693,6 +771,7 @@ func (c *Cluster) finish(t *Task) {
 	if c.onIdleCore != nil && c.FreeCores() > 0 {
 		c.onIdleCore()
 	}
+	c.pool.put(t)
 }
 
 // IdleEnabled reports whether this cluster has a C-state ladder.

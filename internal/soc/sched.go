@@ -49,6 +49,10 @@ type scheduler struct {
 	params      SchedParams
 	migrations  int
 	tickPending bool
+	// tickCb is the one pre-bound rebalance callback, so arming the tick
+	// never allocates and the event queue only ever holds this stable func
+	// value (which is what lets checkpoints restore a pending tick).
+	tickCb func()
 	// reversed caches the clusters in big-to-little order, so the per-submit
 	// placement scan never allocates.
 	reversed []*Cluster
@@ -64,6 +68,16 @@ func newScheduler(s *SoC, params SchedParams) *scheduler {
 		c := c
 		c.onIdleCore = func() { sc.onIdle(c) }
 	}
+	sc.tickCb = func() {
+		sc.tickPending = false
+		sc.rebalance()
+		for _, c := range sc.soc.clusters {
+			if c.Runnable() > 0 {
+				sc.armTick()
+				return
+			}
+		}
+	}
 	return sc
 }
 
@@ -75,16 +89,7 @@ func (sc *scheduler) armTick() {
 		return
 	}
 	sc.tickPending = true
-	sc.soc.eng.After(sc.params.Period, func(*sim.Engine) {
-		sc.tickPending = false
-		sc.rebalance()
-		for _, c := range sc.soc.clusters {
-			if c.Runnable() > 0 {
-				sc.armTick()
-				return
-			}
-		}
-	})
+	sc.soc.eng.AfterFunc(sc.params.Period, sc.tickCb)
 }
 
 // submit places a migratable task. Light tasks wake little-first: the first
@@ -93,15 +98,17 @@ func (sc *scheduler) armTick() {
 // cluster. With every core on the SoC busy, the task queues on the cluster
 // with the fewest runnable tasks per core (ties toward the preferred end),
 // where the rebalance tick can still move it later.
-func (sc *scheduler) submit(name string, cycles Cycles, onDone func(at sim.Time)) *Task {
-	t := &Task{Name: name, remaining: cycles, onDone: onDone, affinity: AnyCluster}
+func (sc *scheduler) submit(name string, cycles Cycles, onDone func(at sim.Time)) Handle {
+	t := sc.soc.pool.get()
+	t.Name, t.remaining, t.onDone, t.affinity = name, cycles, onDone, AnyCluster
+	h := Handle{t: t, gen: t.gen}
 	if cycles <= 0 {
-		completeZeroCycle(sc.soc.eng, t)
-		return t
+		sc.soc.zq.push(t)
+		return h
 	}
 	sc.place(t).enqueue(t)
 	sc.armTick()
-	return t
+	return h
 }
 
 func (sc *scheduler) place(t *Task) *Cluster {

@@ -135,6 +135,10 @@ type SoC struct {
 	spec     Spec
 	clusters []*Cluster
 	sched    *scheduler
+	// pool and zq are shared by every cluster of the SoC, so a task migrated
+	// between clusters still drains back to the one pool it came from.
+	pool *taskPool
+	zq   *zeroQ
 }
 
 // New builds an SoC from a spec. It panics on an invalid spec, mirroring
@@ -144,9 +148,12 @@ func New(eng *sim.Engine, spec Spec) *SoC {
 		panic(err.Error())
 	}
 	s := &SoC{eng: eng, spec: spec}
+	s.pool = &taskPool{}
+	s.zq = newZeroQ(eng, s.pool)
 	for i, cs := range spec.Clusters {
 		cl := NewCluster(eng, cs)
 		cl.id = i
+		cl.pool, cl.zq = s.pool, s.zq
 		s.clusters = append(s.clusters, cl)
 	}
 	if len(s.clusters) > 1 {
@@ -169,7 +176,7 @@ func (s *SoC) NumClusters() int { return len(s.clusters) }
 
 // Submit places a migratable CPU burst through the scheduler. On a
 // single-cluster SoC this is exactly Cluster.Submit on the one cluster.
-func (s *SoC) Submit(name string, cycles Cycles, onDone func(at sim.Time)) *Task {
+func (s *SoC) Submit(name string, cycles Cycles, onDone func(at sim.Time)) Handle {
 	if s.sched == nil {
 		return s.clusters[0].Submit(name, cycles, onDone)
 	}
@@ -180,7 +187,7 @@ func (s *SoC) Submit(name string, cycles Cycles, onDone func(at sim.Time)) *Task
 // never migrates it. It panics on an out-of-range cluster index, mirroring
 // New and device.NewMulti — silently clamping to cluster 0 would run pinned
 // work on the wrong silicon and skew per-cluster accounting without a trace.
-func (s *SoC) SubmitPinned(cluster int, name string, cycles Cycles, onDone func(at sim.Time)) *Task {
+func (s *SoC) SubmitPinned(cluster int, name string, cycles Cycles, onDone func(at sim.Time)) Handle {
 	if cluster < 0 || cluster >= len(s.clusters) {
 		panic(fmt.Sprintf("soc: SubmitPinned cluster %d out of range on %q (%d clusters)",
 			cluster, s.spec.Name, len(s.clusters)))
@@ -188,13 +195,15 @@ func (s *SoC) SubmitPinned(cluster int, name string, cycles Cycles, onDone func(
 	return s.clusters[cluster].Submit(name, cycles, onDone)
 }
 
-// Cancel removes a task wherever it currently lives.
-func (s *SoC) Cancel(t *Task) {
-	if t == nil || t.done || t.cancelled {
+// Cancel removes a task wherever it currently lives. Stale handles are a
+// no-op: the generation check guarantees a recycled task is never touched.
+func (s *SoC) Cancel(h Handle) {
+	if !h.ok() || h.t.done || h.t.cancelled {
 		return
 	}
+	t := h.t
 	if t.owner != nil {
-		t.owner.Cancel(t)
+		t.owner.cancelTask(t)
 		return
 	}
 	t.cancelled = true

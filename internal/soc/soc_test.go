@@ -47,7 +47,7 @@ func TestSingleClusterEquivalence(t *testing.T) {
 		cumBusy   sim.Duration
 		freq      []int
 	}
-	exercise := func(submit func(name string, cycles Cycles, onDone func(sim.Time)) *Task,
+	exercise := func(submit func(name string, cycles Cycles, onDone func(at sim.Time)) Handle,
 		ctl *Cluster, eng *sim.Engine) runResult {
 		var res runResult
 		record := func(sim.Time) {}

@@ -38,9 +38,10 @@ func (c Config) minStill() int {
 	return c.MinStill
 }
 
-// equal applies the config's fuzzy frame equality.
-func (c Config) equal(a, b *video.Frame) bool {
-	return video.Similar(a, b, c.Mask, c.Tolerance, c.MaxDiffPixels)
+// equal applies the config's fuzzy frame equality through a caller-held
+// comparer, which remembers where the last differing frame pair diverged.
+func (c Config) equal(cmp *video.Comparer, a, b *video.Frame) bool {
+	return cmp.Similar(a, b, c.Mask, c.Tolerance, c.MaxDiffPixels)
 }
 
 // ChangeBits renders the paper's ones-and-zeros representation for frames
@@ -55,8 +56,9 @@ func ChangeBits(v *video.Video, start, end int, cfg Config) []byte {
 		end = v.Len() - 1
 	}
 	var bits []byte
+	var cmp video.Comparer
 	for i := start + 1; i <= end; i++ {
-		if cfg.equal(v.FrameAt(i-1), v.FrameAt(i)) {
+		if cfg.equal(&cmp, v.FrameAt(i-1), v.FrameAt(i)) {
 			bits = append(bits, '0')
 		} else {
 			bits = append(bits, '1')
@@ -89,6 +91,7 @@ func Suggest(v *video.Video, start, end int, cfg Config) []int {
 	// boundaryOne[k] records whether the first frame of run k differs from
 	// its predecessor under the fuzzy equality.
 	var out []int
+	var cmp video.Comparer
 	for k := firstRun; k <= lastRun; k++ {
 		r := runs[k]
 		oneIdx := r.Start
@@ -98,14 +101,14 @@ func Suggest(v *video.Video, start, end int, cfg Config) []int {
 		if k == 0 {
 			continue
 		}
-		if cfg.equal(runs[k-1].Frame, r.Frame) {
+		if cfg.equal(&cmp, runs[k-1].Frame, r.Frame) {
 			continue // fuzzy-equal to predecessor: a zero, not a one
 		}
 		// Count zeros following the one: the rest of this run, plus whole
 		// following runs while their boundary is fuzzy-equal.
 		zeros := r.Count - 1
 		for j := k + 1; j < len(runs) && zeros < cfg.minStill(); j++ {
-			if !cfg.equal(runs[j-1].Frame, runs[j].Frame) {
+			if !cfg.equal(&cmp, runs[j-1].Frame, runs[j].Frame) {
 				break
 			}
 			zeros += runs[j].Count

@@ -1,0 +1,28 @@
+package thermal
+
+// Zone and Throttler carry only a word of mutable state each, so the
+// checkpoint layer saves and restores them through plain accessors instead
+// of a snapshot buffer. Reset returns an instance to its boot state, which
+// lets a re-sealed device reuse zone and throttler objects across forked
+// replays without reallocating them.
+
+// SetTempC overwrites the zone temperature (checkpoint restore).
+func (z *Zone) SetTempC(tempC float64) { z.tempC = tempC }
+
+// Reset returns the zone to its boot temperature.
+func (z *Zone) Reset() { z.tempC = z.p.InitC }
+
+// SetCapIndex overwrites the throttler's current cap (checkpoint restore).
+// The value is clamped to [MinCapIdx, maxIdx].
+func (t *Throttler) SetCapIndex(capIdx int) {
+	if capIdx < t.p.MinCapIdx {
+		capIdx = t.p.MinCapIdx
+	}
+	if capIdx > t.maxIdx {
+		capIdx = t.maxIdx
+	}
+	t.capIdx = capIdx
+}
+
+// Reset returns the throttler to its boot state: uncapped.
+func (t *Throttler) Reset() { t.capIdx = t.maxIdx }

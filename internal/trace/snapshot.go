@@ -1,0 +1,66 @@
+package trace
+
+// CopyFrom helpers deep-copy a trace into reusable buffers. The device
+// checkpoint layer uses them for mid-run checkpoints: capture copies the
+// live traces into the checkpoint's own slices, restore copies them back,
+// and neither direction allocates once the destination has grown to the
+// high-water mark of the run.
+
+// CopyFrom replaces ft's contents with a deep copy of src.
+func (ft *FreqTrace) CopyFrom(src *FreqTrace) {
+	ft.Points = append(ft.Points[:0], src.Points...)
+}
+
+// CopyFrom replaces c's contents with a deep copy of src.
+func (c *BusyCurve) CopyFrom(src *BusyCurve) {
+	c.Step = src.Step
+	c.Cum = append(c.Cum[:0], src.Cum...)
+}
+
+// CopyFrom replaces tt's contents with a deep copy of src.
+func (tt *TempTrace) CopyFrom(src *TempTrace) {
+	tt.Points = append(tt.Points[:0], src.Points...)
+}
+
+// CopyFrom replaces tt's contents with a deep copy of src.
+func (tt *ThrottleTrace) CopyFrom(src *ThrottleTrace) {
+	tt.Events = append(tt.Events[:0], src.Events...)
+}
+
+// CopyFrom replaces it's contents with a deep copy of src. State names are
+// immutable strings shared by reference.
+func (it *IdleTrace) CopyFrom(src *IdleTrace) {
+	it.States = append(it.States[:0], src.States...)
+	it.Residency = append(it.Residency[:0], src.Residency...)
+	it.Wakes = src.Wakes
+	it.Mispredicts = src.Mispredicts
+	it.StallTime = src.StallTime
+	it.ActiveTime = src.ActiveTime
+}
+
+// CopyFrom replaces ct's contents with a deep copy of src, allocating the
+// five series lazily on first use so a zero ClusterTraces value works as a
+// checkpoint slot.
+func (ct *ClusterTraces) CopyFrom(src *ClusterTraces) {
+	ct.Name = src.Name
+	if ct.Freq == nil {
+		ct.Freq = &FreqTrace{}
+	}
+	if ct.Busy == nil {
+		ct.Busy = &BusyCurve{}
+	}
+	if ct.Temp == nil {
+		ct.Temp = &TempTrace{}
+	}
+	if ct.Throttle == nil {
+		ct.Throttle = &ThrottleTrace{}
+	}
+	if ct.Idle == nil {
+		ct.Idle = &IdleTrace{}
+	}
+	ct.Freq.CopyFrom(src.Freq)
+	ct.Busy.CopyFrom(src.Busy)
+	ct.Temp.CopyFrom(src.Temp)
+	ct.Throttle.CopyFrom(src.Throttle)
+	ct.Idle.CopyFrom(src.Idle)
+}

@@ -89,6 +89,61 @@ func Equal(a, b *Frame) bool {
 // masks the status-bar clock and advertisement regions (Fig. 8).
 type Mask struct {
 	skip []bool
+	// words is the word-run representation used by the tol==0 fast path:
+	// one entry per 8-byte word containing at least one unmasked pixel,
+	// carrying a byte-granular keep mask. Built lazily from skip.
+	words []maskWord
+}
+
+// maskWord is one 8-byte word of the frame with its per-byte keep mask
+// (0xff for every byte the comparison must inspect).
+type maskWord struct {
+	off  int32
+	keep uint64
+}
+
+// wordRuns returns the masked word runs, building them on first use. Fully
+// masked words are dropped entirely, so comparisons under a typical rect
+// mask (status bar, ad banner) touch only the words that matter.
+func (m *Mask) wordRuns() []maskWord {
+	if m.words == nil {
+		m.words = buildMaskWords(m.skip)
+	}
+	return m.words
+}
+
+// buildMaskWords compiles a skip bitmap into word runs covering the 8-byte
+// aligned prefix; the (at most 7) tail bytes stay on the scalar path. The
+// runs are emitted content-area first — starting a third of the way in and
+// wrapping around — because the frames the matcher rejects usually share
+// identical chrome rows (status bar at the top, nav bar at the bottom) and
+// differ in the content area, so an early-exit comparison that starts there
+// bails after a handful of words instead of wading through equal chrome.
+// Pure counts are order-independent, so DiffCount is unaffected.
+func buildMaskWords(skip []bool) []maskWord {
+	n := len(skip) &^ 7
+	words := make([]maskWord, 0, n/8)
+	start := (n / 3) &^ 7
+	emit := func(lo, hi int) {
+		for off := lo; off < hi; off += 8 {
+			var keep uint64
+			for b := 0; b < 8; b++ {
+				if !skip[off+b] {
+					keep |= 0xff << (8 * b)
+				}
+			}
+			if keep != 0 {
+				words = append(words, maskWord{off: int32(off), keep: keep})
+			}
+		}
+	}
+	emit(start, n)
+	emit(0, start)
+	if len(words) == 0 {
+		// Keep a non-nil sentinel so fully-masked masks don't rebuild.
+		words = make([]maskWord, 0)
+	}
+	return words
 }
 
 // NewMask builds a mask covering the given logical-coordinate rects.
@@ -171,6 +226,9 @@ func DiffCount(a, b *Frame, mask *Mask, tol uint8) int {
 		}
 		return n
 	}
+	if tol == 0 {
+		return diffCountMaskedExact(a.pix, b.pix, mask)
+	}
 	skip := mask.skip
 	for i := range a.pix {
 		if skip[i] {
@@ -181,6 +239,31 @@ func DiffCount(a, b *Frame, mask *Mask, tol uint8) int {
 			d = -d
 		}
 		if d > t {
+			n++
+		}
+	}
+	return n
+}
+
+// diffCountMaskedExact is the masked tol==0 fast path: it walks the mask's
+// precompiled word runs, XORs one word of each frame, applies the byte-keep
+// mask and popcounts the non-zero-byte SWAR mask — identical arithmetic to
+// diffCountExact, but skipping fully masked words. The scalar tail covers
+// lengths that are not a multiple of eight.
+func diffCountMaskedExact(a, b []uint8, m *Mask) int {
+	const (
+		low7 = 0x7f7f7f7f7f7f7f7f
+		high = 0x8080808080808080
+	)
+	n := 0
+	for _, w := range m.wordRuns() {
+		x := (binary.LittleEndian.Uint64(a[w.off:]) ^ binary.LittleEndian.Uint64(b[w.off:])) & w.keep
+		if x != 0 {
+			n += bits.OnesCount64(((x & low7) + low7 | x) & high)
+		}
+	}
+	for i := len(a) &^ 7; i < len(a); i++ {
+		if !m.skip[i] && a[i] != b[i] {
 			n++
 		}
 	}
@@ -217,6 +300,10 @@ func diffCountExact(a, b []uint8) int {
 // Similar reports whether two frames match under a mask, per-pixel
 // tolerance, and a maximum count of deviating pixels. The paper's suggester
 // "can be set to allow a certain amount of pixel difference between frames".
+// Unlike DiffCount it only needs a verdict, so every path bails out as soon
+// as the running count exceeds the allowance — on the matcher's reject path
+// (a candidate frame that is nothing like the ending) that is typically the
+// first differing word.
 func Similar(a, b *Frame, mask *Mask, tol uint8, maxDiffPixels int) bool {
 	if a == b {
 		return true
@@ -224,7 +311,144 @@ func Similar(a, b *Frame, mask *Mask, tol uint8, maxDiffPixels int) bool {
 	if mask == nil && maxDiffPixels == 0 && tol == 0 {
 		return Equal(a, b)
 	}
-	return DiffCount(a, b, mask, tol) <= maxDiffPixels
+	return !diffExceeds(a.pix, b.pix, mask, tol, maxDiffPixels)
+}
+
+// Comparer carries scan-locality state for repeated Similar tests of a
+// stream of frames against one reference (the matcher's scan for a lag
+// ending). Consecutive rejected frames usually differ from the reference in
+// the same region — the row being typed into, the animating widget — so the
+// comparer remembers which word decided the last rejection and tries it
+// first, turning the typical reject into a single word compare. The hint
+// only reorders the scan; verdicts are identical to Similar's. The zero
+// value is ready to use; a Comparer must not be shared between goroutines.
+type Comparer struct {
+	hint int // byte offset (mask == nil) or wordRuns index (masked)
+}
+
+// Similar is Comparer-accelerated video.Similar: same verdict, with the
+// reject fast path starting at the remembered hot word.
+func (c *Comparer) Similar(a, b *Frame, mask *Mask, tol uint8, maxDiffPixels int) bool {
+	if a == b {
+		return true
+	}
+	if tol == 0 {
+		if mask == nil && maxDiffPixels == 0 {
+			return Equal(a, b)
+		}
+		if mask != nil {
+			return !c.maskedExceeds(a.pix, b.pix, mask, maxDiffPixels)
+		}
+	}
+	return !diffExceeds(a.pix, b.pix, mask, tol, maxDiffPixels)
+}
+
+// maskedExceeds is the hinted masked tol==0 scan: words are visited starting
+// at the hinted index and wrapping around, so the count is exact while the
+// early exit usually fires on the first word visited.
+func (c *Comparer) maskedExceeds(a, b []uint8, mask *Mask, limit int) bool {
+	const (
+		low7 = 0x7f7f7f7f7f7f7f7f
+		high = 0x8080808080808080
+	)
+	words := mask.wordRuns()
+	h := c.hint
+	if h >= len(words) {
+		h = 0
+	}
+	n := 0
+	for k := range words {
+		i := k + h
+		if i >= len(words) {
+			i -= len(words)
+		}
+		w := words[i]
+		x := (binary.LittleEndian.Uint64(a[w.off:]) ^ binary.LittleEndian.Uint64(b[w.off:])) & w.keep
+		if x != 0 {
+			n += bits.OnesCount64(((x & low7) + low7 | x) & high)
+			if n > limit {
+				c.hint = i
+				return true
+			}
+		}
+	}
+	for i := len(a) &^ 7; i < len(a); i++ {
+		if !mask.skip[i] && a[i] != b[i] {
+			n++
+			if n > limit {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// diffExceeds reports whether the masked diff count exceeds limit,
+// returning as soon as the verdict is decided.
+func diffExceeds(a, b []uint8, mask *Mask, tol uint8, limit int) bool {
+	const (
+		low7 = 0x7f7f7f7f7f7f7f7f
+		high = 0x8080808080808080
+	)
+	n := 0
+	if tol == 0 {
+		if mask == nil {
+			for len(a) >= 8 && len(b) >= 8 {
+				x := binary.LittleEndian.Uint64(a) ^ binary.LittleEndian.Uint64(b)
+				if x != 0 {
+					n += bits.OnesCount64(((x & low7) + low7 | x) & high)
+					if n > limit {
+						return true
+					}
+				}
+				a, b = a[8:], b[8:]
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					n++
+					if n > limit {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		for _, w := range mask.wordRuns() {
+			x := (binary.LittleEndian.Uint64(a[w.off:]) ^ binary.LittleEndian.Uint64(b[w.off:])) & w.keep
+			if x != 0 {
+				n += bits.OnesCount64(((x & low7) + low7 | x) & high)
+				if n > limit {
+					return true
+				}
+			}
+		}
+		for i := len(a) &^ 7; i < len(a); i++ {
+			if !mask.skip[i] && a[i] != b[i] {
+				n++
+				if n > limit {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	t := int(tol)
+	for i := range a {
+		if mask != nil && mask.skip[i] {
+			continue
+		}
+		d := int(a[i]) - int(b[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > t {
+			n++
+			if n > limit {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Run is a maximal sequence of identical consecutive frames.

@@ -6,38 +6,98 @@ import "repro/internal/sim"
 // It is the simulation's HDMI capture card: the device exposes its
 // framebuffer through source, and the recorder ticks at 30 fps on the
 // simulation engine.
+//
+// With a dirty probe attached (BindDirty), the recorder is demand driven:
+// after capturing a frame whose source was already clean it stops scheduling
+// ticks, and the probe owner wakes it on the first clean→dirty transition.
+// The wake call must happen before the new content is rendered — the frames
+// whose capture instants were slept through are materialised from the
+// still-clean source, exactly what a polling tick would have read at those
+// instants. Without a probe the recorder polls every frame, as before.
 type Recorder struct {
 	eng    *sim.Engine
 	video  *Video
 	source func() *Frame
+	dirty  func() bool // nil → poll every frame
+	start  sim.Time
 	frame  int
+	asleep bool
 	stop   bool
+	tickFn func()
 }
 
 // NewRecorder creates a recorder capturing from source into a fresh Video.
 func NewRecorder(eng *sim.Engine, fps int, source func() *Frame) *Recorder {
-	return &Recorder{eng: eng, video: New(fps), source: source}
+	r := &Recorder{eng: eng, video: New(fps), source: source}
+	r.tickFn = r.tick
+	return r
 }
+
+// BindDirty attaches the probe that reports whether the source has changed
+// since it was last rendered. Call before Start; the owner must call Wake on
+// every clean→dirty transition of the probe, before mutating the content.
+func (r *Recorder) BindDirty(dirty func() bool) { r.dirty = dirty }
 
 // Video returns the recording (valid at any point; grows as capture runs).
 func (r *Recorder) Video() *Video { return r.video }
 
+// instant returns the capture time of frame i.
+func (r *Recorder) instant(i int) sim.Time {
+	return r.start.Add(sim.Duration(int64(i) * 1_000_000 / int64(r.video.fps)))
+}
+
 // Start schedules capture ticks beginning at time zero-offset from now.
 // Frame i is captured at i/fps seconds from the start call.
 func (r *Recorder) Start() {
-	start := r.eng.Now()
-	var tick func(e *sim.Engine)
-	tick = func(e *sim.Engine) {
-		if r.stop {
-			return
-		}
-		r.video.Append(r.source())
-		r.frame++
-		next := start.Add(sim.Duration(int64(r.frame) * 1_000_000 / int64(r.video.fps)))
-		e.At(next, tick)
-	}
-	r.eng.At(start, tick)
+	r.start = r.eng.Now()
+	r.eng.AtFunc(r.start, r.tickFn)
 }
 
-// Stop halts capture after the current frame.
-func (r *Recorder) Stop() { r.stop = true }
+func (r *Recorder) tick() {
+	if r.stop {
+		return
+	}
+	clean := r.dirty != nil && !r.dirty()
+	r.video.Append(r.source())
+	r.frame++
+	if clean {
+		// Nothing changed since the previous render: every upcoming frame is
+		// identical until the source dirties, which Wake reports. Let the
+		// tick chain die instead of burning an event per frame.
+		r.asleep = true
+		return
+	}
+	r.eng.AtFunc(r.instant(r.frame), r.tickFn)
+}
+
+// Wake resumes capture after a clean→dirty transition at the current virtual
+// time. The caller invokes it before the content changes, so the slept-over
+// capture instants — including one landing exactly now, whose polling tick
+// would have fired ahead of the mutating event — append the old content.
+func (r *Recorder) Wake() {
+	if r.stop || !r.asleep {
+		return
+	}
+	r.asleep = false
+	now := r.eng.Now()
+	for r.instant(r.frame) <= now {
+		r.video.Append(r.source())
+		r.frame++
+	}
+	r.eng.AtFunc(r.instant(r.frame), r.tickFn)
+}
+
+// Stop halts capture after the current frame. A sleeping recorder first
+// materialises the frames up to the current instant from the unchanged
+// source, so the video is exactly as long as a polled capture's.
+func (r *Recorder) Stop() {
+	if r.asleep {
+		now := r.eng.Now()
+		for r.instant(r.frame) <= now {
+			r.video.Append(r.source())
+			r.frame++
+		}
+		r.asleep = false
+	}
+	r.stop = true
+}

@@ -75,6 +75,146 @@ func TestDiffCountExactEquivalence(t *testing.T) {
 	}
 }
 
+// scalarDiffMasked is the per-pixel reference for the masked comparisons.
+func scalarDiffMasked(a, b []uint8, skip []bool, tol uint8) int {
+	n := 0
+	t := int(tol)
+	for i := range a {
+		if skip != nil && skip[i] {
+			continue
+		}
+		d := int(a[i]) - int(b[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > t {
+			n++
+		}
+	}
+	return n
+}
+
+// TestDiffCountMaskedEquivalence drives the masked word-run fast path
+// against the scalar reference across sizes, alignments and mask shapes:
+// empty masks, fully-masked buffers, word-internal mask edges, masks ending
+// mid-word and in the scalar tail.
+func TestDiffCountMaskedEquivalence(t *testing.T) {
+	rng := uint64(0x51ed2701)
+	next := func() uint64 {
+		rng ^= rng >> 12
+		rng ^= rng << 25
+		rng ^= rng >> 27
+		return rng * 0x2545f4914f6cdd1d
+	}
+	var cmp Comparer
+	for _, size := range []int{1, 7, 8, 9, 15, 16, 17, 63, 64, 257, screen.FBW * screen.FBH} {
+		for trial := 0; trial < 24; trial++ {
+			a := make([]uint8, size)
+			b := make([]uint8, size)
+			skip := make([]bool, size)
+			for i := range a {
+				a[i] = uint8(next())
+			}
+			copy(b, a)
+			for f := 0; f < trial*size/16; f++ {
+				i := int(next() % uint64(size))
+				switch f % 3 {
+				case 0:
+					b[i] ^= uint8(next()) | 1
+				case 1:
+					b[i] = 0x80
+				default:
+					b[i] = 0
+				}
+			}
+			switch trial % 4 {
+			case 0: // empty mask
+			case 1: // full mask
+				for i := range skip {
+					skip[i] = true
+				}
+			case 2: // stripes crossing word boundaries
+				w := 1 + int(next()%11)
+				for i := range skip {
+					skip[i] = (i/w)%2 == 0
+				}
+			default: // random runs, including tail coverage
+				for r := 0; r < 4; r++ {
+					s := int(next() % uint64(size))
+					e := s + 1 + int(next()%9)
+					for i := s; i < e && i < size; i++ {
+						skip[i] = true
+					}
+				}
+			}
+			m := &Mask{skip: skip}
+			want := scalarDiffMasked(a, b, skip, 0)
+			if got := diffCountMaskedExact(a, b, m); got != want {
+				t.Fatalf("size %d trial %d: diffCountMaskedExact = %d, scalar = %d", size, trial, got, want)
+			}
+			// Similar must agree with a count-then-compare verdict at
+			// budgets around the true count, masked and unmasked, tol 0 and 3.
+			// The hinted comparer carries its hint across trials and must
+			// still agree everywhere.
+			for _, tol := range []uint8{0, 3} {
+				wantN := scalarDiffMasked(a, b, skip, tol)
+				for _, lim := range []int{0, wantN - 1, wantN, wantN + 1, size} {
+					if lim < 0 {
+						continue
+					}
+					if got := diffExceeds(a, b, m, tol, lim); got != (wantN > lim) {
+						t.Fatalf("size %d trial %d tol %d limit %d: diffExceeds = %v, count %d",
+							size, trial, tol, lim, got, wantN)
+					}
+					if got := cmp.maskedExceeds(a, b, m, lim); tol == 0 && got != (wantN > lim) {
+						t.Fatalf("size %d trial %d limit %d: hinted maskedExceeds = %v, count %d",
+							size, trial, lim, got, wantN)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDiffCountMaskedRects checks the public API end to end with real rect
+// masks at frame size, including rects clipped by the screen edges.
+func TestDiffCountMaskedRects(t *testing.T) {
+	rng := uint64(0xfeedface)
+	next := func() uint64 {
+		rng ^= rng >> 12
+		rng ^= rng << 25
+		rng ^= rng >> 27
+		return rng * 0x2545f4914f6cdd1d
+	}
+	pixA := make([]uint8, screen.FBW*screen.FBH)
+	pixB := make([]uint8, screen.FBW*screen.FBH)
+	for i := range pixA {
+		pixA[i] = uint8(next())
+		pixB[i] = uint8(next())
+	}
+	a, b := NewFrame(pixA), NewFrame(pixB)
+	masks := []*Mask{
+		NewMask(),
+		NewMask(screen.ClockRect),
+		NewMask(screen.ClockRect, screen.NavBarRect),
+		NewMask(screen.Rect{X: -10, Y: -10, W: 30, H: 30}),
+		NewMask(screen.Rect{X: 3, Y: 5, W: 1, H: 1}),
+		NewMask(screen.Rect{X: 0, Y: 0, W: screen.LogicalW, H: screen.LogicalH}),
+	}
+	for mi, m := range masks {
+		want := scalarDiffMasked(pixA, pixB, m.skip, 0)
+		if got := DiffCount(a, b, m, 0); got != want {
+			t.Fatalf("mask %d: DiffCount = %d, scalar = %d", mi, got, want)
+		}
+		if got, want := Similar(a, b, m, 0, want), true; got != want {
+			t.Fatalf("mask %d: Similar at exact budget = %v", mi, got)
+		}
+		if want > 0 && Similar(a, b, m, 0, want-1) {
+			t.Fatalf("mask %d: Similar under budget accepted", mi)
+		}
+	}
+}
+
 func TestFrameEquality(t *testing.T) {
 	a, b, c := solidFrame(10), solidFrame(10), solidFrame(11)
 	if !Equal(a, b) {

@@ -243,39 +243,8 @@ func Replay(w *Workload, rec *Recording, gov governor.Governor, configName strin
 
 // ReplayMulti re-executes a recording with one governor per cluster of the
 // workload profile's SoC spec — the per-cluster governor assignment of a
-// big.LITTLE configuration.
+// big.LITTLE configuration. It is a one-shot ReplaySession: the cold path
+// and the forked path are the same code, so the golden traces pin both.
 func ReplayMulti(w *Workload, rec *Recording, govs []governor.Governor, configName string, seed uint64, capture bool) *RunArtifacts {
-	eng := sim.NewEngine()
-	dev := device.NewMulti(eng, seed, govs, w.Profile)
-	dev.ReserveTraces(rec.RunWindow())
-	agent := record.NewAgent()
-	agent.Replay(dev, rec.Events, sim.NewRand(seed^0x5eed))
-
-	var vrec *video.Recorder
-	if capture {
-		vrec = video.NewRecorder(eng, video.FPS, dev.Frame)
-		vrec.Start()
-	}
-	window := rec.RunWindow()
-	eng.RunUntil(sim.Time(window))
-	dev.SnapshotIdle()
-
-	art := &RunArtifacts{
-		Workload:      rec.Workload,
-		Config:        configName,
-		Truths:        dev.GroundTruths(),
-		FreqTrace:     dev.FreqTrace,
-		BusyCurve:     dev.BusyCurve,
-		BusyByOPP:     dev.Core.BusyByOPP(),
-		Clusters:      dev.ClusterTraces,
-		BusyByCluster: dev.SoC.BusyByCluster(),
-		Migrations:    dev.SoC.Migrations(),
-		Duration:      rec.Duration,
-		Window:        window,
-	}
-	if vrec != nil {
-		vrec.Stop()
-		art.Video = vrec.Video()
-	}
-	return art
+	return NewReplaySession(w, rec).Replay(govs, configName, seed, capture)
 }

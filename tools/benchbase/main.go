@@ -9,7 +9,7 @@
 //
 //	benchbase [-o BENCH_results.json] [-label "PR N short description"]
 //	benchbase -compare [-against BENCH_results.json] [-threshold 0.15] \
-//	          [-benches ReplayThroughput,EvaluationMatrix]
+//	          [-benches ReplayThroughput,EvaluationMatrix] [-reps 3]
 //
 // In record mode the tool appends one labelled entry to the file's history
 // (creating the file if needed), keeping earlier entries untouched — compare
@@ -18,10 +18,13 @@
 // seconds per wall second.
 //
 // In -compare mode (the CI bench-regression gate) the tool re-runs the named
-// benchmarks and fails (exit 1) if any regresses more than the threshold
-// against the most recent committed entry that measured it: ns/op and
-// allocs/op may each grow at most threshold×. Allocation counts are
-// deterministic; wall time on shared runners is noisy, which is why the
+// benchmarks -reps times each (default 3), takes the per-metric median, and
+// fails (exit 1) if any metric regresses more than the threshold against the
+// most recent committed entry that measured it: ns/op and allocs/op may each
+// grow at most threshold×, and sim-s/wall-s — gated separately because
+// throughput regressions can hide behind alloc-neutral changes — may shrink
+// at most threshold×. Allocation counts are deterministic; wall time on
+// shared runners is noisy, which is why the comparison uses medians, the
 // default threshold is a generous 15% and the gate covers only the two
 // benches whose regressions have bitten before.
 package main
@@ -32,6 +35,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 
@@ -89,9 +93,10 @@ func main() {
 	against := flag.String("against", "BENCH_results.json", "baseline file for -compare")
 	threshold := flag.Float64("threshold", 0.15, "allowed fractional regression per metric in -compare (0.15 = 15%)")
 	benches := flag.String("benches", "ReplayThroughput,EvaluationMatrix", "comma-separated benchmarks to run in -compare")
+	reps := flag.Int("reps", 3, "runs per benchmark in -compare; the per-metric median is compared")
 	flag.Parse()
 	if *compareMode {
-		os.Exit(runCompare(*against, *benches, *threshold))
+		os.Exit(runCompare(*against, *benches, *threshold, *reps))
 	}
 	if *label == "" {
 		fmt.Fprintln(os.Stderr, "benchbase: -label is required (e.g. -label \"PR 5 idle states\")")
@@ -127,10 +132,54 @@ func measure(b bench) Metrics {
 	return m
 }
 
+// measureMedian runs one benchmark reps times and reports the per-metric
+// median. Medians are taken metric-by-metric (the median-ns/op run need not
+// be the median-throughput run): each metric's gate should see that metric's
+// central value, not whichever metrics happened to share a run with it.
+func measureMedian(b bench, reps int) Metrics {
+	if reps < 1 {
+		reps = 1
+	}
+	runs := make([]Metrics, reps)
+	for i := range runs {
+		runs[i] = measure(b)
+	}
+	med := Metrics{
+		NsPerOp:      medianInt64(runs, func(m Metrics) int64 { return m.NsPerOp }),
+		AllocsPerOp:  medianInt64(runs, func(m Metrics) int64 { return m.AllocsPerOp }),
+		BytesPerOp:   medianInt64(runs, func(m Metrics) int64 { return m.BytesPerOp }),
+		SimSPerWallS: medianFloat64(runs, func(m Metrics) float64 { return m.SimSPerWallS }),
+		Iterations:   runs[0].Iterations,
+	}
+	if reps > 1 {
+		fmt.Fprintf(os.Stderr, "benchbase: %s median of %d: %d ns/op, %d allocs/op, %.0f sim-s/wall-s\n",
+			b.name, reps, med.NsPerOp, med.AllocsPerOp, med.SimSPerWallS)
+	}
+	return med
+}
+
+func medianInt64(runs []Metrics, get func(Metrics) int64) int64 {
+	vs := make([]int64, len(runs))
+	for i, m := range runs {
+		vs[i] = get(m)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs[len(vs)/2]
+}
+
+func medianFloat64(runs []Metrics, get func(Metrics) float64) float64 {
+	vs := make([]float64, len(runs))
+	for i, m := range runs {
+		vs[i] = get(m)
+	}
+	sort.Float64s(vs)
+	return vs[len(vs)/2]
+}
+
 // runCompare is the bench-regression gate: re-measure the selected
-// benchmarks and compare each against the most recent baseline entry that
-// recorded it. Returns the process exit code.
-func runCompare(path, names string, threshold float64) int {
+// benchmarks (median of reps runs each) and compare each against the most
+// recent baseline entry that recorded it. Returns the process exit code.
+func runCompare(path, names string, threshold float64, reps int) int {
 	f := &File{}
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -163,7 +212,7 @@ func runCompare(path, names string, threshold float64) int {
 			fmt.Fprintf(os.Stderr, "benchbase: %s: no baseline in %s, skipping\n", want, path)
 			continue
 		}
-		cur := measure(*b)
+		cur := measureMedian(*b, reps)
 		regs := regressions(want, base, cur, threshold)
 		for _, r := range regs {
 			fmt.Fprintf(os.Stderr, "benchbase: REGRESSION vs %q: %s\n", label, r)
@@ -190,11 +239,16 @@ func latestBaseline(f *File, name string) (Metrics, string, bool) {
 }
 
 // regressions compares one benchmark's current metrics against its baseline
-// and describes every metric that grew beyond the threshold. ns/op and
-// allocs/op gate; B/op and sim-s/wall-s are derived views of the same two
-// and would only double-report. A zero baseline admits no growth at all —
-// the repo's allocation work drives benches to 0 allocs/op, and a threshold
-// scaled from zero would otherwise disable that gate permanently.
+// and describes every metric that moved beyond the threshold in the bad
+// direction: ns/op and allocs/op may grow at most threshold×, and
+// sim-s/wall-s — the replay benches' end-to-end throughput, which an
+// alloc-neutral ns/op-noisy change can erode unnoticed — may shrink at most
+// threshold×. B/op is a derived view of allocs/op and would only
+// double-report. A zero allocs/op baseline admits no growth at all — the
+// repo's allocation work drives benches to 0 allocs/op, and a threshold
+// scaled from zero would otherwise disable that gate permanently. Benches
+// that do not report throughput (sim-s/wall-s 0, e.g. EvaluationMatrix)
+// skip the throughput gate.
 func regressions(name string, base, cur Metrics, threshold float64) []string {
 	var out []string
 	check := func(metric string, baseV, curV int64) {
@@ -216,6 +270,14 @@ func regressions(name string, base, cur Metrics, threshold float64) []string {
 	}
 	check("ns/op", base.NsPerOp, cur.NsPerOp)
 	check("allocs/op", base.AllocsPerOp, cur.AllocsPerOp)
+	if base.SimSPerWallS > 0 && cur.SimSPerWallS >= 0 {
+		floor := base.SimSPerWallS * (1 - threshold)
+		if cur.SimSPerWallS < floor {
+			out = append(out, fmt.Sprintf("%s sim-s/wall-s: %.0f < %.0f allowed (baseline %.0f, %.0f%%)",
+				name, cur.SimSPerWallS, floor, base.SimSPerWallS,
+				100*(cur.SimSPerWallS/base.SimSPerWallS-1)))
+		}
+	}
 	return out
 }
 
