@@ -1,0 +1,68 @@
+// Command qoed is the characterisation server: a long-running service that
+// owns warmed replay sessions behind bounded worker pools and executes
+// sweep jobs submitted over HTTP/JSON.
+//
+// API (see docs/serving.md for the full reference):
+//
+//	POST   /jobs              submit a job (429 once the queue is full)
+//	GET    /jobs/{id}         job status
+//	GET    /jobs/{id}/results stream per-run results as NDJSON
+//	DELETE /jobs/{id}         cancel
+//	GET    /healthz           liveness
+//	GET    /statsz            queue depth, in-flight runs, warm sessions,
+//	                          per-spec fork counts, job counters
+//
+// Usage:
+//
+//	qoed [-addr 127.0.0.1:8090] [-executors 2] [-workers N] [-queue 8]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8090", "listen address")
+	executors := flag.Int("executors", 2, "concurrent jobs, each on its own warm replay pool")
+	workers := flag.Int("workers", 0, "replay workers per executor pool (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 8, "queued-job limit; submissions beyond it get 429")
+	flag.Parse()
+
+	srv := serve.New(serve.Options{
+		Executors:  *executors,
+		Workers:    *workers,
+		QueueDepth: *queue,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "qoed: serving on http://%s (%d executors x %d workers, queue %d)\n",
+		*addr, *executors, *workers, *queue)
+
+	select {
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "qoed: %v, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+		srv.Close()
+	case err := <-errCh:
+		srv.Close()
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "qoed: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Command qoeload is the load harness for qoed: N concurrent clients submit
+// the same sweep job against a time budget, each streaming its job's results
+// to completion before submitting the next, and the run is summarised as
+// throughput (jobs/min), job latency percentiles (p50/p95/p99) and error
+// counts. The server's 429 backpressure responses are absorbed as retries
+// and reported separately.
+//
+// Usage:
+//
+//	qoeload [-url http://127.0.0.1:8090] [-clients 4] [-budget 30s] \
+//	        [-workload quickstart] [-soc dragonboard] [-idle] \
+//	        [-configs "0.96 GHz,2.15 GHz,ondemand"] [-reps 1] [-seed 1]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8090", "qoed base URL")
+	clients := flag.Int("clients", 4, "concurrent clients")
+	budget := flag.Duration("budget", 30*time.Second, "submission time budget")
+	workloadName := flag.String("workload", "quickstart", "workload to sweep")
+	socName := flag.String("soc", "dragonboard", "SoC spec: dragonboard or biglittle")
+	idle := flag.Bool("idle", false, "install the default C-state ladder")
+	configs := flag.String("configs", "", "comma-separated config subset (empty = full matrix)")
+	reps := flag.Int("reps", 1, "repetitions per configuration")
+	seed := flag.Uint64("seed", 1, "sweep master seed")
+	flag.Parse()
+
+	job := serve.JobSpec{
+		Workload: *workloadName,
+		SoC:      *socName,
+		Idle:     *idle,
+		Reps:     *reps,
+		Seed:     *seed,
+	}
+	if *configs != "" {
+		for _, c := range strings.Split(*configs, ",") {
+			if c = strings.TrimSpace(c); c != "" {
+				job.Configs = append(job.Configs, c)
+			}
+		}
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	rep, err := serve.RunHarness(ctx, serve.HarnessOptions{
+		BaseURL: *url,
+		Clients: *clients,
+		Budget:  *budget,
+		Job:     job,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qoeload: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(rep)
+	if rep.Errors > 0 {
+		os.Exit(1)
+	}
+}

@@ -317,7 +317,16 @@ func (d *Device) Seal(seed uint64, govs []governor.Governor) {
 	}
 	ts := d.prof.TraceScratch
 	d.prof.TraceScratch = nil
-	d.ClusterTraces = d.ClusterTraces[:0]
+	if ts != nil {
+		// Recycled traces: the caller surrendered last run's artefacts, so
+		// their slice header is reusable storage too (alloc-free fork loop).
+		d.ClusterTraces = ts[:0]
+	} else {
+		// No scratch means the previous run's artefacts may still be alive,
+		// and RunArtifacts.Clusters aliases this very slice — truncating it
+		// in place would swap the new run's traces under the retained one.
+		d.ClusterTraces = make([]*trace.ClusterTraces, 0, len(spec.Clusters))
+	}
 	for i, cl := range d.SoC.Clusters() {
 		var ct *trace.ClusterTraces
 		if i < len(ts) && ts[i] != nil {

@@ -14,6 +14,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -165,19 +166,55 @@ type DatasetResult struct {
 // Options configures a dataset or matrix sweep.
 type Options struct {
 	Reps    int     // repetitions per configuration (paper: 5)
-	Workers int     // parallel replays (0 → GOMAXPROCS)
+	Workers int     // parallel replays (0 → GOMAXPROCS; ignored when Pool is set)
 	Factor  float64 // threshold slack over the fastest run (paper: 1.10)
 	Seed    uint64  // master seed; every job derives its own from it
 	// Progress, when set, receives per-phase progress messages. It is
 	// called from the sweep's own goroutine only, never from workers.
 	Progress func(msg string)
+	// Pool, when set, executes the sweep's replays on a caller-owned
+	// long-lived worker pool instead of a transient one, so warmed replay
+	// sessions carry over between sweeps. The pool runs one sweep at a
+	// time; its width overrides Workers.
+	Pool *Pool
+	// Context, when set, cancels the sweep between replays: in-flight
+	// replays finish, no further ones start, and the sweep returns the
+	// context's error. The pool and its warm sessions stay reusable.
+	Context context.Context
+	// Configs, when non-empty, restricts a matrix sweep to the named
+	// subset of MatrixConfigs (unknown names are an error). On
+	// single-cluster specs the selection must retain at least one fixed
+	// frequency, which doubles as the oracle's candidate set and the
+	// threshold reference.
+	Configs []string
+	// OnRun, when set, is invoked once per completed replay with the
+	// sweep-relative progress — the streaming hook the serve layer turns
+	// into NDJSON. It is called from worker goroutines concurrently; the
+	// callback must be safe for concurrent use.
+	OnRun func(RunUpdate)
+}
+
+// RunUpdate describes one completed replay of a sweep, delivered through
+// Options.OnRun as workers finish. Index/Total are positions in the sweep's
+// deterministic job order, not completion order.
+type RunUpdate struct {
+	// Kind is "config" for matrix runs and "candidate" for the oracle's
+	// placement-pinned runs (Run is nil for candidates).
+	Kind   string
+	Config string // config name, or "<cluster>@<OPP label>" for candidates
+	Rep    int
+	Index  int
+	Total  int
+	Run    *Run
 }
 
 func (o Options) withDefaults() Options {
 	if o.Reps <= 0 {
 		o.Reps = 5
 	}
-	if o.Workers <= 0 {
+	if o.Pool != nil {
+		o.Workers = o.Pool.Workers()
+	} else if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	if o.Factor <= 0 {
@@ -186,12 +223,32 @@ func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.Context == nil {
+		o.Context = context.Background()
+	}
 	return o
 }
 
 func (o Options) progress(format string, args ...any) {
 	if o.Progress != nil {
 		o.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// runJobs fans the sweep's replay jobs over the configured pool (the
+// caller's long-lived one, or a transient pool of Workers width).
+func (o Options) runJobs(n int, fn func(ji int, scratch *replayScratch)) error {
+	pool := o.Pool
+	if pool == nil {
+		pool = NewPool(o.Workers)
+	}
+	return pool.run(o.Context, n, fn)
+}
+
+// emit delivers a completed-replay update to the OnRun hook, if any.
+func (o Options) emit(u RunUpdate) {
+	if o.OnRun != nil {
+		o.OnRun(u)
 	}
 }
 
@@ -251,11 +308,17 @@ func RunDataset(w *workload.Workload, model *power.Model, opts Options) (*Datase
 
 	runs := make([]*Run, len(jobs))
 	errs := make([]error, len(jobs))
-	forEachJob(opts.Workers, len(jobs), func(ji int, scratch *replayScratch) {
+	poolErr := opts.runJobs(len(jobs), func(ji int, scratch *replayScratch) {
 		j := jobs[ji]
 		seed := opts.Seed ^ (uint64(ji+1) * 0x9e3779b9)
 		runs[ji], errs[ji] = executeRun(w, rec, db, res.Gestures, model, socModel, j.cfg, j.rep, seed, scratch)
+		if errs[ji] == nil {
+			opts.emit(RunUpdate{Kind: "config", Config: j.cfg.Name, Rep: j.rep, Index: ji, Total: len(jobs), Run: runs[ji]})
+		}
 	})
+	if poolErr != nil {
+		return nil, fmt.Errorf("experiment: %s: %w", w.Name, poolErr)
+	}
 	for ji, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("experiment: %s %s rep %d: %w", w.Name, jobs[ji].cfg.Name, jobs[ji].rep, err)
@@ -276,7 +339,7 @@ func executeRun(w *workload.Workload, rec *workload.Recording, db *annotate.DB,
 	gestures []evdev.Gesture, model *power.Model, socModel *power.SoCModel,
 	cfg Config, rep int, seed uint64, scratch *replayScratch) (*Run, error) {
 	w = scratch.pooledWorkload(w)
-	art := scratch.session(w, rec).Replay(cfg.Governors(w.Profile), cfg.Name, seed, true)
+	art := scratch.session(w).ReplayRecording(rec, cfg.Governors(w.Profile), cfg.Name, seed, true)
 	profile, err := match.Match(art.Video, db, gestures, cfg.Name, match.Options{Strict: true})
 	if err != nil {
 		return nil, err

@@ -83,6 +83,50 @@ func MatrixConfigs(spec soc.Spec) []Config {
 	return out
 }
 
+// ValidateSelection checks a config-matrix selection against a spec without
+// running anything: every name must exist in MatrixConfigs(spec), and on
+// single-cluster specs the selection must keep at least one fixed frequency.
+// An empty selection (= full matrix) is always valid.
+func ValidateSelection(spec soc.Spec, names []string) error {
+	if len(names) == 0 {
+		return nil
+	}
+	_, err := selectConfigs(MatrixConfigs(spec), names, len(spec.Clusters) == 1)
+	return err
+}
+
+// selectConfigs restricts a matrix to the named subset, preserving matrix
+// order (so the same selection always yields the same sweep regardless of
+// the order names were given in). Unknown names are an error; on
+// single-cluster specs the selection must retain at least one fixed
+// frequency, which the oracle needs as candidate set and threshold
+// reference.
+func selectConfigs(all []Config, names []string, singleCluster bool) ([]Config, error) {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	var out []Config
+	fixed := false
+	for _, cfg := range all {
+		if !want[cfg.Name] {
+			continue
+		}
+		delete(want, cfg.Name)
+		out = append(out, cfg)
+		if cfg.OPPIndex >= 0 {
+			fixed = true
+		}
+	}
+	for n := range want {
+		return nil, fmt.Errorf("unknown config %q in selection", n)
+	}
+	if singleCluster && !fixed {
+		return nil, fmt.Errorf("config selection needs at least one fixed frequency on a single-cluster spec (oracle candidates)")
+	}
+	return out, nil
+}
+
 // MatrixResult holds the spec-aware characterisation sweep of one workload:
 // the config-matrix runs, the placement-pinned candidate runs behind the
 // cluster-aware oracle, the shared thresholds, and one oracle per
@@ -144,7 +188,17 @@ func RunMatrix(w *workload.Workload, spec soc.Spec, opts Options) (*MatrixResult
 		Configs:  MatrixConfigs(spec),
 		Runs:     make(map[string][]*Run),
 	}
+	if len(opts.Configs) > 0 {
+		sel, err := selectConfigs(res.Configs, opts.Configs, len(spec.Clusters) == 1)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %w", err)
+		}
+		res.Configs = sel
+	}
 
+	if err := opts.Context.Err(); err != nil {
+		return nil, fmt.Errorf("experiment: %s: %w", w.Name, err)
+	}
 	opts.progress("[%s] recording workload on %s", w.Name, spec.Name)
 	rec, _, err := w.Record(opts.Seed)
 	if err != nil {
@@ -195,15 +249,26 @@ func RunMatrix(w *workload.Workload, spec soc.Spec, opts Options) (*MatrixResult
 	runs := make([]*Run, len(jobs))
 	cands := make([]oracle.ClusterFixedRun, len(jobs))
 	errs := make([]error, len(jobs))
-	forEachJob(opts.Workers, len(jobs), func(ji int, scratch *replayScratch) {
+	poolErr := opts.runJobs(len(jobs), func(ji int, scratch *replayScratch) {
 		j := jobs[ji]
 		seed := opts.Seed ^ (uint64(ji+1) * 0x9e3779b9)
 		if !j.candidate {
 			runs[ji], errs[ji] = executeRun(w, rec, db, res.Gestures, nil, socModel, j.cfg, j.rep, seed, scratch)
+			if errs[ji] == nil {
+				opts.emit(RunUpdate{Kind: "config", Config: j.cfg.Name, Rep: j.rep, Index: ji, Total: len(jobs), Run: runs[ji]})
+			}
 			return
 		}
 		cands[ji], errs[ji] = executeCandidateRun(w, rec, db, res.Gestures, spec, j.cluster, j.opp, seed, scratch)
+		if errs[ji] == nil {
+			cs := spec.Clusters[j.cluster]
+			opts.emit(RunUpdate{Kind: "candidate", Config: cs.Name + "@" + cs.Table[j.opp].Label(),
+				Rep: j.rep, Index: ji, Total: len(jobs)})
+		}
 	})
+	if poolErr != nil {
+		return nil, fmt.Errorf("experiment: %s: %w", w.Name, poolErr)
+	}
 	for ji, err := range errs {
 		if err != nil {
 			j := jobs[ji]
@@ -239,15 +304,20 @@ func RunMatrix(w *workload.Workload, spec soc.Spec, opts Options) (*MatrixResult
 			})
 		}
 	} else {
-		tbl := spec.Clusters[0].Table
+		// Single-cluster candidates are the fixed matrix runs themselves.
+		// Under a config selection only the selected fixed frequencies
+		// exist; selectConfigs guarantees there is at least one.
 		for rep := 0; rep < opts.Reps; rep++ {
-			for oi := range tbl {
-				rs := res.Runs[tbl[oi].Label()]
+			for _, cfg := range res.Configs {
+				if cfg.OPPIndex < 0 {
+					continue
+				}
+				rs := res.Runs[cfg.Name]
 				if rep >= len(rs) {
-					return nil, fmt.Errorf("experiment: missing rep %d for %s", rep, tbl[oi].Label())
+					return nil, fmt.Errorf("experiment: missing rep %d for %s", rep, cfg.Name)
 				}
 				res.Candidates[rep] = append(res.Candidates[rep], oracle.ClusterFixedRun{
-					Cluster: 0, OPPIndex: oi,
+					Cluster: 0, OPPIndex: cfg.OPPIndex,
 					Profile: rs[rep].Profile, BusyCurve: rs[rep].BusyCurve,
 				})
 			}
@@ -276,13 +346,13 @@ func executeCandidateRun(w *workload.Workload, rec *workload.Recording, db *anno
 	wc.Profile.SoC = soc.Spec{Name: spec.Name + "-" + cs.Name + "-only", Clusters: []soc.ClusterSpec{cs}}
 	wc.Profile.FramePool = scratch.frames
 	name := cs.Name + "@" + cs.Table[opp].Label()
-	sess := scratch.session(&wc, rec)
+	sess := scratch.session(&wc)
 	// Candidate runs retain only the profile and the aggregate busy curve,
 	// so the per-cluster trace series recycle from one candidate replay into
 	// the worker's next one (the next Seal consumes the scratch).
 	sess.Dev.SetTraceScratch(scratch.takeTraces())
 	govs := []governor.Governor{governor.NewFixed(cs.Table, opp)}
-	art := sess.Replay(govs, name, seed, true)
+	art := sess.ReplayRecording(rec, govs, name, seed, true)
 	profile, err := match.Match(art.Video, db, gestures, name, match.Options{Strict: true})
 	if err != nil {
 		return oracle.ClusterFixedRun{}, err

@@ -1,0 +1,106 @@
+package experiment
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded replay worker pool whose per-worker scratch state —
+// frame pools, trace recycling slots, and above all the warmed
+// workload.ReplaySessions — persists across sweeps. A transient pool is
+// created under the hood by every Run* entry point; a long-lived Pool passed
+// in through Options.Pool is what turns the sweeps into a service: the first
+// job on a pool pays device boot once per worker, every later job on any
+// workload/spec combination forks off the warm checkpoints.
+//
+// Concurrency: a Pool executes one sweep at a time (concurrent sweeps on the
+// same pool serialise on an internal mutex — give independent job executors
+// independent pools). The stats accessors are safe to call at any time,
+// including while a sweep is executing.
+type Pool struct {
+	workers   int
+	batchMu   sync.Mutex // serialises sweeps; scratch state is per-worker
+	scratches []*replayScratch
+	inFlight  atomic.Int64 // runs currently executing across the pool
+}
+
+// NewPool builds a pool of the given width (0 or negative → GOMAXPROCS).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers, scratches: make([]*replayScratch, workers)}
+	for i := range p.scratches {
+		p.scratches[i] = newReplayScratch()
+	}
+	return p
+}
+
+// Workers returns the pool width.
+func (p *Pool) Workers() int { return p.workers }
+
+// InFlightRuns returns the number of replay jobs executing right now.
+func (p *Pool) InFlightRuns() int { return int(p.inFlight.Load()) }
+
+// WarmSessions returns the total number of warmed replay sessions across the
+// pool's workers.
+func (p *Pool) WarmSessions() int {
+	n := 0
+	for _, s := range p.scratches {
+		n += s.sessions.Warm()
+	}
+	return n
+}
+
+// Forks returns the pool-wide fork counts per session key
+// ("workload|spec[+idle]"), merged across workers.
+func (p *Pool) Forks() map[string]int {
+	out := make(map[string]int)
+	for _, s := range p.scratches {
+		for k, v := range s.sessions.Forks() {
+			out[k] += v
+		}
+	}
+	return out
+}
+
+// run executes jobs [0, n) across the pool's workers, handing each worker
+// its persistent scratch. Jobs are claimed off a shared atomic cursor, so
+// assignment of job to worker varies run to run — fn must derive nothing
+// from worker identity and write results only to its own index, which is
+// what keeps sweep results deterministic regardless of interleaving.
+//
+// ctx cancellation is honoured between jobs: in-flight jobs run to
+// completion (a replay is not interruptible mid-run), no further jobs are
+// claimed, and run returns ctx.Err(). The pool stays fully reusable after a
+// cancelled batch — warm sessions are untouched.
+func (p *Pool) run(ctx context.Context, n int, fn func(ji int, scratch *replayScratch)) error {
+	p.batchMu.Lock()
+	defer p.batchMu.Unlock()
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		scratch := p.scratches[w]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				ji := int(cursor.Add(1)) - 1
+				if ji >= n {
+					return
+				}
+				p.inFlight.Add(1)
+				fn(ji, scratch)
+				p.inFlight.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}

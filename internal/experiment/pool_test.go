@@ -1,0 +1,165 @@
+package experiment_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/report"
+	"repro/internal/soc"
+	"repro/internal/workload"
+)
+
+// TestMatrixOrderingDeterministicAcrossWorkers pins the result-ordering
+// contract through the pooled scheduler: whatever the worker interleaving,
+// runs land in (config, rep) order, candidates in (cluster, OPP) order, and
+// the whole summary is invariant to the pool width — one worker or eight
+// must produce bit-identical sweeps.
+func TestMatrixOrderingDeterministicAcrossWorkers(t *testing.T) {
+	sel := []string{"2.15 GHz", "interactive/ondemand"}
+	sweep := func(workers int) (*experiment.MatrixResult, string) {
+		res, err := experiment.RunMatrix(workload.Quickstart(), soc.BigLittle44(),
+			experiment.Options{Reps: 2, Seed: 3, Configs: sel, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.Marshal(report.NewMatrixSummary(res))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, string(raw)
+	}
+	res, wide := sweep(8)
+
+	for _, cfg := range res.ConfigNames() {
+		runs := res.Runs[cfg]
+		if len(runs) != 2 {
+			t.Fatalf("config %q has %d runs, want 2", cfg, len(runs))
+		}
+		for i, r := range runs {
+			if r.Rep != i {
+				t.Errorf("config %q slot %d holds rep %d; reps must land in order", cfg, i, r.Rep)
+			}
+		}
+	}
+	for rep, cands := range res.Candidates {
+		for i := 1; i < len(cands); i++ {
+			a, b := cands[i-1], cands[i]
+			if a.Cluster > b.Cluster || (a.Cluster == b.Cluster && a.OPPIndex >= b.OPPIndex) {
+				t.Errorf("rep %d candidates out of (cluster, OPP) order at %d: (%d,%d) then (%d,%d)",
+					rep, i, a.Cluster, a.OPPIndex, b.Cluster, b.OPPIndex)
+			}
+		}
+	}
+
+	if _, narrow := sweep(1); narrow != wide {
+		t.Errorf("summary depends on pool width:\n1 worker:  %s\n8 workers: %s", narrow, wide)
+	}
+}
+
+// TestPoolReuseAcrossSweepsBitIdentical runs the same sweep twice on one
+// long-lived pool: the second sweep rides entirely on warmed sessions and
+// recycled scratch, and must reproduce the first bit for bit.
+func TestPoolReuseAcrossSweepsBitIdentical(t *testing.T) {
+	pool := experiment.NewPool(2)
+	sel := []string{"0.30 GHz", "2.15 GHz", "ondemand"}
+	sweep := func() string {
+		res, err := experiment.RunMatrix(workload.Quickstart(), soc.Dragonboard(),
+			experiment.Options{Reps: 2, Seed: 11, Configs: sel, Pool: pool})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := report.MatrixRunRecords(res)
+		raw, err := json.Marshal(recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(raw)
+	}
+	first := sweep()
+	forksAfterFirst := 0
+	for _, n := range pool.Forks() {
+		forksAfterFirst += n
+	}
+	if second := sweep(); second != first {
+		t.Errorf("pool reuse perturbed the sweep:\nfirst:  %s\nsecond: %s", first, second)
+	}
+	if pool.WarmSessions() == 0 {
+		t.Error("no warm sessions on the pool after two sweeps")
+	}
+	forksAfterSecond := 0
+	for _, n := range pool.Forks() {
+		forksAfterSecond += n
+	}
+	if forksAfterSecond <= forksAfterFirst {
+		t.Errorf("second sweep recorded no forks (%d -> %d); sessions were not reused",
+			forksAfterFirst, forksAfterSecond)
+	}
+}
+
+// TestMatrixContextCancellation cancels a sweep mid-flight via OnRun and
+// verifies RunMatrix surfaces context.Canceled — and that the pool remains
+// fully usable for a subsequent complete sweep.
+func TestMatrixContextCancellation(t *testing.T) {
+	pool := experiment.NewPool(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	var seen atomic.Int64
+	_, err := experiment.RunMatrix(workload.Quickstart(), soc.Dragonboard(),
+		experiment.Options{Reps: 3, Seed: 5, Pool: pool, Context: ctx,
+			OnRun: func(experiment.RunUpdate) {
+				if seen.Add(1) == 1 {
+					cancel()
+				}
+			}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep returned %v, want context.Canceled", err)
+	}
+
+	res, err := experiment.RunMatrix(workload.Quickstart(), soc.Dragonboard(),
+		experiment.Options{Reps: 1, Seed: 5, Configs: []string{"0.96 GHz"}, Pool: pool})
+	if err != nil {
+		t.Fatalf("pool unusable after cancelled sweep: %v", err)
+	}
+	if len(res.Runs["0.96 GHz"]) != 1 {
+		t.Fatalf("follow-up sweep incomplete: %v", res.Runs)
+	}
+}
+
+// TestMatrixPreCancelledContext returns immediately without running anything.
+func TestMatrixPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	_, err := experiment.RunMatrix(workload.Quickstart(), soc.Dragonboard(),
+		experiment.Options{Reps: 1, Context: ctx,
+			OnRun: func(experiment.RunUpdate) { ran.Add(1) }})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d runs executed under a pre-cancelled context", ran.Load())
+	}
+}
+
+// TestValidateSelection pins the selection contract used by the serve layer.
+func TestValidateSelection(t *testing.T) {
+	drag, bl := soc.Dragonboard(), soc.BigLittle44()
+	if err := experiment.ValidateSelection(drag, nil); err != nil {
+		t.Errorf("empty selection: %v", err)
+	}
+	if err := experiment.ValidateSelection(drag, []string{"0.96 GHz", "ondemand"}); err != nil {
+		t.Errorf("valid selection: %v", err)
+	}
+	if err := experiment.ValidateSelection(drag, []string{"3.00 GHz"}); err == nil {
+		t.Error("unknown config accepted")
+	}
+	if err := experiment.ValidateSelection(drag, []string{"ondemand"}); err == nil {
+		t.Error("governor-only selection accepted on single-cluster spec")
+	}
+	if err := experiment.ValidateSelection(bl, []string{"interactive/ondemand"}); err != nil {
+		t.Errorf("governor-only selection on multi-cluster spec: %v", err)
+	}
+}

@@ -1,8 +1,7 @@
 package experiment
 
 import (
-	"sync"
-	"sync/atomic"
+	"context"
 
 	"repro/internal/trace"
 	"repro/internal/video"
@@ -10,37 +9,39 @@ import (
 )
 
 // replayScratch is the per-worker reusable state of a sweep. Every worker
-// goroutine owns exactly one, so nothing in it needs locking: the frame pool
-// recycles captured frame storage from one repetition into the next, which
-// is the bulk of a replay's allocations once the engine and callback paths
-// stopped allocating, and the trace slot recycles per-cluster trace series
-// across the runs that retain only a profile and a busy curve (the
-// oracle-candidate replays).
+// goroutine owns exactly one at a time, so nothing in it needs locking: the
+// frame pool recycles captured frame storage from one repetition into the
+// next, which is the bulk of a replay's allocations once the engine and
+// callback paths stopped allocating; the trace slot recycles per-cluster
+// trace series across the runs that retain only a profile and a busy curve
+// (the oracle-candidate replays); and the session registry owns the warmed
+// replay sessions, so the boot prefix is paid once per (worker, workload,
+// spec) for the scratch's whole lifetime — which, on a long-lived Pool,
+// spans every sweep the pool ever executes, not just one.
 type replayScratch struct {
 	frames   *video.FramePool
 	traces   []*trace.ClusterTraces
-	sessions map[string]*workload.ReplaySession
+	sessions *workload.SessionRegistry
 }
 
-// session returns the worker's replay session for the workload's SoC spec,
+func newReplayScratch() *replayScratch {
+	return &replayScratch{
+		frames:   video.NewFramePool(),
+		sessions: workload.NewSessionRegistry(),
+	}
+}
+
+// session returns the worker's warm replay session for the workload,
 // booting one on first use. Sessions replay the seed-independent warm prefix
 // (engine, silicon, app install, service start) exactly once per worker and
 // fork every subsequent run off the boot checkpoint — the sweep's dominant
-// fixed cost paid once instead of per run. Keying by spec name is sound
-// within one sweep: a scratch lives for one worker of one sweep, whose
-// workload and recording are fixed, and the oracle's placement-pinned
-// sub-specs carry distinct names ("<spec>-<cluster>-only").
-func (s *replayScratch) session(w *workload.Workload, rec *workload.Recording) *workload.ReplaySession {
-	key := w.Profile.SoCSpec().Name
-	sess := s.sessions[key]
-	if sess == nil {
-		if s.sessions == nil {
-			s.sessions = make(map[string]*workload.ReplaySession)
-		}
-		sess = workload.NewReplaySession(w, rec)
-		s.sessions[key] = sess
-	}
-	return sess
+// fixed cost paid once instead of per run. The registry keys by
+// workload.SessionKey (workload + spec + idle marker), so one scratch can
+// serve many sweeps over different workloads and specs without cross-talk;
+// the oracle's placement-pinned sub-specs carry distinct spec names
+// ("<spec>-<cluster>-only") and land in their own slots.
+func (s *replayScratch) session(w *workload.Workload) *workload.ReplaySession {
+	return s.sessions.Session(w)
 }
 
 // takeTraces hands out the recycled per-cluster traces for the next replay
@@ -68,35 +69,11 @@ func (s *replayScratch) pooledWorkload(w *workload.Workload) *workload.Workload 
 // must not be used afterwards.
 func (s *replayScratch) release(v *video.Video) { s.frames.Release(v) }
 
-// forEachJob runs jobs [0, n) across at most workers goroutines, handing
-// each worker a private replayScratch. fn must be safe to call concurrently
-// for distinct job indices and write results only to its own index — the
-// same contract the sweeps' pre-sized result slices already rely on for
-// deterministic ordering. Compared to the previous goroutine-per-job +
-// semaphore fan-out, fixed workers are what make per-worker reuse possible
-// at all: scratch lifetime equals worker lifetime, not job lifetime.
+// forEachJob runs jobs [0, n) across at most workers goroutines on a
+// transient pool — the one-shot form the sustained sweeps use. fn must be
+// safe to call concurrently for distinct job indices and write results only
+// to its own index — the same contract the sweeps' pre-sized result slices
+// already rely on for deterministic ordering.
 func forEachJob(workers, n int, fn func(ji int, scratch *replayScratch)) {
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			scratch := &replayScratch{frames: video.NewFramePool()}
-			for {
-				ji := int(cursor.Add(1)) - 1
-				if ji >= n {
-					return
-				}
-				fn(ji, scratch)
-			}
-		}()
-	}
-	wg.Wait()
+	NewPool(workers).run(context.Background(), n, fn)
 }

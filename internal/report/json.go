@@ -1,0 +1,161 @@
+package report
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+)
+
+// RunRecord is the JSON form of one replay's analysed outcome — the unit the
+// characterisation server streams as NDJSON while a sweep executes, and the
+// unit the end-to-end tests compare bit-for-bit against a direct RunMatrix
+// call. Everything in it is deterministic for a given (workload, spec,
+// config, rep, seed), so two marshalled records are byte-identical exactly
+// when the replays were.
+type RunRecord struct {
+	Workload string `json:"workload"`
+	Config   string `json:"config"`
+	Rep      int    `json:"rep"`
+	// EnergyJ is the run's dynamic energy; LeakEnergyJ the idle leakage
+	// (0 without C-state ladders); TotalEnergyJ their sum.
+	EnergyJ      float64 `json:"energy_j"`
+	LeakEnergyJ  float64 `json:"leak_energy_j,omitempty"`
+	TotalEnergyJ float64 `json:"total_energy_j"`
+	Migrations   int     `json:"migrations,omitempty"`
+	// Lags is the full lag profile; LagCount counts the actual
+	// (non-spurious) lags and SpuriousCount the rest.
+	Lags          []core.Lag `json:"lags"`
+	LagCount      int        `json:"lag_count"`
+	SpuriousCount int        `json:"spurious_count"`
+	// MaxLagMS and MeanLagMS summarise the actual lag durations.
+	MaxLagMS  float64 `json:"max_lag_ms"`
+	MeanLagMS float64 `json:"mean_lag_ms"`
+}
+
+// NewRunRecord builds the JSON record for one run.
+func NewRunRecord(workload string, r *experiment.Run) RunRecord {
+	rec := RunRecord{
+		Workload:      workload,
+		Config:        r.Config,
+		Rep:           r.Rep,
+		EnergyJ:       r.EnergyJ,
+		LeakEnergyJ:   r.LeakEnergyJ,
+		TotalEnergyJ:  r.TotalEnergyJ(),
+		Migrations:    r.Migrations,
+		Lags:          r.Profile.Lags,
+		SpuriousCount: r.Profile.SpuriousCount(),
+	}
+	var sum float64
+	for _, d := range r.Profile.Durations() {
+		ms := d.Milliseconds()
+		rec.LagCount++
+		sum += ms
+		if ms > rec.MaxLagMS {
+			rec.MaxLagMS = ms
+		}
+	}
+	if rec.LagCount > 0 {
+		rec.MeanLagMS = sum / float64(rec.LagCount)
+	}
+	return rec
+}
+
+// MatrixRunRecords flattens a matrix result into run records in the sweep's
+// deterministic (config, rep) order — the canonical order streaming
+// consumers sort back into.
+func MatrixRunRecords(res *experiment.MatrixResult) []RunRecord {
+	var out []RunRecord
+	for _, cfg := range res.Configs {
+		for _, r := range res.Runs[cfg.Name] {
+			out = append(out, NewRunRecord(res.Workload.Name, r))
+		}
+	}
+	return out
+}
+
+// SortRunRecords orders records by (config, rep) with configs in the given
+// matrix order (names not in the list sort last, alphabetically). Streaming
+// delivers records in completion order; sorting restores the deterministic
+// sweep order for comparison and display.
+func SortRunRecords(recs []RunRecord, configOrder []string) {
+	rank := make(map[string]int, len(configOrder))
+	for i, n := range configOrder {
+		rank[n] = i
+	}
+	sort.SliceStable(recs, func(a, b int) bool {
+		ra, oka := rank[recs[a].Config]
+		rb, okb := rank[recs[b].Config]
+		if oka != okb {
+			return oka
+		}
+		if oka && okb && ra != rb {
+			return ra < rb
+		}
+		if !oka && !okb && recs[a].Config != recs[b].Config {
+			return recs[a].Config < recs[b].Config
+		}
+		return recs[a].Rep < recs[b].Rep
+	})
+}
+
+// ConfigSummary is the JSON form of one matrix row: the per-config
+// aggregates of MatrixTable.
+type ConfigSummary struct {
+	Name        string    `json:"name"`
+	IrritationS float64   `json:"irritation_s"`
+	MeanEnergyJ float64   `json:"mean_energy_j"`
+	MeanLeakJ   float64   `json:"mean_leak_j,omitempty"`
+	MeanTotalJ  float64   `json:"mean_total_j"`
+	NormEnergy  float64   `json:"norm_energy"`
+	Migrations  float64   `json:"migrations,omitempty"`
+	BusyShares  []float64 `json:"busy_shares,omitempty"`
+}
+
+// MatrixSummary is the JSON form of a whole matrix sweep: one row per
+// configuration plus the oracle aggregates — the terminal record of a served
+// job's NDJSON stream.
+type MatrixSummary struct {
+	Workload      string          `json:"workload"`
+	Spec          string          `json:"spec"`
+	Reps          int             `json:"reps"`
+	Configs       []ConfigSummary `json:"configs"`
+	OracleEnergyJ float64         `json:"oracle_energy_j"`
+	OracleShares  []float64       `json:"oracle_shares,omitempty"`
+}
+
+// NewMatrixSummary builds the summary document for a completed sweep.
+func NewMatrixSummary(res *experiment.MatrixResult) MatrixSummary {
+	reps := 0
+	for _, rs := range res.Runs {
+		if len(rs) > reps {
+			reps = len(rs)
+		}
+	}
+	sum := MatrixSummary{
+		Workload:      res.Workload.Name,
+		Spec:          res.Spec.Name,
+		Reps:          reps,
+		OracleEnergyJ: res.OracleEnergyJ,
+	}
+	multi := len(res.Spec.Clusters) > 1
+	if multi {
+		sum.OracleShares = res.OracleClusterShares()
+	}
+	for _, cfg := range res.Configs {
+		cs := ConfigSummary{
+			Name:        cfg.Name,
+			IrritationS: res.MeanIrritation(cfg.Name).Seconds(),
+			MeanEnergyJ: res.MeanEnergyJ(cfg.Name),
+			MeanLeakJ:   res.MeanLeakEnergyJ(cfg.Name),
+			MeanTotalJ:  res.MeanTotalEnergyJ(cfg.Name),
+			NormEnergy:  res.NormEnergy(cfg.Name),
+			Migrations:  res.MeanMigrations(cfg.Name),
+		}
+		if multi {
+			cs.BusyShares = res.ClusterBusyShare(cfg.Name)
+		}
+		sum.Configs = append(sum.Configs, cs)
+	}
+	return sum
+}

@@ -1,0 +1,121 @@
+// Package serve turns the characterisation sweeps into a long-running
+// service: qoed owns warmed replay sessions behind bounded worker pools,
+// accepts sweep jobs over HTTP/JSON, streams per-run results as NDJSON while
+// they complete, and applies backpressure by refusing submissions once its
+// job queue is full. The package also ships the matching client and a
+// ReqBench-style load harness, so the whole serve path is testable
+// in-process.
+//
+// Job lifecycle: a job is submitted (POST /jobs, state "queued"), picked up
+// by an executor ("running"), and ends "done", "failed" or "cancelled".
+// Results stream on GET /jobs/{id}/results as NDJSON: one "run" record per
+// completed replay as it completes (completion order; sort by (config, rep)
+// for the deterministic sweep order), then one terminal "summary" record —
+// or an "error" record if the sweep failed or was cancelled. DELETE
+// /jobs/{id} cancels: a queued job never starts, a running one stops
+// claiming new replays and keeps its warmed sessions for the next job.
+package serve
+
+import (
+	"repro/internal/report"
+)
+
+// JobSpec is the wire form of one sweep job: which workload on which SoC,
+// which slice of the config matrix, how many repetitions, under which master
+// seed. The zero values mean: full matrix, server-default reps (1), seed 1.
+type JobSpec struct {
+	// Workload is a workload name known to workload.ByName (e.g.
+	// "quickstart", "dataset01").
+	Workload string `json:"workload"`
+	// SoC is "dragonboard" (default) or "biglittle".
+	SoC string `json:"soc,omitempty"`
+	// Idle installs the default C-state ladder on every cluster.
+	Idle bool `json:"idle,omitempty"`
+	// Configs restricts the sweep to the named subset of the config
+	// matrix (empty = full matrix). On single-cluster SoCs the subset
+	// must keep at least one fixed frequency.
+	Configs []string `json:"configs,omitempty"`
+	// Reps is the repetition count per configuration (0 → 1).
+	Reps int `json:"reps,omitempty"`
+	// Seed is the sweep's master seed (0 → 1).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Job states.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// JobStatus is the wire form of a job's lifecycle state (GET /jobs/{id} and
+// the POST /jobs response).
+type JobStatus struct {
+	ID    string  `json:"id"`
+	State string  `json:"state"`
+	Spec  JobSpec `json:"spec"`
+	// Error carries the failure reason for state "failed" (and
+	// "cancelled", where it is "job cancelled").
+	Error string `json:"error,omitempty"`
+	// Runs counts result records streamed so far; TotalRuns the sweep's
+	// total replay count (configs × reps + oracle candidates), known once
+	// the job starts.
+	Runs      int `json:"runs"`
+	TotalRuns int `json:"total_runs,omitempty"`
+	// CreatedMS/StartedMS/FinishedMS are wall-clock unix milliseconds.
+	CreatedMS  int64 `json:"created_ms"`
+	StartedMS  int64 `json:"started_ms,omitempty"`
+	FinishedMS int64 `json:"finished_ms,omitempty"`
+}
+
+// Terminal reports whether the state is final.
+func Terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCancelled
+}
+
+// ResultRecord is one NDJSON line of a job's result stream.
+type ResultRecord struct {
+	// Type is "run" (one config replay completed), "candidate" (one
+	// oracle placement-pinned replay completed; progress only, no
+	// payload), "summary" (terminal, sweep aggregates) or "error"
+	// (terminal, sweep failed or cancelled).
+	Type string `json:"type"`
+	// Run is set for "run" records.
+	Run *report.RunRecord `json:"run,omitempty"`
+	// Candidate labels a completed candidate replay ("<cluster>@<OPP>")
+	// with its repetition in Rep.
+	Candidate string `json:"candidate,omitempty"`
+	Rep       int    `json:"rep,omitempty"`
+	// Summary is set for the terminal "summary" record.
+	Summary *report.MatrixSummary `json:"summary,omitempty"`
+	// Error is set for the terminal "error" record.
+	Error string `json:"error,omitempty"`
+}
+
+// Stats is the /statsz document: queue and pool gauges plus job counters.
+type Stats struct {
+	// QueueDepth is the number of jobs waiting for an executor;
+	// QueueCapacity the backpressure limit (submissions beyond it get
+	// 429). RunningJobs counts jobs currently executing, InFlightRuns
+	// individual replays executing across all pools.
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	RunningJobs   int `json:"running_jobs"`
+	InFlightRuns  int `json:"in_flight_runs"`
+	// Executors is the number of job executors, Workers the replay pool
+	// width of each.
+	Executors int `json:"executors"`
+	Workers   int `json:"workers"`
+	// WarmSessions counts warmed replay sessions across all pools; Forks
+	// the replays served per session key ("workload|spec[+idle]").
+	WarmSessions int            `json:"warm_sessions"`
+	Forks        map[string]int `json:"forks,omitempty"`
+	// Job counters over the server's lifetime.
+	JobsSubmitted int `json:"jobs_submitted"`
+	JobsRejected  int `json:"jobs_rejected"`
+	JobsDone      int `json:"jobs_done"`
+	JobsFailed    int `json:"jobs_failed"`
+	JobsCancelled int `json:"jobs_cancelled"`
+}

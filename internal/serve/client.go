@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client talks to a qoed server. The zero HTTPClient falls back to
+// http.DefaultClient; one Client is safe for concurrent use by any number of
+// goroutines (the load harness shares one across all its clients).
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8090".
+	BaseURL string
+	// HTTPClient overrides the HTTP client (nil → http.DefaultClient).
+	HTTPClient *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.BaseURL, "/") + path
+}
+
+// apiError decodes a non-2xx response into an error carrying the status
+// code.
+type apiError struct {
+	Status  int
+	Message string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("server: %d: %s", e.Status, e.Message)
+}
+
+// IsQueueFull reports whether an error is the server's 429 backpressure
+// response.
+func IsQueueFull(err error) bool {
+	var ae *apiError
+	return AsAPIError(err, &ae) && ae.Status == http.StatusTooManyRequests
+}
+
+// AsAPIError unwraps an *apiError from err.
+func AsAPIError(err error, out **apiError) bool {
+	for err != nil {
+		if ae, ok := err.(*apiError); ok {
+			*out = ae
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+func decodeError(resp *http.Response) error {
+	var body struct {
+		Error string `json:"error"`
+	}
+	msg := resp.Status
+	if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&body) == nil && body.Error != "" {
+		msg = body.Error
+	}
+	return &apiError{Status: resp.StatusCode, Message: msg}
+}
+
+func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.url(path), body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a job and returns its accepted status. A full queue surfaces
+// as an error for which IsQueueFull reports true.
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
+	var st JobStatus
+	err := c.doJSON(ctx, http.MethodPost, "/jobs", spec, &st)
+	return st, err
+}
+
+// Status fetches a job's lifecycle status.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.doJSON(ctx, http.MethodGet, "/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Cancel requests job cancellation and returns the post-cancel status.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.doJSON(ctx, http.MethodDelete, "/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Healthz checks server liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.doJSON(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Statsz fetches the server's queue/pool gauges and job counters.
+func (c *Client) Statsz(ctx context.Context) (Stats, error) {
+	var st Stats
+	err := c.doJSON(ctx, http.MethodGet, "/statsz", nil, &st)
+	return st, err
+}
+
+// StreamResults follows a job's NDJSON result stream, invoking fn for every
+// record until the stream ends (job terminal), fn returns an error, or ctx
+// is cancelled. It returns nil on a completed stream.
+func (c *Client) StreamResults(ctx context.Context, id string, fn func(ResultRecord) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/jobs/"+id+"/results"), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec ResultRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("bad result line: %w", err)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// RunJob submits a job and collects its full result stream: the run records
+// (completion order), the terminal summary, and the job's final status. A
+// terminal "error" record surfaces as an error.
+func (c *Client) RunJob(ctx context.Context, spec JobSpec) ([]ResultRecord, *JobStatus, error) {
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	var recs []ResultRecord
+	var terminalErr error
+	err = c.StreamResults(ctx, st.ID, func(rec ResultRecord) error {
+		if rec.Type == "error" {
+			terminalErr = fmt.Errorf("job %s: %s", st.ID, rec.Error)
+			return nil
+		}
+		recs = append(recs, rec)
+		return nil
+	})
+	if err != nil {
+		return recs, nil, err
+	}
+	if terminalErr != nil {
+		return recs, nil, terminalErr
+	}
+	final, err := c.Status(ctx, st.ID)
+	if err != nil {
+		return recs, nil, err
+	}
+	return recs, &final, nil
+}

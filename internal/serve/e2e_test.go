@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/report"
+	"repro/internal/soc"
+	"repro/internal/workload"
+)
+
+// smallMatrix is the "small dragonboard matrix" the end-to-end and load
+// tests sweep: three fixed frequencies (the oracle's candidate set) plus one
+// governor, one rep — a real sweep, small enough to run dozens of times in
+// a test budget.
+var smallMatrix = []string{"0.30 GHz", "0.96 GHz", "2.15 GHz", "ondemand"}
+
+// newTestServer boots a qoed server on an in-process loopback listener and
+// returns the server, the matching client, and an idempotent teardown (also
+// cleanup-registered, so tests that assert on goroutine counts can tear
+// down early and explicitly).
+func newTestServer(t *testing.T, opts Options) (*Server, *Client, func()) {
+	t.Helper()
+	srv := New(opts)
+	_, client, teardown := mountServer(t, srv)
+	return srv, client, teardown
+}
+
+// mountServer exposes an already-constructed server (for tests that install
+// hooks before traffic) on a loopback listener.
+func mountServer(t *testing.T, srv *Server) (*httptest.Server, *Client, func()) {
+	t.Helper()
+	hs := httptest.NewServer(srv.Handler())
+	var once sync.Once
+	teardown := func() {
+		once.Do(func() {
+			hs.Close()
+			srv.Close()
+		})
+	}
+	t.Cleanup(teardown)
+	return hs, &Client{BaseURL: hs.URL, HTTPClient: hs.Client()}, teardown
+}
+
+// baselineGoroutines snapshots the goroutine count and returns an assertion
+// that the count settles back to it (poll-with-deadline: streams, executors
+// and HTTP conns unwind asynchronously after Close).
+func baselineGoroutines(t *testing.T) func() {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		var n int
+		for time.Now().Before(deadline) {
+			runtime.GC() // flush finalizer-held conns
+			n = runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		t.Errorf("goroutines leaked: %d at start, %d after settle window", base, n)
+	}
+}
+
+// TestServerMatrixBitIdenticalToDirect is the end-to-end determinism gate:
+// a job submitted over HTTP, executed on the server's warm pools and
+// streamed back as NDJSON must yield byte-identical run records and summary
+// to a direct experiment.RunMatrix call with the same spec — serving must
+// not perturb the simulation.
+func TestServerMatrixBitIdenticalToDirect(t *testing.T) {
+	checkLeaks := baselineGoroutines(t)
+	_, client, teardown := newTestServer(t, Options{Executors: 1, Workers: 2, QueueDepth: 4})
+
+	spec := JobSpec{Workload: "quickstart", SoC: "dragonboard", Configs: smallMatrix, Reps: 2, Seed: 9}
+	recs, final, err := client.RunJob(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone {
+		t.Fatalf("final state %q, want %q", final.State, StateDone)
+	}
+
+	direct, err := experiment.RunMatrix(workload.Quickstart(), soc.Dragonboard(),
+		experiment.Options{Reps: 2, Seed: 9, Configs: smallMatrix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRuns := report.MatrixRunRecords(direct)
+
+	var gotRuns []report.RunRecord
+	var gotSummary *report.MatrixSummary
+	for _, rec := range recs {
+		switch rec.Type {
+		case "run":
+			gotRuns = append(gotRuns, *rec.Run)
+		case "summary":
+			gotSummary = rec.Summary
+		case "candidate":
+			// Single-cluster sweeps reuse fixed runs as candidates; no
+			// candidate records should appear.
+			t.Errorf("unexpected candidate record %q", rec.Candidate)
+		}
+	}
+	if len(gotRuns) != len(wantRuns) {
+		t.Fatalf("streamed %d run records, want %d", len(gotRuns), len(wantRuns))
+	}
+	// Streaming is completion-ordered; sort back into the deterministic
+	// sweep order before comparing.
+	report.SortRunRecords(gotRuns, direct.ConfigNames())
+	for i := range wantRuns {
+		want := mustJSON(t, wantRuns[i])
+		got := mustJSON(t, gotRuns[i])
+		if want != got {
+			t.Errorf("run record %d differs:\nserver: %s\ndirect: %s", i, got, want)
+		}
+	}
+
+	if gotSummary == nil {
+		t.Fatal("no summary record streamed")
+	}
+	wantSummary := report.NewMatrixSummary(direct)
+	if mustJSON(t, *gotSummary) != mustJSON(t, wantSummary) {
+		t.Errorf("summary differs:\nserver: %s\ndirect: %s",
+			mustJSON(t, *gotSummary), mustJSON(t, wantSummary))
+	}
+
+	if final.TotalRuns == 0 || final.Runs == 0 {
+		t.Errorf("final status runs=%d total=%d, want both > 0", final.Runs, final.TotalRuns)
+	}
+	teardown()
+	checkLeaks()
+}
+
+// TestServerBigLittleJobStreamsCandidates pins the multi-cluster serve path:
+// candidate progress records appear, the summary carries oracle cluster
+// shares, and the result is again bit-identical to the direct sweep.
+func TestServerBigLittleJobStreamsCandidates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full big.LITTLE sweep over HTTP")
+	}
+	_, client, _ := newTestServer(t, Options{Executors: 1, Workers: 4, QueueDepth: 4})
+	sel := []string{"2.15 GHz", "interactive/ondemand"}
+	recs, final, err := client.RunJob(context.Background(),
+		JobSpec{Workload: "quickstart", SoC: "biglittle", Configs: sel, Reps: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone {
+		t.Fatalf("final state %q", final.State)
+	}
+	direct, err := experiment.RunMatrix(workload.Quickstart(), soc.BigLittle44(),
+		experiment.Options{Reps: 1, Seed: 3, Configs: sel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs, cands int
+	var sum *report.MatrixSummary
+	for _, rec := range recs {
+		switch rec.Type {
+		case "run":
+			runs++
+		case "candidate":
+			cands++
+		case "summary":
+			sum = rec.Summary
+		}
+	}
+	wantCands := 0
+	for _, cs := range soc.BigLittle44().Clusters {
+		wantCands += len(cs.Table)
+	}
+	if cands != wantCands {
+		t.Errorf("%d candidate records, want %d", cands, wantCands)
+	}
+	if runs != len(sel) {
+		t.Errorf("%d run records, want %d", runs, len(sel))
+	}
+	if sum == nil {
+		t.Fatal("no summary")
+	}
+	if mustJSON(t, *sum) != mustJSON(t, report.NewMatrixSummary(direct)) {
+		t.Errorf("summary differs from direct sweep:\nserver: %s\ndirect: %s",
+			mustJSON(t, *sum), mustJSON(t, report.NewMatrixSummary(direct)))
+	}
+	if len(sum.OracleShares) != 2 {
+		t.Errorf("oracle shares %v, want per-cluster pair", sum.OracleShares)
+	}
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}

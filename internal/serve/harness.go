@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// HarnessOptions configures the load harness: N concurrent clients submit
+// the same job spec against a time budget, each streaming its job's results
+// to completion before submitting the next — the ReqBench task-loop shape,
+// with the server's 429 backpressure handled as retry, not failure.
+type HarnessOptions struct {
+	// BaseURL is the target server root.
+	BaseURL string
+	// Clients is the number of concurrent submitters (0 → 4).
+	Clients int
+	// Budget is the submission window: no new job starts after it
+	// elapses, in-flight jobs run to completion (0 → 10s).
+	Budget time.Duration
+	// Job is the job template every client submits.
+	Job JobSpec
+	// Backoff is the pause after a 429 before resubmitting (0 → 20ms).
+	Backoff time.Duration
+	// HTTPClient overrides the transport shared by all clients.
+	HTTPClient *Client
+}
+
+// HarnessReport aggregates a load run: completed jobs, error and
+// backpressure counts, and the job latency distribution (submit to terminal
+// record, per job).
+type HarnessReport struct {
+	Clients int           `json:"clients"`
+	Budget  time.Duration `json:"-"`
+	Elapsed time.Duration `json:"-"`
+	// Jobs counts completed jobs; Errors failed ones; QueueFull the 429
+	// responses absorbed as retries.
+	Jobs      int `json:"jobs"`
+	Errors    int `json:"errors"`
+	QueueFull int `json:"queue_full"`
+	// Runs counts the per-replay result records received across all jobs.
+	Runs int `json:"runs"`
+	// JobsPerMinute is the completed-job throughput over the elapsed
+	// wall time.
+	JobsPerMinute float64 `json:"jobs_per_minute"`
+	// P50/P95/P99/Max summarise the job latency distribution.
+	P50 time.Duration `json:"-"`
+	P95 time.Duration `json:"-"`
+	P99 time.Duration `json:"-"`
+	Max time.Duration `json:"-"`
+}
+
+// String renders the report the way qoeload prints it.
+func (r *HarnessReport) String() string {
+	return fmt.Sprintf(
+		"clients %d  wall %.1fs\njobs %d (%.1f jobs/min)  runs %d  errors %d  queue-full retries %d\nlatency p50 %s  p95 %s  p99 %s  max %s",
+		r.Clients, r.Elapsed.Seconds(), r.Jobs, r.JobsPerMinute, r.Runs, r.Errors, r.QueueFull,
+		r.P50.Round(time.Millisecond), r.P95.Round(time.Millisecond),
+		r.P99.Round(time.Millisecond), r.Max.Round(time.Millisecond))
+}
+
+// Percentile returns the q-quantile (0..1) of the samples with linear
+// interpolation, the same estimator the paper's box statistics use. The
+// input need not be sorted; an empty sample yields 0.
+func Percentile(samples []time.Duration, q float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	xs := make([]float64, len(samples))
+	for i, s := range samples {
+		xs[i] = float64(s)
+	}
+	sort.Float64s(xs)
+	return time.Duration(stats.Quantile(xs, q))
+}
+
+// RunHarness drives a qoed server with Clients concurrent submitters for the
+// budget window and aggregates the outcome. ctx aborts the whole run early
+// (in-flight jobs are abandoned and counted as errors only if they fail).
+func RunHarness(ctx context.Context, opts HarnessOptions) (*HarnessReport, error) {
+	if opts.Clients <= 0 {
+		opts.Clients = 4
+	}
+	if opts.Budget <= 0 {
+		opts.Budget = 10 * time.Second
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 20 * time.Millisecond
+	}
+	client := opts.HTTPClient
+	if client == nil {
+		client = &Client{BaseURL: opts.BaseURL}
+	}
+	if err := client.Healthz(ctx); err != nil {
+		return nil, fmt.Errorf("harness: server not healthy: %w", err)
+	}
+
+	var mu sync.Mutex
+	var latencies []time.Duration
+	rep := &HarnessReport{Clients: opts.Clients, Budget: opts.Budget}
+
+	start := time.Now()
+	deadline := start.Add(opts.Budget)
+	var wg sync.WaitGroup
+	for c := 0; c < opts.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) && ctx.Err() == nil {
+				t0 := time.Now()
+				recs, _, err := client.RunJob(ctx, opts.Job)
+				lat := time.Since(t0)
+				mu.Lock()
+				switch {
+				case err != nil && IsQueueFull(err):
+					rep.QueueFull++
+					mu.Unlock()
+					select {
+					case <-time.After(opts.Backoff):
+					case <-ctx.Done():
+					}
+					continue
+				case err != nil:
+					rep.Errors++
+				default:
+					rep.Jobs++
+					rep.Runs += len(recs)
+					latencies = append(latencies, lat)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	rep.Elapsed = time.Since(start)
+	if rep.Elapsed > 0 {
+		rep.JobsPerMinute = float64(rep.Jobs) / rep.Elapsed.Minutes()
+	}
+	rep.P50 = Percentile(latencies, 0.50)
+	rep.P95 = Percentile(latencies, 0.95)
+	rep.P99 = Percentile(latencies, 0.99)
+	for _, l := range latencies {
+		if l > rep.Max {
+			rep.Max = l
+		}
+	}
+	return rep, nil
+}

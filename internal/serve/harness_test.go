@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestPercentile pins the quantile estimator against a fixed sample: exact
+// order statistics at the cut points, linear interpolation between them,
+// monotonicity in q, and the empty-sample contract.
+func TestPercentile(t *testing.T) {
+	// 1..10 ms, deliberately unsorted.
+	sample := []time.Duration{
+		7 * time.Millisecond, 1 * time.Millisecond, 10 * time.Millisecond,
+		4 * time.Millisecond, 2 * time.Millisecond, 9 * time.Millisecond,
+		5 * time.Millisecond, 3 * time.Millisecond, 8 * time.Millisecond,
+		6 * time.Millisecond,
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0, 1 * time.Millisecond},
+		{0.50, 5500 * time.Microsecond}, // interpolated midpoint of 5 and 6
+		{0.95, 9550 * time.Microsecond},
+		{1, 10 * time.Millisecond},
+	}
+	for _, c := range cases {
+		got := Percentile(sample, c.q)
+		if d := got - c.want; d < -time.Microsecond || d > time.Microsecond {
+			t.Errorf("Percentile(q=%.2f) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	prev := time.Duration(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		p := Percentile(sample, q)
+		if p < prev {
+			t.Fatalf("Percentile not monotone at q=%.2f: %v < %v", q, p, prev)
+		}
+		prev = p
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("Percentile(empty) = %v, want 0", got)
+	}
+}
+
+// TestHarnessSmoke runs the full qoeload-vs-qoed loop in-process for ~2
+// seconds on the small dragonboard matrix and pins the acceptance bar:
+// non-zero throughput of at least 50 jobs/min, monotone latency percentiles,
+// and zero errors.
+func TestHarnessSmoke(t *testing.T) {
+	checkLeaks := baselineGoroutines(t)
+	_, client, teardown := newTestServer(t, Options{Executors: 2, Workers: 2, QueueDepth: 8})
+
+	rep, err := RunHarness(context.Background(), HarnessOptions{
+		Clients:    4,
+		Budget:     2 * time.Second,
+		Job:        JobSpec{Workload: "quickstart", Configs: smallMatrix, Reps: 1, Seed: 1},
+		HTTPClient: client,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("harness report:\n%s", rep)
+
+	if rep.Jobs == 0 {
+		t.Fatal("harness completed zero jobs")
+	}
+	if rep.Errors != 0 {
+		t.Errorf("harness saw %d errors, want 0", rep.Errors)
+	}
+	if rep.JobsPerMinute < 50 {
+		t.Errorf("throughput %.1f jobs/min, want >= 50", rep.JobsPerMinute)
+	}
+	if !(rep.P50 <= rep.P95 && rep.P95 <= rep.P99 && rep.P99 <= rep.Max) {
+		t.Errorf("percentiles not monotone: p50 %v p95 %v p99 %v max %v",
+			rep.P50, rep.P95, rep.P99, rep.Max)
+	}
+	// Every completed job streamed its runs plus a summary.
+	if want := rep.Jobs * (len(smallMatrix) + 1); rep.Runs != want {
+		t.Errorf("harness counted %d records, want %d (%d jobs x %d)",
+			rep.Runs, want, rep.Jobs, len(smallMatrix)+1)
+	}
+	teardown()
+	checkLeaks()
+}

@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// job is the server-side state of one sweep job. The mutex guards every
+// mutable field; the result log is append-only and notify is a broadcast
+// channel replaced on every append, so any number of streaming readers can
+// follow the log without the writer tracking them.
+type job struct {
+	id   string
+	spec JobSpec
+
+	mu        sync.Mutex
+	state     string
+	errMsg    string
+	totalRuns int
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	cancel    context.CancelFunc // non-nil while running
+	records   []json.RawMessage  // marshalled ResultRecords, append-only
+	notify    chan struct{}      // closed+replaced on every append/state change
+	done      chan struct{}      // closed when the job reaches a terminal state
+}
+
+func newJob(id string, spec JobSpec, now time.Time) *job {
+	return &job{
+		id:      id,
+		spec:    spec,
+		state:   StateQueued,
+		created: now,
+		notify:  make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// wake closes and replaces the broadcast channel. Callers hold j.mu.
+func (j *job) wake() {
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// append adds one marshalled record to the result log and wakes streamers.
+func (j *job) append(rec ResultRecord) {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		// Records are built from plain structs; marshalling cannot fail.
+		// Guard anyway so a future field never wedges a stream silently.
+		raw, _ = json.Marshal(ResultRecord{Type: "error", Error: "marshal: " + err.Error()})
+	}
+	j.mu.Lock()
+	j.records = append(j.records, raw)
+	j.wake()
+	j.mu.Unlock()
+}
+
+// start transitions queued → running. It returns false when the job was
+// cancelled while queued.
+func (j *job) start(cancel context.CancelFunc, totalRuns int, now time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.cancel = cancel
+	j.totalRuns = totalRuns
+	j.started = now
+	j.wake()
+	return true
+}
+
+// setTotalRuns records the sweep's replay count once known.
+func (j *job) setTotalRuns(n int) {
+	j.mu.Lock()
+	j.totalRuns = n
+	j.wake()
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state, appends the terminal record (if
+// any) and releases everything waiting on the job. finish is idempotent:
+// only the first call wins, so a cancel racing a natural completion cannot
+// double-close done.
+func (j *job) finish(state, errMsg string, rec *ResultRecord, now time.Time) bool {
+	var raw json.RawMessage
+	if rec != nil {
+		raw, _ = json.Marshal(*rec)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if Terminal(j.state) {
+		return false
+	}
+	j.state = state
+	j.errMsg = errMsg
+	j.finished = now
+	j.cancel = nil
+	if raw != nil {
+		j.records = append(j.records, raw)
+	}
+	j.wake()
+	close(j.done)
+	return true
+}
+
+// requestCancel asks the job to stop: a queued job finishes immediately as
+// cancelled; a running job gets its context cancelled and finishes when its
+// executor observes the cancellation. Returns false if the job was already
+// terminal.
+func (j *job) requestCancel(now time.Time) bool {
+	j.mu.Lock()
+	if Terminal(j.state) {
+		j.mu.Unlock()
+		return false
+	}
+	if j.state == StateQueued {
+		j.mu.Unlock()
+		return j.finish(StateCancelled, "job cancelled",
+			&ResultRecord{Type: "error", Error: "job cancelled"}, now)
+	}
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return true
+}
+
+// status snapshots the job's wire status.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.id,
+		State:     j.state,
+		Spec:      j.spec,
+		Error:     j.errMsg,
+		Runs:      len(j.records),
+		TotalRuns: j.totalRuns,
+		CreatedMS: j.created.UnixMilli(),
+	}
+	if !j.started.IsZero() {
+		st.StartedMS = j.started.UnixMilli()
+	}
+	if !j.finished.IsZero() {
+		st.FinishedMS = j.finished.UnixMilli()
+	}
+	return st
+}
+
+// follow returns the records from index from onward, the current terminal
+// flag, and the channel that will be closed on the next append or state
+// change. The returned slice aliases the append-only log and must not be
+// mutated.
+func (j *job) follow(from int) (recs []json.RawMessage, terminal bool, wait <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from < len(j.records) {
+		recs = j.records[from:]
+	}
+	return recs, Terminal(j.state), j.notify
+}

@@ -1,0 +1,391 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/report"
+	"repro/internal/soc"
+	"repro/internal/workload"
+)
+
+// Options configures a characterisation server.
+type Options struct {
+	// Executors is the number of jobs executing concurrently, each on its
+	// own warm replay pool (0 → 2).
+	Executors int
+	// Workers is each executor pool's replay width (0 → GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of jobs waiting for an executor;
+	// submissions beyond it are refused with 429 (0 → 8).
+	QueueDepth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Executors <= 0 {
+		o.Executors = 2
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 8
+	}
+	return o
+}
+
+// Server is the qoed characterisation service: a bounded job queue in front
+// of Executors job executors, each owning a long-lived experiment.Pool whose
+// warmed replay sessions persist across jobs. Create with New, mount
+// Handler() on an http.Server, and Close when done.
+type Server struct {
+	opts Options
+	mux  *http.ServeMux
+
+	queue chan *job
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	nextID int
+
+	pools []*experiment.Pool
+
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+
+	// testHookJobStart, when set (tests only), runs on the executor
+	// goroutine after a job transitions to running and before its sweep
+	// executes — the deterministic way to hold a job "running" while a
+	// test fills the queue behind it.
+	testHookJobStart func(j *job)
+	// testHookRunRecord, when set (tests only), runs on the worker
+	// goroutine after each run record lands in a job's log — the
+	// deterministic way to hold a job mid-sweep while a test cancels it.
+	testHookRunRecord func(j *job)
+
+	running       atomic.Int64
+	jobsSubmitted atomic.Int64
+	jobsRejected  atomic.Int64
+	jobsDone      atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsCancelled atomic.Int64
+}
+
+// New builds a server and starts its executors.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:  opts,
+		mux:   http.NewServeMux(),
+		queue: make(chan *job, opts.QueueDepth),
+		jobs:  make(map[string]*job),
+	}
+	s.baseCtx, s.cancelAll = context.WithCancel(context.Background())
+	for i := 0; i < opts.Executors; i++ {
+		pool := experiment.NewPool(opts.Workers)
+		s.pools = append(s.pools, pool)
+		s.wg.Add(1)
+		go s.executor(pool)
+	}
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /jobs/{id}/results", s.handleResults)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close cancels every running job, stops the executors and waits for them to
+// drain. Jobs still queued are marked cancelled. Close is idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.cancelAll()
+		s.wg.Wait()
+		// Executors are gone; whatever is left in the queue never ran.
+		for {
+			select {
+			case j := <-s.queue:
+				if j.finish(StateCancelled, "server shutting down",
+					&ResultRecord{Type: "error", Error: "server shutting down"}, time.Now()) {
+					s.jobsCancelled.Add(1)
+				}
+			default:
+				return
+			}
+		}
+	})
+}
+
+// SpecByName resolves a wire SoC name ("" or "dragonboard", "biglittle") to
+// its spec, optionally with the default C-state ladder installed.
+func SpecByName(name string, idle bool) (soc.Spec, error) {
+	var spec soc.Spec
+	switch name {
+	case "", "dragonboard":
+		spec = soc.Dragonboard()
+	case "biglittle":
+		spec = soc.BigLittle44()
+	default:
+		return soc.Spec{}, fmt.Errorf("unknown soc %q (use dragonboard or biglittle)", name)
+	}
+	if idle {
+		spec = soc.WithDefaultIdle(spec)
+	}
+	return spec, nil
+}
+
+// validateSpec rejects jobs that could never run before they occupy a queue
+// slot.
+func validateSpec(spec JobSpec) error {
+	if workload.ByName(spec.Workload) == nil {
+		return fmt.Errorf("unknown workload %q", spec.Workload)
+	}
+	socSpec, err := SpecByName(spec.SoC, spec.Idle)
+	if err != nil {
+		return err
+	}
+	if err := experiment.ValidateSelection(socSpec, spec.Configs); err != nil {
+		return err
+	}
+	if spec.Reps < 0 || spec.Reps > 50 {
+		return fmt.Errorf("reps %d out of range [0, 50]", spec.Reps)
+	}
+	return nil
+}
+
+// executor consumes jobs off the queue until the server closes.
+func (s *Server) executor(pool *experiment.Pool) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case j := <-s.queue:
+			s.execute(j, pool)
+		}
+	}
+}
+
+// execute runs one job on the executor's pool and finishes it.
+func (s *Server) execute(j *job, pool *experiment.Pool) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	if !j.start(cancel, 0, time.Now()) {
+		return // cancelled while queued
+	}
+	s.running.Add(1)
+	defer s.running.Add(-1)
+	if s.testHookJobStart != nil {
+		s.testHookJobStart(j)
+	}
+
+	res, err := s.runJob(ctx, j, pool)
+	switch {
+	case err == nil:
+		sum := report.NewMatrixSummary(res)
+		if j.finish(StateDone, "", &ResultRecord{Type: "summary", Summary: &sum}, time.Now()) {
+			s.jobsDone.Add(1)
+		}
+	case errors.Is(err, context.Canceled):
+		if j.finish(StateCancelled, "job cancelled",
+			&ResultRecord{Type: "error", Error: "job cancelled"}, time.Now()) {
+			s.jobsCancelled.Add(1)
+		}
+	default:
+		if j.finish(StateFailed, err.Error(),
+			&ResultRecord{Type: "error", Error: err.Error()}, time.Now()) {
+			s.jobsFailed.Add(1)
+		}
+	}
+}
+
+// runJob executes the job's sweep on the given pool, streaming per-run
+// records into the job's result log as workers complete them.
+func (s *Server) runJob(ctx context.Context, j *job, pool *experiment.Pool) (*experiment.MatrixResult, error) {
+	w := workload.ByName(j.spec.Workload)
+	if w == nil {
+		return nil, fmt.Errorf("unknown workload %q", j.spec.Workload)
+	}
+	spec, err := SpecByName(j.spec.SoC, j.spec.Idle)
+	if err != nil {
+		return nil, err
+	}
+	reps := j.spec.Reps
+	if reps <= 0 {
+		reps = 1
+	}
+	var totalOnce sync.Once
+	opts := experiment.Options{
+		Reps:    reps,
+		Seed:    j.spec.Seed,
+		Pool:    pool,
+		Context: ctx,
+		Configs: j.spec.Configs,
+		OnRun: func(u experiment.RunUpdate) {
+			totalOnce.Do(func() { j.setTotalRuns(u.Total) })
+			switch u.Kind {
+			case "config":
+				rec := report.NewRunRecord(j.spec.Workload, u.Run)
+				j.append(ResultRecord{Type: "run", Run: &rec})
+				if s.testHookRunRecord != nil {
+					s.testHookRunRecord(j)
+				}
+			case "candidate":
+				j.append(ResultRecord{Type: "candidate", Candidate: u.Config, Rep: u.Rep})
+			}
+		},
+	}
+	return experiment.RunMatrix(w, spec, opts)
+}
+
+// lookup returns a registered job by id.
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: "+err.Error())
+		return
+	}
+	if err := validateSpec(spec); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	j := newJob(fmt.Sprintf("job-%d", s.nextID), spec, time.Now())
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- j:
+		s.jobsSubmitted.Add(1)
+		writeJSON(w, http.StatusAccepted, j.status())
+	default:
+		// Backpressure: the queue is full. Drop the registration so the
+		// refused job is invisible, and tell the client to back off.
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		s.mu.Unlock()
+		s.jobsRejected.Add(1)
+		writeError(w, http.StatusTooManyRequests, "job queue full")
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	wasQueued := j.status().State == StateQueued
+	if j.requestCancel(time.Now()) && wasQueued {
+		s.jobsCancelled.Add(1)
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleResults streams a job's result log as NDJSON, following appends
+// until the job is terminal and fully delivered, or until the client
+// disconnects. Each line is one ResultRecord.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	sent := 0
+	for {
+		recs, terminal, wait := j.follow(sent)
+		for _, raw := range recs {
+			if _, err := w.Write(append(raw, '\n')); err != nil {
+				return // client went away
+			}
+			sent++
+		}
+		if len(recs) > 0 {
+			rc.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-wait:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// Stats snapshots the server gauges and counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		QueueDepth:    len(s.queue),
+		QueueCapacity: s.opts.QueueDepth,
+		RunningJobs:   int(s.running.Load()),
+		Executors:     s.opts.Executors,
+		Workers:       s.opts.Workers,
+		Forks:         make(map[string]int),
+		JobsSubmitted: int(s.jobsSubmitted.Load()),
+		JobsRejected:  int(s.jobsRejected.Load()),
+		JobsDone:      int(s.jobsDone.Load()),
+		JobsFailed:    int(s.jobsFailed.Load()),
+		JobsCancelled: int(s.jobsCancelled.Load()),
+	}
+	for _, p := range s.pools {
+		st.InFlightRuns += p.InFlightRuns()
+		st.WarmSessions += p.WarmSessions()
+		for k, v := range p.Forks() {
+			st.Forks[k] += v
+		}
+	}
+	return st
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

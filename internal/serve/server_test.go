@@ -1,0 +1,316 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitState polls a job's status until it reaches want (or any terminal
+// state) within the deadline.
+func waitState(t *testing.T, client *Client, id, want string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := client.Status(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want {
+			return st
+		}
+		if Terminal(st.State) {
+			t.Fatalf("job %s reached %q while waiting for %q (err %q)", id, st.State, want, st.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %q", id, want)
+	return JobStatus{}
+}
+
+// TestConcurrentJobSubmission hammers the server with parallel clients (run
+// under -race in CI): every accepted job completes with state done and a
+// summary, and the lifetime counters add up.
+func TestConcurrentJobSubmission(t *testing.T) {
+	srv, client, teardown := newTestServer(t, Options{Executors: 2, Workers: 2, QueueDepth: 16})
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			spec := JobSpec{Workload: "quickstart", Configs: smallMatrix, Reps: 1, Seed: uint64(i + 1)}
+			recs, final, err := client.RunJob(context.Background(), spec)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if final.State != StateDone {
+				errs[i] = fmt.Errorf("job %d state %q", i, final.State)
+				return
+			}
+			if len(recs) != len(smallMatrix)+1 { // runs + summary
+				errs[i] = fmt.Errorf("job %d: %d records, want %d", i, len(recs), len(smallMatrix)+1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("client %d: %v", i, err)
+		}
+	}
+	st := srv.Stats()
+	if st.JobsDone != n || st.JobsSubmitted != n {
+		t.Errorf("counters: done %d submitted %d, want %d each", st.JobsDone, st.JobsSubmitted, n)
+	}
+	// Distinct seeds mean distinct recordings, yet the warm sessions are
+	// shared: at most one boot per (executor worker, workload|spec) key.
+	if st.WarmSessions == 0 {
+		t.Error("no warm sessions after 8 jobs")
+	}
+	if st.Forks["quickstart|dragonboard-apq8074"] == 0 {
+		t.Errorf("no forks recorded for the quickstart session key: %v", st.Forks)
+	}
+	teardown()
+}
+
+// TestQueueOverflowReturns429 pins the backpressure contract
+// deterministically: with one executor held mid-job and a queue of one, the
+// third submission must be refused with 429 — and once the executor is
+// released, the server drains and accepts work again (the pool is not
+// wedged).
+func TestQueueOverflowReturns429(t *testing.T) {
+	gate := make(chan struct{})
+	srv := New(Options{Executors: 1, Workers: 1, QueueDepth: 1})
+	srv.testHookJobStart = func(*job) { <-gate }
+	_, client, teardown := mountServer(t, srv)
+
+	ctx := context.Background()
+	spec := JobSpec{Workload: "quickstart", Configs: smallMatrix, Reps: 1}
+
+	first, err := client.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, client, first.ID, StateRunning) // held by the gate
+	if _, err := client.Submit(ctx, spec); err != nil {
+		t.Fatalf("second submission should queue: %v", err)
+	}
+	_, err = client.Submit(ctx, spec)
+	if !IsQueueFull(err) {
+		t.Fatalf("third submission: got %v, want 429 queue-full", err)
+	}
+	st := srv.Stats()
+	if st.QueueDepth != 1 || st.JobsRejected != 1 {
+		t.Errorf("stats depth %d rejected %d, want 1 and 1", st.QueueDepth, st.JobsRejected)
+	}
+
+	// Release the executor (a closed gate lets every later job straight
+	// through the hook); both jobs drain.
+	close(gate)
+	waitState(t, client, first.ID, StateDone)
+
+	// Not wedged: a fresh job completes end to end.
+	_, final, err := client.RunJob(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone {
+		t.Fatalf("post-overflow job state %q", final.State)
+	}
+	teardown()
+}
+
+// TestCancelRunningJobFreesWorkerAndKeepsSessions cancels a job mid-sweep
+// and verifies the executor is freed for new work with its warmed sessions
+// intact.
+func TestCancelRunningJobFreesWorkerAndKeepsSessions(t *testing.T) {
+	checkLeaks := baselineGoroutines(t)
+	gate := make(chan struct{})
+	firstRec := make(chan struct{})
+	var first sync.Once
+	srv := New(Options{Executors: 1, Workers: 1, QueueDepth: 4})
+	// Hold the worker after its first run record so the cancel lands
+	// mid-sweep deterministically (a closed gate passes later records
+	// straight through).
+	srv.testHookRunRecord = func(*job) {
+		first.Do(func() { close(firstRec) })
+		<-gate
+	}
+	_, client, teardown := mountServer(t, srv)
+	ctx := context.Background()
+
+	st, err := client.Submit(ctx, JobSpec{Workload: "quickstart", Reps: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-firstRec
+	if _, err := client.Cancel(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	close(gate) // release the worker; it finishes its run and observes the cancel
+
+	// Drain the stream; it ends once the job is terminal.
+	if err := client.StreamResults(ctx, st.ID, func(ResultRecord) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	final, err := client.Status(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateCancelled {
+		t.Fatalf("state %q, want cancelled", final.State)
+	}
+	if final.Runs >= final.TotalRuns {
+		t.Fatalf("cancelled job delivered %d/%d records; cancellation should land mid-sweep",
+			final.Runs, final.TotalRuns)
+	}
+
+	warmBefore := srv.Stats().WarmSessions
+	if warmBefore == 0 {
+		t.Fatal("no warm sessions after the cancelled job")
+	}
+
+	// Worker freed, sessions reusable: the next job completes and boots no
+	// new session for the same (workload, spec).
+	_, final2, err := client.RunJob(ctx, JobSpec{Workload: "quickstart", Configs: smallMatrix, Reps: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final2.State != StateDone {
+		t.Fatalf("follow-up job state %q", final2.State)
+	}
+	if warmAfter := srv.Stats().WarmSessions; warmAfter != warmBefore {
+		t.Errorf("warm sessions %d -> %d; cancellation should leave them reusable", warmBefore, warmAfter)
+	}
+	teardown()
+	checkLeaks()
+}
+
+// TestCancelQueuedJobNeverRuns cancels a job while it waits behind a held
+// executor: it must finish cancelled without ever running.
+func TestCancelQueuedJobNeverRuns(t *testing.T) {
+	gate := make(chan struct{})
+	srv := New(Options{Executors: 1, Workers: 1, QueueDepth: 2})
+	srv.testHookJobStart = func(*job) { <-gate }
+	_, client, teardown := mountServer(t, srv)
+	ctx := context.Background()
+	spec := JobSpec{Workload: "quickstart", Configs: smallMatrix, Reps: 1}
+
+	first, err := client.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, client, first.ID, StateRunning)
+	queued, err := client.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.Cancel(ctx, queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCancelled {
+		t.Fatalf("queued job state after cancel %q", st.State)
+	}
+	close(gate)
+	waitState(t, client, first.ID, StateDone)
+	if st, _ := client.Status(ctx, queued.ID); st.State != StateCancelled || st.StartedMS != 0 {
+		t.Errorf("cancelled-queued job state %q started_ms %d; must never run", st.State, st.StartedMS)
+	}
+	teardown()
+}
+
+// TestClientDisconnectDuringStreamDoesNotLeak opens a result stream, drops
+// it after the first record, and verifies the job still completes and no
+// goroutine outlives teardown — the streamer must unwind on request-context
+// cancellation, not hold the job.
+func TestClientDisconnectDuringStreamDoesNotLeak(t *testing.T) {
+	checkLeaks := baselineGoroutines(t)
+	gate := make(chan struct{})
+	var first sync.Once
+	srv := New(Options{Executors: 1, Workers: 1, QueueDepth: 4})
+	// Hold the job mid-sweep after its first record, so the disconnect
+	// provably happens while the handler is following a live job (not
+	// draining an already-terminal log from the buffer).
+	srv.testHookRunRecord = func(*job) { first.Do(func() { <-gate }) }
+	_, client, teardown := mountServer(t, srv)
+	ctx := context.Background()
+
+	st, err := client.Submit(ctx, JobSpec{Workload: "quickstart", Reps: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamCtx, cancelStream := context.WithCancel(ctx)
+	err = client.StreamResults(streamCtx, st.ID, func(rec ResultRecord) error {
+		cancelStream() // hang up after the first record
+		return nil
+	})
+	cancelStream()
+	close(gate) // release the job only after the stream was cut
+	if err == nil {
+		t.Fatal("stream should have been cut by the client disconnect")
+	}
+
+	// The job is not tied to its stream: it runs to completion.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		final, err := client.Status(ctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final.State == StateDone {
+			break
+		}
+		if Terminal(final.State) {
+			t.Fatalf("job ended %q after client disconnect", final.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job did not finish after client disconnect")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A fresh stream replays the full log including the summary.
+	var summary int
+	if err := client.StreamResults(ctx, st.ID, func(rec ResultRecord) error {
+		if rec.Type == "summary" {
+			summary++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if summary != 1 {
+		t.Fatalf("replayed stream carried %d summaries, want 1", summary)
+	}
+	teardown()
+	checkLeaks()
+}
+
+// TestSubmitValidation rejects malformed jobs before they occupy queue
+// slots.
+func TestSubmitValidation(t *testing.T) {
+	_, client, teardown := newTestServer(t, Options{Executors: 1, Workers: 1, QueueDepth: 2})
+	ctx := context.Background()
+	cases := []JobSpec{
+		{Workload: "nope"},
+		{Workload: "quickstart", SoC: "exynos"},
+		{Workload: "quickstart", Configs: []string{"3.00 GHz"}},
+		{Workload: "quickstart", Configs: []string{"ondemand"}}, // no fixed freq on single-cluster
+		{Workload: "quickstart", Reps: 100},
+	}
+	for i, spec := range cases {
+		_, err := client.Submit(ctx, spec)
+		var ae *apiError
+		if !AsAPIError(err, &ae) || ae.Status != http.StatusBadRequest {
+			t.Errorf("case %d: got %v, want 400", i, err)
+		}
+	}
+	teardown()
+}

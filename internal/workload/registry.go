@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"sync"
+)
+
+// SessionKey identifies the warm-session equivalence class of a workload: two
+// workloads with the same key boot to the same fork-point checkpoint. The key
+// covers the workload (its device profile — apps, services, screen — is a
+// function of the workload definition) and the SoC spec, including whether
+// C-state ladders are installed (soc.WithDefaultIdle keeps the spec name, but
+// an idle-enabled boot diverges from a ladder-free one).
+func SessionKey(w *Workload) string {
+	spec := w.Profile.SoCSpec()
+	key := w.Name + "|" + spec.Name
+	for _, cs := range spec.Clusters {
+		if len(cs.IdleStates) > 0 {
+			return key + "+idle"
+		}
+	}
+	return key
+}
+
+// SessionRegistry owns warmed ReplaySessions keyed by SessionKey and counts
+// the forks served per key. It is the session-ownership layer long-running
+// harnesses share across jobs: a sweep asks the registry for its workload's
+// session instead of booting one, so the boot prefix is paid once per
+// (registry, key) for the registry's whole lifetime, not once per sweep.
+//
+// The registry's bookkeeping is mutex-guarded so stats can be read while a
+// worker executes, but the sessions themselves are single-goroutine objects:
+// one registry must serve one worker goroutine at a time (worker pools give
+// each worker its own registry).
+type SessionRegistry struct {
+	mu       sync.Mutex
+	sessions map[string]*ReplaySession
+	forks    map[string]int
+}
+
+// NewSessionRegistry returns an empty registry.
+func NewSessionRegistry() *SessionRegistry {
+	return &SessionRegistry{
+		sessions: make(map[string]*ReplaySession),
+		forks:    make(map[string]int),
+	}
+}
+
+// Session returns the warm session for the workload's key, booting one on
+// first use, and counts one fork against the key. The returned session is
+// recording-agnostic: run it with ReplayRecording.
+func (r *SessionRegistry) Session(w *Workload) *ReplaySession {
+	key := SessionKey(w)
+	r.mu.Lock()
+	sess := r.sessions[key]
+	r.forks[key]++
+	r.mu.Unlock()
+	if sess == nil {
+		// Boot outside the lock: stats readers must not stall behind a
+		// device boot, and one registry serves one worker at a time, so no
+		// other goroutine can race the insert.
+		sess = NewReplaySession(w, nil)
+		r.mu.Lock()
+		r.sessions[key] = sess
+		r.mu.Unlock()
+	}
+	return sess
+}
+
+// Warm returns the number of warmed sessions the registry owns.
+func (r *SessionRegistry) Warm() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sessions)
+}
+
+// Forks returns a copy of the per-key fork counts (one count per Session
+// call; the serve layer surfaces them in /statsz).
+func (r *SessionRegistry) Forks() map[string]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int, len(r.forks))
+	for k, v := range r.forks {
+		out[k] = v
+	}
+	return out
+}

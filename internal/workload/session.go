@@ -33,7 +33,8 @@ type ReplaySession struct {
 }
 
 // NewReplaySession boots a device for the workload's profile and checkpoints
-// it at the fork point.
+// it at the fork point. rec becomes the default recording for Replay; it may
+// be nil when every run goes through ReplayRecording instead.
 func NewReplaySession(w *Workload, rec *Recording) *ReplaySession {
 	eng := sim.NewEngine()
 	dev := device.Boot(eng, w.Profile)
@@ -52,18 +53,30 @@ func NewReplaySession(w *Workload, rec *Recording) *ReplaySession {
 // Workload returns the session's workload.
 func (s *ReplaySession) Workload() *Workload { return s.w }
 
-// Replay forks one run off the session's boot checkpoint: restore, seal with
-// the run's seed and governors, replay the recorded input trace and collect
-// artefacts. The returned artefacts are self-contained — ground truth and
-// busy histograms are copied out of the device, and each seal creates fresh
-// traces — so they stay valid across later Replay calls on the same session.
+// Replay forks one run off the session's boot checkpoint against the
+// session's own recording. See ReplayRecording.
 func (s *ReplaySession) Replay(govs []governor.Governor, configName string, seed uint64, capture bool) *RunArtifacts {
+	return s.ReplayRecording(s.rec, govs, configName, seed, capture)
+}
+
+// ReplayRecording forks one run off the session's boot checkpoint: restore,
+// seal with the run's seed and governors, replay the recorded input trace and
+// collect artefacts. The returned artefacts are self-contained — ground truth
+// and busy histograms are copied out of the device, and each seal creates
+// fresh traces — so they stay valid across later Replay calls on the same
+// session.
+//
+// The checkpoint depends only on the workload's device profile, never on the
+// input trace, so one warm session serves any recording of its workload:
+// long-running harnesses reuse a session across jobs whose recordings differ
+// (different master seeds) without re-paying the boot prefix.
+func (s *ReplaySession) ReplayRecording(rec *Recording, govs []governor.Governor, configName string, seed uint64, capture bool) *RunArtifacts {
 	s.Dev.Restore(s.cp)
 	s.Dev.Seal(seed, govs)
-	window := s.rec.RunWindow()
+	window := rec.RunWindow()
 	s.Dev.ReserveTraces(window)
 	s.agentRand.Reseed(seed ^ 0x5eed)
-	s.agent.Replay(s.Dev, s.rec.Events, s.agentRand)
+	s.agent.Replay(s.Dev, rec.Events, s.agentRand)
 
 	var vrec *video.Recorder
 	if capture {
@@ -84,7 +97,7 @@ func (s *ReplaySession) Replay(govs []governor.Governor, configName string, seed
 	// the next Restore — copy it so artefacts outlive the session's reuse.
 	byCluster := s.Dev.SoC.BusyByCluster()
 	art := &RunArtifacts{
-		Workload:      s.rec.Workload,
+		Workload:      rec.Workload,
 		Config:        configName,
 		Truths:        append([]device.GroundTruth(nil), s.Dev.GroundTruths()...),
 		FreqTrace:     s.Dev.FreqTrace,
@@ -93,7 +106,7 @@ func (s *ReplaySession) Replay(govs []governor.Governor, configName string, seed
 		Clusters:      s.Dev.ClusterTraces,
 		BusyByCluster: byCluster,
 		Migrations:    s.Dev.SoC.Migrations(),
-		Duration:      s.rec.Duration,
+		Duration:      rec.Duration,
 		Window:        window,
 	}
 	if vrec != nil {

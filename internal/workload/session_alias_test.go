@@ -1,0 +1,46 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/governor"
+	"repro/internal/soc"
+)
+
+// TestRetainedClustersSurviveNextFork pins the artefact-retention contract of
+// a warm session: RunArtifacts.Clusters must stay valid — same structs, same
+// data — after the session forks its next run. The original bug: Seal
+// truncated the device's ClusterTraces slice in place, so the next fork's
+// append re-pointed the retained slice at the new run's traces and every
+// Clusters-derived statistic (busy shares, idle leakage) silently became the
+// later run's. Only multi-cluster sweeps read per-cluster busy splits, which
+// is why single-cluster goldens never caught it.
+func TestRetainedClustersSurviveNextFork(t *testing.T) {
+	w := Quickstart()
+	w.Profile.SoC = soc.BigLittle44()
+	rec, _, err := w.Record(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewReplaySession(w, nil)
+	govsA := []governor.Governor{
+		governor.Performance(soc.BigLittle44().Clusters[0].Table),
+		governor.Performance(soc.BigLittle44().Clusters[1].Table),
+	}
+	artA := sess.ReplayRecording(rec, govsA, "pinned", 7, false)
+	a0, a1 := artA.Clusters[0], artA.Clusters[1]
+	busyA0 := artA.Clusters[0].Busy.Total()
+
+	govsB := []governor.Governor{governor.NewInteractive(), governor.NewOndemand()}
+	artB := sess.ReplayRecording(rec, govsB, "mixed", 8, false)
+
+	if artA.Clusters[0] != a0 || artA.Clusters[1] != a1 {
+		t.Error("retained Clusters re-pointed by the next fork")
+	}
+	if artA.Clusters[0] == artB.Clusters[0] {
+		t.Error("run A and run B share ClusterTraces structs")
+	}
+	if got := artA.Clusters[0].Busy.Total(); got != busyA0 {
+		t.Errorf("retained busy total changed across next fork: %v -> %v", busyA0, got)
+	}
+}
