@@ -5,8 +5,9 @@
 // API (see docs/serving.md for the full reference):
 //
 //	POST   /jobs              submit a job (429 once the queue is full)
+//	GET    /jobs              list jobs newest-first (?state=, ?limit=)
 //	GET    /jobs/{id}         job status
-//	GET    /jobs/{id}/results stream per-run results as NDJSON
+//	GET    /jobs/{id}/results stream per-run results as NDJSON (?from=N resumes)
 //	DELETE /jobs/{id}         cancel
 //	GET    /healthz           liveness
 //	GET    /statsz            queue depth, in-flight runs, warm sessions,
@@ -14,7 +15,8 @@
 //
 // Usage:
 //
-//	qoed [-addr 127.0.0.1:8090] [-executors 2] [-workers N] [-queue 8]
+//	qoed [-addr 127.0.0.1:8090] [-executors 2] [-workers N] [-queue 8] \
+//	     [-retain 256]
 package main
 
 import (
@@ -35,12 +37,14 @@ func main() {
 	executors := flag.Int("executors", 2, "concurrent jobs, each on its own warm replay pool")
 	workers := flag.Int("workers", 0, "replay workers per executor pool (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 8, "queued-job limit; submissions beyond it get 429")
+	retain := flag.Int("retain", 256, "terminal jobs retained for status/results replay; older ones are evicted")
 	flag.Parse()
 
 	srv := serve.New(serve.Options{
 		Executors:  *executors,
 		Workers:    *workers,
 		QueueDepth: *queue,
+		RetainJobs: *retain,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

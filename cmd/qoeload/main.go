@@ -1,19 +1,26 @@
 // Command qoeload is the load harness for qoed: N concurrent clients submit
-// the same sweep job against a time budget, each streaming its job's results
-// to completion before submitting the next, and the run is summarised as
-// throughput (jobs/min), job latency percentiles (p50/p95/p99) and error
-// counts. The server's 429 backpressure responses are absorbed as retries
-// and reported separately.
+// sweep jobs against a time budget, each streaming its job's results to
+// completion before submitting the next, and the run is summarised as
+// throughput (jobs/min), job latency percentiles (p50/p95/p99), queue-wait
+// percentiles and error counts. The server's 429 backpressure responses are
+// absorbed as retries and reported separately.
+//
+// Passing a comma-separated -soc list ("dragonboard,biglittle") makes the
+// harness cycle a job mix round-robin instead of replaying one spec, and the
+// report breaks completed jobs down per spec. -json emits the report as one
+// JSON object (durations in milliseconds) for downstream tooling.
 //
 // Usage:
 //
 //	qoeload [-url http://127.0.0.1:8090] [-clients 4] [-budget 30s] \
-//	        [-workload quickstart] [-soc dragonboard] [-idle] \
-//	        [-configs "0.96 GHz,2.15 GHz,ondemand"] [-reps 1] [-seed 1]
+//	        [-workload quickstart] [-soc dragonboard[,biglittle]] [-idle] \
+//	        [-configs "0.96 GHz,2.15 GHz,ondemand"] [-reps 1] [-seed 1] \
+//	        [-timeout 0] [-json]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,26 +36,38 @@ func main() {
 	clients := flag.Int("clients", 4, "concurrent clients")
 	budget := flag.Duration("budget", 30*time.Second, "submission time budget")
 	workloadName := flag.String("workload", "quickstart", "workload to sweep")
-	socName := flag.String("soc", "dragonboard", "SoC spec: dragonboard or biglittle")
+	socName := flag.String("soc", "dragonboard", "SoC spec(s): dragonboard or biglittle; a comma-separated list is cycled as a mix")
 	idle := flag.Bool("idle", false, "install the default C-state ladder")
 	configs := flag.String("configs", "", "comma-separated config subset (empty = full matrix)")
 	reps := flag.Int("reps", 1, "repetitions per configuration")
 	seed := flag.Uint64("seed", 1, "sweep master seed")
+	timeout := flag.Duration("timeout", 0, "per-job execution deadline (0 = none)")
+	asJSON := flag.Bool("json", false, "emit the report as JSON (durations in ms)")
 	flag.Parse()
 
-	job := serve.JobSpec{
-		Workload: *workloadName,
-		SoC:      *socName,
-		Idle:     *idle,
-		Reps:     *reps,
-		Seed:     *seed,
+	base := serve.JobSpec{
+		Workload:  *workloadName,
+		Idle:      *idle,
+		Reps:      *reps,
+		Seed:      *seed,
+		TimeoutMS: timeout.Milliseconds(),
 	}
-	if *configs != "" {
-		for _, c := range strings.Split(*configs, ",") {
-			if c = strings.TrimSpace(c); c != "" {
-				job.Configs = append(job.Configs, c)
-			}
+	for _, c := range strings.Split(*configs, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			base.Configs = append(base.Configs, c)
 		}
+	}
+	var mix []serve.JobSpec
+	for _, soc := range strings.Split(*socName, ",") {
+		if soc = strings.TrimSpace(soc); soc != "" {
+			spec := base
+			spec.SoC = soc
+			mix = append(mix, spec)
+		}
+	}
+	if len(mix) == 0 {
+		fmt.Fprintln(os.Stderr, "qoeload: -soc names no spec")
+		os.Exit(1)
 	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -57,13 +76,22 @@ func main() {
 		BaseURL: *url,
 		Clients: *clients,
 		Budget:  *budget,
-		Job:     job,
+		Jobs:    mix,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qoeload: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Println(rep)
+	if *asJSON {
+		out, err := json.Marshal(rep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qoeload: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+	} else {
+		fmt.Println(rep)
+	}
 	if rep.Errors > 0 {
 		os.Exit(1)
 	}

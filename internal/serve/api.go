@@ -14,6 +14,14 @@
 // or an "error" record if the sweep failed or was cancelled. DELETE
 // /jobs/{id} cancels: a queued job never starts, a running one stops
 // claiming new replays and keeps its warmed sessions for the next job.
+//
+// The result log is append-only and replayable: GET /jobs/{id}/results?from=N
+// skips the first N records, so a client that lost its stream resumes where
+// it left off instead of re-reading (Client.RunJob does this automatically).
+// GET /jobs lists the registry, newest first, with ?state= and ?limit=
+// filters. Terminal jobs are retained up to Options.RetainJobs and then
+// evicted oldest-finished-first, which keeps the registry bounded under
+// sustained load; an evicted job's id answers 404 everywhere.
 package serve
 
 import (
@@ -39,6 +47,12 @@ type JobSpec struct {
 	Reps int `json:"reps,omitempty"`
 	// Seed is the sweep's master seed (0 → 1).
 	Seed uint64 `json:"seed,omitempty"`
+	// TimeoutMS bounds the job's execution wall time in milliseconds
+	// (0 = no deadline). A job still sweeping when the deadline fires
+	// stops claiming new replays and finishes "failed" with a
+	// deadline-exceeded error; the executor and its warm sessions stay
+	// reusable.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // Job states.
@@ -73,6 +87,24 @@ type JobStatus struct {
 // Terminal reports whether the state is final.
 func Terminal(state string) bool {
 	return state == StateDone || state == StateFailed || state == StateCancelled
+}
+
+// ValidState reports whether state is one of the five job states (the
+// listing endpoint rejects unknown state filters with 400).
+func ValidState(state string) bool {
+	switch state {
+	case StateQueued, StateRunning, StateDone, StateFailed, StateCancelled:
+		return true
+	}
+	return false
+}
+
+// JobList is the GET /jobs document: job statuses newest-first, after the
+// state filter and the limit. Total counts the jobs that matched the filter
+// before the limit was applied, so a truncated listing is detectable.
+type JobList struct {
+	Jobs  []JobStatus `json:"jobs"`
+	Total int         `json:"total"`
 }
 
 // ResultRecord is one NDJSON line of a job's result stream.
@@ -112,10 +144,17 @@ type Stats struct {
 	// the replays served per session key ("workload|spec[+idle]").
 	WarmSessions int            `json:"warm_sessions"`
 	Forks        map[string]int `json:"forks,omitempty"`
+	// JobsTracked is the number of jobs currently in the registry
+	// (non-terminal jobs plus retained terminal ones); RetainJobs the
+	// retention cap on terminal jobs, beyond which the oldest-finished
+	// are evicted.
+	JobsTracked int `json:"jobs_tracked"`
+	RetainJobs  int `json:"retain_jobs"`
 	// Job counters over the server's lifetime.
 	JobsSubmitted int `json:"jobs_submitted"`
 	JobsRejected  int `json:"jobs_rejected"`
 	JobsDone      int `json:"jobs_done"`
 	JobsFailed    int `json:"jobs_failed"`
 	JobsCancelled int `json:"jobs_cancelled"`
+	JobsEvicted   int `json:"jobs_evicted"`
 }

@@ -8,7 +8,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
+	"time"
 )
 
 // Client talks to a qoed server. The zero HTTPClient falls back to
@@ -130,6 +133,25 @@ func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
 	return st, err
 }
 
+// List fetches the job registry newest-first. state filters to one job state
+// ("" = all); limit truncates the listing (0 = server default of 100).
+func (c *Client) List(ctx context.Context, state string, limit int) (JobList, error) {
+	path := "/jobs"
+	q := url.Values{}
+	if state != "" {
+		q.Set("state", state)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var list JobList
+	err := c.doJSON(ctx, http.MethodGet, path, nil, &list)
+	return list, err
+}
+
 // Healthz checks server liveness.
 func (c *Client) Healthz(ctx context.Context) error {
 	return c.doJSON(ctx, http.MethodGet, "/healthz", nil, nil)
@@ -146,7 +168,18 @@ func (c *Client) Statsz(ctx context.Context) (Stats, error) {
 // record until the stream ends (job terminal), fn returns an error, or ctx
 // is cancelled. It returns nil on a completed stream.
 func (c *Client) StreamResults(ctx context.Context, id string, fn func(ResultRecord) error) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/jobs/"+id+"/results"), nil)
+	return c.StreamResultsFrom(ctx, id, 0, fn)
+}
+
+// StreamResultsFrom follows a job's result stream starting at record index
+// from — the resume primitive: a client that received N records before its
+// connection broke re-follows with from=N and sees only what it missed.
+func (c *Client) StreamResultsFrom(ctx context.Context, id string, from int, fn func(ResultRecord) error) error {
+	path := "/jobs/" + id + "/results"
+	if from > 0 {
+		path += "?from=" + strconv.Itoa(from)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path), nil)
 	if err != nil {
 		return err
 	}
@@ -179,6 +212,12 @@ func (c *Client) StreamResults(ctx context.Context, id string, fn func(ResultRec
 // RunJob submits a job and collects its full result stream: the run records
 // (completion order), the terminal summary, and the job's final status. A
 // terminal "error" record surfaces as an error.
+//
+// A stream that breaks mid-job (connection reset, proxy hiccup, a partial
+// NDJSON line) is resumed from the last fully-parsed record via ?from=, up
+// to streamRetries attempts — the append-only server log makes the splice
+// exact, so a flaky transport yields the same records as a clean one.
+// Deliberate cancellation (ctx) and API errors are never retried.
 func (c *Client) RunJob(ctx context.Context, spec JobSpec) ([]ResultRecord, *JobStatus, error) {
 	st, err := c.Submit(ctx, spec)
 	if err != nil {
@@ -186,16 +225,29 @@ func (c *Client) RunJob(ctx context.Context, spec JobSpec) ([]ResultRecord, *Job
 	}
 	var recs []ResultRecord
 	var terminalErr error
-	err = c.StreamResults(ctx, st.ID, func(rec ResultRecord) error {
-		if rec.Type == "error" {
-			terminalErr = fmt.Errorf("job %s: %s", st.ID, rec.Error)
+	seen := 0 // records fully parsed, including terminal ones — the resume offset
+	for attempt := 0; ; attempt++ {
+		err = c.StreamResultsFrom(ctx, st.ID, seen, func(rec ResultRecord) error {
+			seen++
+			if rec.Type == "error" {
+				terminalErr = fmt.Errorf("job %s: %s", st.ID, rec.Error)
+				return nil
+			}
+			recs = append(recs, rec)
 			return nil
+		})
+		if err == nil {
+			break
 		}
-		recs = append(recs, rec)
-		return nil
-	})
-	if err != nil {
-		return recs, nil, err
+		var ae *apiError
+		if ctx.Err() != nil || AsAPIError(err, &ae) || attempt >= streamRetries {
+			return recs, nil, err
+		}
+		select {
+		case <-time.After(streamRetryBackoff):
+		case <-ctx.Done():
+			return recs, nil, ctx.Err()
+		}
 	}
 	if terminalErr != nil {
 		return recs, nil, terminalErr
@@ -206,3 +258,10 @@ func (c *Client) RunJob(ctx context.Context, spec JobSpec) ([]ResultRecord, *Job
 	}
 	return recs, &final, nil
 }
+
+const (
+	// streamRetries bounds RunJob's broken-stream resumptions per job;
+	// streamRetryBackoff is the pause before each one.
+	streamRetries      = 3
+	streamRetryBackoff = 50 * time.Millisecond
+)

@@ -3,9 +3,14 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -202,4 +207,187 @@ func mustJSON(t *testing.T, v any) string {
 		t.Fatal(err)
 	}
 	return string(raw)
+}
+
+// directRunsAndSummary computes the ground truth a served sweep must match:
+// the direct experiment.RunMatrix run records and summary for the small
+// dragonboard matrix.
+func directRunsAndSummary(t *testing.T, reps int, seed uint64) ([]report.RunRecord, report.MatrixSummary, []string) {
+	t.Helper()
+	direct, err := experiment.RunMatrix(workload.Quickstart(), soc.Dragonboard(),
+		experiment.Options{Reps: reps, Seed: seed, Configs: smallMatrix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return report.MatrixRunRecords(direct), report.NewMatrixSummary(direct), direct.ConfigNames()
+}
+
+// assertRecordsMatchDirect sorts streamed records into deterministic sweep
+// order and requires them byte-identical to the direct ground truth.
+func assertRecordsMatchDirect(t *testing.T, recs []ResultRecord, wantRuns []report.RunRecord, wantSummary report.MatrixSummary, configOrder []string) {
+	t.Helper()
+	var gotRuns []report.RunRecord
+	var gotSummary *report.MatrixSummary
+	for _, rec := range recs {
+		switch rec.Type {
+		case "run":
+			gotRuns = append(gotRuns, *rec.Run)
+		case "summary":
+			gotSummary = rec.Summary
+		}
+	}
+	if len(gotRuns) != len(wantRuns) {
+		t.Fatalf("got %d run records, want %d", len(gotRuns), len(wantRuns))
+	}
+	report.SortRunRecords(gotRuns, configOrder)
+	for i := range wantRuns {
+		if got, want := mustJSON(t, gotRuns[i]), mustJSON(t, wantRuns[i]); got != want {
+			t.Errorf("run record %d differs:\nserver: %s\ndirect: %s", i, got, want)
+		}
+	}
+	if gotSummary == nil {
+		t.Fatal("no summary record")
+	}
+	if got, want := mustJSON(t, *gotSummary), mustJSON(t, wantSummary); got != want {
+		t.Errorf("summary differs:\nserver: %s\ndirect: %s", got, want)
+	}
+}
+
+// TestStreamResumeBitIdentical is the resume determinism gate: a stream cut
+// by a client disconnect mid-job and resumed with ?from= must splice into
+// exactly the record sequence of an uninterrupted stream — and that spliced
+// sequence must still be bit-identical to the direct experiment.RunMatrix
+// sweep. Resumption must not duplicate, drop or reorder records.
+func TestStreamResumeBitIdentical(t *testing.T) {
+	checkLeaks := baselineGoroutines(t)
+	gate := make(chan struct{})
+	var hookOnce, gateOnce sync.Once
+	releaseGate := func() { gateOnce.Do(func() { close(gate) }) }
+	srv := New(Options{Executors: 1, Workers: 1, QueueDepth: 4})
+	// Hold the (single-worker) sweep after its first record so the hangup
+	// provably lands mid-job: the resumed stream then follows a live log,
+	// not a finished buffer.
+	srv.testHookRunRecord = func(*job) { hookOnce.Do(func() { <-gate }) }
+	_, client, teardown := mountServer(t, srv)
+	// Cleanups run LIFO: the gate opens before mountServer's teardown
+	// waits out the executors, so no failure path can wedge Close.
+	t.Cleanup(releaseGate)
+	ctx := context.Background()
+
+	const reps, seed = 2, 9
+	st, err := client.Submit(ctx, JobSpec{Workload: "quickstart", SoC: "dragonboard", Configs: smallMatrix, Reps: reps, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First leg: take exactly one record, then hang up (fn error aborts
+	// the stream; the response body closes, the server sees a disconnect).
+	errHangup := errors.New("client hangs up")
+	var recs []ResultRecord
+	err = client.StreamResults(ctx, st.ID, func(rec ResultRecord) error {
+		recs = append(recs, rec)
+		return errHangup
+	})
+	if !errors.Is(err, errHangup) {
+		t.Fatalf("first leg ended %v, want the deliberate hangup", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("first leg delivered %d records, want 1", len(recs))
+	}
+	releaseGate() // let the sweep finish while no one is watching
+
+	// Second leg: resume from the exact record index where the first leg
+	// stopped; the splice must complete the log with no overlap.
+	err = client.StreamResultsFrom(ctx, st.ID, len(recs), func(rec ResultRecord) error {
+		recs = append(recs, rec)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantRuns, wantSummary, configOrder := directRunsAndSummary(t, reps, seed)
+	if len(recs) != len(wantRuns)+1 {
+		t.Fatalf("spliced stream carried %d records, want %d runs + 1 summary (resume duplicated or dropped)",
+			len(recs), len(wantRuns))
+	}
+	assertRecordsMatchDirect(t, recs, wantRuns, wantSummary, configOrder)
+	teardown()
+	checkLeaks()
+}
+
+// flakyTransport cuts the body of the first /results response after a few
+// bytes — a connection reset mid-NDJSON-line, the failure a real network
+// gives a streaming client. Later requests pass through untouched.
+type flakyTransport struct {
+	base    http.RoundTripper
+	tripped atomic.Bool
+}
+
+var errFlakyCut = errors.New("flaky transport: connection reset")
+
+func (f *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := f.base.RoundTrip(req)
+	if err != nil || !strings.HasSuffix(req.URL.Path, "/results") {
+		return resp, err
+	}
+	if f.tripped.CompareAndSwap(false, true) {
+		resp.Body = &cutBody{rc: resp.Body, remaining: 150}
+	}
+	return resp, err
+}
+
+// cutBody yields remaining bytes, then fails every read.
+type cutBody struct {
+	rc        io.ReadCloser
+	remaining int
+}
+
+func (c *cutBody) Read(p []byte) (int, error) {
+	if c.remaining <= 0 {
+		return 0, errFlakyCut
+	}
+	if len(p) > c.remaining {
+		p = p[:c.remaining]
+	}
+	n, err := c.rc.Read(p)
+	c.remaining -= n
+	return n, err
+}
+
+func (c *cutBody) Close() error { return c.rc.Close() }
+
+// TestRunJobResumesBrokenStream pins the client's auto-resume: RunJob over a
+// transport that resets the first result stream mid-line must deliver the
+// complete, bit-identical record set anyway — the retry resumes from the
+// last fully-parsed record, and the cut partial line is re-read, not lost.
+func TestRunJobResumesBrokenStream(t *testing.T) {
+	srv := New(Options{Executors: 1, Workers: 2, QueueDepth: 4})
+	hs, plain, teardown := mountServer(t, srv)
+	base := plain.HTTPClient.Transport
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	client := &Client{
+		BaseURL:    hs.URL,
+		HTTPClient: &http.Client{Transport: &flakyTransport{base: base}},
+	}
+
+	const reps, seed = 2, 9
+	recs, final, err := client.RunJob(context.Background(),
+		JobSpec{Workload: "quickstart", SoC: "dragonboard", Configs: smallMatrix, Reps: reps, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone {
+		t.Fatalf("final state %q", final.State)
+	}
+
+	wantRuns, wantSummary, configOrder := directRunsAndSummary(t, reps, seed)
+	if len(recs) != len(wantRuns)+1 {
+		t.Fatalf("RunJob over the flaky transport yielded %d records, want %d runs + 1 summary",
+			len(recs), len(wantRuns))
+	}
+	assertRecordsMatchDirect(t, recs, wantRuns, wantSummary, configOrder)
+	teardown()
 }

@@ -2,9 +2,11 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/stats"
@@ -24,6 +26,11 @@ type HarnessOptions struct {
 	Budget time.Duration
 	// Job is the job template every client submits.
 	Job JobSpec
+	// Jobs, when non-empty, is a mix of job templates the harness cycles
+	// through round-robin across all submissions (overrides Job) — the
+	// way to load a server with heterogeneous sweeps instead of one
+	// spec replayed forever.
+	Jobs []JobSpec
 	// Backoff is the pause after a 429 before resubmitting (0 → 20ms).
 	Backoff time.Duration
 	// HTTPClient overrides the transport shared by all clients.
@@ -44,23 +51,80 @@ type HarnessReport struct {
 	QueueFull int `json:"queue_full"`
 	// Runs counts the per-replay result records received across all jobs.
 	Runs int `json:"runs"`
+	// JobsBySpec breaks completed jobs down per mix entry, keyed
+	// "workload/soc[+idle]" — only populated when the mix has more than
+	// one distinct key.
+	JobsBySpec map[string]int `json:"jobs_by_spec,omitempty"`
 	// JobsPerMinute is the completed-job throughput over the elapsed
 	// wall time.
 	JobsPerMinute float64 `json:"jobs_per_minute"`
-	// P50/P95/P99/Max summarise the job latency distribution.
+	// P50/P95/P99/Max summarise the end-to-end job latency distribution
+	// (submit to terminal record, measured client-side).
 	P50 time.Duration `json:"-"`
 	P95 time.Duration `json:"-"`
 	P99 time.Duration `json:"-"`
 	Max time.Duration `json:"-"`
+	// QueueP50/P95/P99 summarise queue wait (created to started, from the
+	// server's own job timestamps) — the backpressure component of the
+	// latency above, separable so saturation shows up as queue growth
+	// rather than mysterious end-to-end slowdown.
+	QueueP50 time.Duration `json:"-"`
+	QueueP95 time.Duration `json:"-"`
+	QueueP99 time.Duration `json:"-"`
 }
 
 // String renders the report the way qoeload prints it.
 func (r *HarnessReport) String() string {
 	return fmt.Sprintf(
-		"clients %d  wall %.1fs\njobs %d (%.1f jobs/min)  runs %d  errors %d  queue-full retries %d\nlatency p50 %s  p95 %s  p99 %s  max %s",
+		"clients %d  wall %.1fs\njobs %d (%.1f jobs/min)  runs %d  errors %d  queue-full retries %d\nlatency p50 %s  p95 %s  p99 %s  max %s\nqueue wait p50 %s  p95 %s  p99 %s",
 		r.Clients, r.Elapsed.Seconds(), r.Jobs, r.JobsPerMinute, r.Runs, r.Errors, r.QueueFull,
 		r.P50.Round(time.Millisecond), r.P95.Round(time.Millisecond),
-		r.P99.Round(time.Millisecond), r.Max.Round(time.Millisecond))
+		r.P99.Round(time.Millisecond), r.Max.Round(time.Millisecond),
+		r.QueueP50.Round(time.Millisecond), r.QueueP95.Round(time.Millisecond),
+		r.QueueP99.Round(time.Millisecond))
+}
+
+// MarshalJSON renders the report with every duration in milliseconds, the
+// form qoeload -json emits for downstream tooling.
+func (r *HarnessReport) MarshalJSON() ([]byte, error) {
+	type plain HarnessReport // strip methods so the embed cannot recurse
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return json.Marshal(struct {
+		*plain
+		BudgetMS   float64 `json:"budget_ms"`
+		ElapsedMS  float64 `json:"elapsed_ms"`
+		P50MS      float64 `json:"p50_ms"`
+		P95MS      float64 `json:"p95_ms"`
+		P99MS      float64 `json:"p99_ms"`
+		MaxMS      float64 `json:"max_ms"`
+		QueueP50MS float64 `json:"queue_p50_ms"`
+		QueueP95MS float64 `json:"queue_p95_ms"`
+		QueueP99MS float64 `json:"queue_p99_ms"`
+	}{
+		plain:      (*plain)(r),
+		BudgetMS:   ms(r.Budget),
+		ElapsedMS:  ms(r.Elapsed),
+		P50MS:      ms(r.P50),
+		P95MS:      ms(r.P95),
+		P99MS:      ms(r.P99),
+		MaxMS:      ms(r.Max),
+		QueueP50MS: ms(r.QueueP50),
+		QueueP95MS: ms(r.QueueP95),
+		QueueP99MS: ms(r.QueueP99),
+	})
+}
+
+// specLabel keys a mix entry for the per-spec breakdown.
+func specLabel(spec JobSpec) string {
+	soc := spec.SoC
+	if soc == "" {
+		soc = "dragonboard"
+	}
+	label := spec.Workload + "/" + soc
+	if spec.Idle {
+		label += "+idle"
+	}
+	return label
 }
 
 // Percentile returns the q-quantile (0..1) of the samples with linear
@@ -98,21 +162,28 @@ func RunHarness(ctx context.Context, opts HarnessOptions) (*HarnessReport, error
 	if err := client.Healthz(ctx); err != nil {
 		return nil, fmt.Errorf("harness: server not healthy: %w", err)
 	}
+	mix := opts.Jobs
+	if len(mix) == 0 {
+		mix = []JobSpec{opts.Job}
+	}
 
 	var mu sync.Mutex
-	var latencies []time.Duration
+	var latencies, waits []time.Duration
+	bySpec := make(map[string]int)
 	rep := &HarnessReport{Clients: opts.Clients, Budget: opts.Budget}
 
 	start := time.Now()
 	deadline := start.Add(opts.Budget)
+	var submitSeq atomic.Int64
 	var wg sync.WaitGroup
 	for c := 0; c < opts.Clients; c++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for time.Now().Before(deadline) && ctx.Err() == nil {
+				spec := mix[int(submitSeq.Add(1)-1)%len(mix)]
 				t0 := time.Now()
-				recs, _, err := client.RunJob(ctx, opts.Job)
+				recs, final, err := client.RunJob(ctx, spec)
 				lat := time.Since(t0)
 				mu.Lock()
 				switch {
@@ -130,6 +201,10 @@ func RunHarness(ctx context.Context, opts HarnessOptions) (*HarnessReport, error
 					rep.Jobs++
 					rep.Runs += len(recs)
 					latencies = append(latencies, lat)
+					bySpec[specLabel(spec)]++
+					if final != nil && final.StartedMS >= final.CreatedMS && final.StartedMS > 0 {
+						waits = append(waits, time.Duration(final.StartedMS-final.CreatedMS)*time.Millisecond)
+					}
 				}
 				mu.Unlock()
 			}
@@ -148,6 +223,12 @@ func RunHarness(ctx context.Context, opts HarnessOptions) (*HarnessReport, error
 		if l > rep.Max {
 			rep.Max = l
 		}
+	}
+	rep.QueueP50 = Percentile(waits, 0.50)
+	rep.QueueP95 = Percentile(waits, 0.95)
+	rep.QueueP99 = Percentile(waits, 0.99)
+	if len(bySpec) > 1 {
+		rep.JobsBySpec = bySpec
 	}
 	return rep, nil
 }

@@ -13,7 +13,12 @@ import (
 // follow the log without the writer tracking them.
 type job struct {
 	id   string
+	seq  int // submission order, drives the newest-first listing
 	spec JobSpec
+
+	// retired marks the job as counted into the server's retention ring;
+	// it is guarded by the Server mutex, not j.mu.
+	retired bool
 
 	mu        sync.Mutex
 	state     string
@@ -28,9 +33,10 @@ type job struct {
 	done      chan struct{}      // closed when the job reaches a terminal state
 }
 
-func newJob(id string, spec JobSpec, now time.Time) *job {
+func newJob(id string, seq int, spec JobSpec, now time.Time) *job {
 	return &job{
 		id:      id,
+		seq:     seq,
 		spec:    spec,
 		state:   StateQueued,
 		created: now,
@@ -111,9 +117,10 @@ func (j *job) finish(state, errMsg string, rec *ResultRecord, now time.Time) boo
 
 // requestCancel asks the job to stop: a queued job finishes immediately as
 // cancelled; a running job gets its context cancelled and finishes when its
-// executor observes the cancellation. Returns false if the job was already
-// terminal.
-func (j *job) requestCancel(now time.Time) bool {
+// executor observes the cancellation. The return value reports whether the
+// job reached a terminal state right here (the queued path) — running jobs
+// finish later on their executor, and already-terminal jobs not at all.
+func (j *job) requestCancel(now time.Time) (finishedNow bool) {
 	j.mu.Lock()
 	if Terminal(j.state) {
 		j.mu.Unlock()
@@ -129,7 +136,7 @@ func (j *job) requestCancel(now time.Time) bool {
 	if cancel != nil {
 		cancel()
 	}
-	return true
+	return false
 }
 
 // status snapshots the job's wire status.

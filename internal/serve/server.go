@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,6 +29,11 @@ type Options struct {
 	// QueueDepth bounds the number of jobs waiting for an executor;
 	// submissions beyond it are refused with 429 (0 → 8).
 	QueueDepth int
+	// RetainJobs bounds the terminal jobs kept in the registry for
+	// status lookups, listings and result-log replay. Beyond it the
+	// oldest-finished job is evicted — its id then answers 404 — which
+	// is what keeps server memory flat under sustained load (0 → 256).
+	RetainJobs int
 }
 
 func (o Options) withDefaults() Options {
@@ -38,6 +45,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 8
+	}
+	if o.RetainJobs <= 0 {
+		o.RetainJobs = 256
 	}
 	return o
 }
@@ -52,9 +62,10 @@ type Server struct {
 
 	queue chan *job
 
-	mu     sync.Mutex
-	jobs   map[string]*job
-	nextID int
+	mu      sync.Mutex
+	jobs    map[string]*job
+	retired []*job // terminal jobs in finish order; evicted from the front
+	nextID  int
 
 	pools []*experiment.Pool
 
@@ -79,6 +90,7 @@ type Server struct {
 	jobsDone      atomic.Int64
 	jobsFailed    atomic.Int64
 	jobsCancelled atomic.Int64
+	jobsEvicted   atomic.Int64
 }
 
 // New builds a server and starts its executors.
@@ -98,6 +110,7 @@ func New(opts Options) *Server {
 		go s.executor(pool)
 	}
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleList)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /jobs/{id}/results", s.handleResults)
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
@@ -122,6 +135,7 @@ func (s *Server) Close() {
 				if j.finish(StateCancelled, "server shutting down",
 					&ResultRecord{Type: "error", Error: "server shutting down"}, time.Now()) {
 					s.jobsCancelled.Add(1)
+					s.retire(j)
 				}
 			default:
 				return
@@ -164,6 +178,9 @@ func validateSpec(spec JobSpec) error {
 	if spec.Reps < 0 || spec.Reps > 50 {
 		return fmt.Errorf("reps %d out of range [0, 50]", spec.Reps)
 	}
+	if spec.TimeoutMS < 0 || spec.TimeoutMS > 10*60*1000 {
+		return fmt.Errorf("timeout_ms %d out of range [0, 600000]", spec.TimeoutMS)
+	}
 	return nil
 }
 
@@ -182,7 +199,16 @@ func (s *Server) executor(pool *experiment.Pool) {
 
 // execute runs one job on the executor's pool and finishes it.
 func (s *Server) execute(j *job, pool *experiment.Pool) {
-	ctx, cancel := context.WithCancel(s.baseCtx)
+	// A job deadline bounds execution wall time only: queue wait does not
+	// count against it, so a slow day at the queue cannot expire a job
+	// before it gets an executor.
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if j.spec.TimeoutMS > 0 {
+		ctx, cancel = context.WithTimeout(s.baseCtx, time.Duration(j.spec.TimeoutMS)*time.Millisecond)
+	} else {
+		ctx, cancel = context.WithCancel(s.baseCtx)
+	}
 	defer cancel()
 	if !j.start(cancel, 0, time.Now()) {
 		return // cancelled while queued
@@ -199,16 +225,25 @@ func (s *Server) execute(j *job, pool *experiment.Pool) {
 		sum := report.NewMatrixSummary(res)
 		if j.finish(StateDone, "", &ResultRecord{Type: "summary", Summary: &sum}, time.Now()) {
 			s.jobsDone.Add(1)
+			s.retire(j)
+		}
+	case errors.Is(err, context.DeadlineExceeded):
+		msg := fmt.Sprintf("deadline exceeded (timeout_ms=%d)", j.spec.TimeoutMS)
+		if j.finish(StateFailed, msg, &ResultRecord{Type: "error", Error: msg}, time.Now()) {
+			s.jobsFailed.Add(1)
+			s.retire(j)
 		}
 	case errors.Is(err, context.Canceled):
 		if j.finish(StateCancelled, "job cancelled",
 			&ResultRecord{Type: "error", Error: "job cancelled"}, time.Now()) {
 			s.jobsCancelled.Add(1)
+			s.retire(j)
 		}
 	default:
 		if j.finish(StateFailed, err.Error(),
 			&ResultRecord{Type: "error", Error: err.Error()}, time.Now()) {
 			s.jobsFailed.Add(1)
+			s.retire(j)
 		}
 	}
 }
@@ -259,6 +294,29 @@ func (s *Server) lookup(id string) *job {
 	return s.jobs[id]
 }
 
+// retire counts a freshly-terminal job into the retention ring and evicts
+// the oldest-finished jobs beyond the cap. Callers invoke it exactly where a
+// finish() returned true; the per-job retired flag makes a duplicate call
+// (e.g. a cancel racing a natural completion) harmless.
+func (s *Server) retire(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.retired {
+		return
+	}
+	j.retired = true
+	s.retired = append(s.retired, j)
+	for len(s.retired) > s.opts.RetainJobs {
+		old := s.retired[0]
+		// Shift instead of re-slicing so evicted jobs do not pin the
+		// array's dead prefix.
+		copy(s.retired, s.retired[1:])
+		s.retired = s.retired[:len(s.retired)-1]
+		delete(s.jobs, old.id)
+		s.jobsEvicted.Add(1)
+	}
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
@@ -271,7 +329,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	s.nextID++
-	j := newJob(fmt.Sprintf("job-%d", s.nextID), spec, time.Now())
+	j := newJob(fmt.Sprintf("job-%d", s.nextID), s.nextID, spec, time.Now())
 	s.jobs[j.id] = j
 	s.mu.Unlock()
 
@@ -305,26 +363,98 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no such job")
 		return
 	}
-	wasQueued := j.status().State == StateQueued
-	if j.requestCancel(time.Now()) && wasQueued {
+	// A queued job finishes right here; a running one finishes on its
+	// executor, which does its own counting and retiring.
+	if j.requestCancel(time.Now()) {
 		s.jobsCancelled.Add(1)
+		s.retire(j)
 	}
 	writeJSON(w, http.StatusOK, j.status())
 }
 
+// handleList returns the registry newest-first, optionally filtered by
+// ?state= and truncated by ?limit= (default 100, 0 = unlimited).
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	state := q.Get("state")
+	if state != "" && !ValidState(state) {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown state %q", state))
+		return
+	}
+	limit := 100
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad limit "+raw)
+			return
+		}
+		limit = n
+	}
+
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	// Snapshot statuses outside s.mu — status() takes each job's own lock.
+	list := JobList{Jobs: []JobStatus{}}
+	statuses := make([]JobStatus, 0, len(jobs))
+	seqs := make([]int, 0, len(jobs))
+	for _, j := range jobs {
+		st := j.status()
+		if state != "" && st.State != state {
+			continue
+		}
+		statuses = append(statuses, st)
+		seqs = append(seqs, j.seq)
+	}
+	sort.Sort(&bySeqDesc{seqs: seqs, statuses: statuses})
+	list.Total = len(statuses)
+	if limit > 0 && len(statuses) > limit {
+		statuses = statuses[:limit]
+	}
+	list.Jobs = statuses
+	writeJSON(w, http.StatusOK, list)
+}
+
+// bySeqDesc sorts job statuses newest-first by submission sequence.
+type bySeqDesc struct {
+	seqs     []int
+	statuses []JobStatus
+}
+
+func (b *bySeqDesc) Len() int           { return len(b.seqs) }
+func (b *bySeqDesc) Less(i, k int) bool { return b.seqs[i] > b.seqs[k] }
+func (b *bySeqDesc) Swap(i, k int) {
+	b.seqs[i], b.seqs[k] = b.seqs[k], b.seqs[i]
+	b.statuses[i], b.statuses[k] = b.statuses[k], b.statuses[i]
+}
+
 // handleResults streams a job's result log as NDJSON, following appends
 // until the job is terminal and fully delivered, or until the client
-// disconnects. Each line is one ResultRecord.
+// disconnects. Each line is one ResultRecord. ?from=N skips the first N
+// records, so a client that lost its stream after N lines resumes exactly
+// where it left off — the log is append-only, so the splice is seamless.
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(r.PathValue("id"))
 	if j == nil {
 		writeError(w, http.StatusNotFound, "no such job")
 		return
 	}
+	from := 0
+	if raw := r.URL.Query().Get("from"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad from "+raw)
+			return
+		}
+		from = n
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	rc := http.NewResponseController(w)
-	sent := 0
+	sent := from
 	for {
 		recs, terminal, wait := j.follow(sent)
 		for _, raw := range recs {
@@ -357,6 +487,9 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 
 // Stats snapshots the server gauges and counters.
 func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	tracked := len(s.jobs)
+	s.mu.Unlock()
 	st := Stats{
 		QueueDepth:    len(s.queue),
 		QueueCapacity: s.opts.QueueDepth,
@@ -364,11 +497,14 @@ func (s *Server) Stats() Stats {
 		Executors:     s.opts.Executors,
 		Workers:       s.opts.Workers,
 		Forks:         make(map[string]int),
+		JobsTracked:   tracked,
+		RetainJobs:    s.opts.RetainJobs,
 		JobsSubmitted: int(s.jobsSubmitted.Load()),
 		JobsRejected:  int(s.jobsRejected.Load()),
 		JobsDone:      int(s.jobsDone.Load()),
 		JobsFailed:    int(s.jobsFailed.Load()),
 		JobsCancelled: int(s.jobsCancelled.Load()),
+		JobsEvicted:   int(s.jobsEvicted.Load()),
 	}
 	for _, p := range s.pools {
 		st.InFlightRuns += p.InFlightRuns()

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -293,6 +294,248 @@ func TestClientDisconnectDuringStreamDoesNotLeak(t *testing.T) {
 	checkLeaks()
 }
 
+// TestJobRegistryEviction pins the retention contract: terminal jobs beyond
+// RetainJobs are evicted oldest-finished-first, an evicted id answers 404 on
+// every endpoint, and the registry gauge stays bounded — the property that
+// keeps qoed's memory flat under qoeload-scale traffic.
+func TestJobRegistryEviction(t *testing.T) {
+	srv, client, teardown := newTestServer(t,
+		Options{Executors: 1, Workers: 1, QueueDepth: 4, RetainJobs: 2})
+	ctx := context.Background()
+
+	const n = 5
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		_, final, err := client.RunJob(ctx, JobSpec{Workload: "quickstart", Configs: smallMatrix, Reps: 1, Seed: uint64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = final.ID
+	}
+
+	st := srv.Stats()
+	if st.JobsTracked != 2 {
+		t.Errorf("registry tracks %d jobs, want 2 (the retention cap)", st.JobsTracked)
+	}
+	if st.JobsEvicted != n-2 {
+		t.Errorf("evicted %d jobs, want %d", st.JobsEvicted, n-2)
+	}
+	if st.JobsDone != n {
+		t.Errorf("done counter %d, want %d (eviction must not rewrite history)", st.JobsDone, n)
+	}
+
+	// The two newest-finished jobs survive with their full result logs; the
+	// older three answer 404 on status, results and cancel alike.
+	for i, id := range ids {
+		_, stErr := client.Status(ctx, id)
+		strErr := client.StreamResults(ctx, id, func(ResultRecord) error { return nil })
+		_, cancelErr := client.Cancel(ctx, id)
+		if i < n-2 {
+			for what, err := range map[string]error{"status": stErr, "stream": strErr, "cancel": cancelErr} {
+				var ae *apiError
+				if !AsAPIError(err, &ae) || ae.Status != http.StatusNotFound {
+					t.Errorf("evicted job %s %s: got %v, want 404", id, what, err)
+				}
+			}
+		} else {
+			if stErr != nil || strErr != nil {
+				t.Errorf("retained job %s: status %v stream %v, want both nil", id, stErr, strErr)
+			}
+		}
+	}
+	teardown()
+}
+
+// TestJobRegistryEvictionUnderChurn runs eviction concurrently with
+// submission and streaming (under -race in CI): the registry gauge must stay
+// bounded and the server must keep completing jobs — eviction can never
+// wedge or corrupt the live side of the registry.
+func TestJobRegistryEvictionUnderChurn(t *testing.T) {
+	checkLeaks := baselineGoroutines(t)
+	srv, client, teardown := newTestServer(t,
+		Options{Executors: 2, Workers: 1, QueueDepth: 8, RetainJobs: 2})
+	ctx := context.Background()
+
+	const clients, perClient = 3, 4
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	streamed, evictedEarly := 0, 0
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				st, err := client.Submit(ctx, JobSpec{Workload: "quickstart", Configs: smallMatrix, Reps: 1, Seed: uint64(c*perClient + i + 1)})
+				if IsQueueFull(err) {
+					time.Sleep(10 * time.Millisecond)
+					i--
+					continue
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Under a tiny retention cap a fast job can finish AND be
+				// evicted before its own client opens the stream — a 404
+				// here is the retention contract working, not a failure.
+				err = client.StreamResults(ctx, st.ID, func(ResultRecord) error { return nil })
+				var ae *apiError
+				mu.Lock()
+				switch {
+				case err == nil:
+					streamed++
+				case AsAPIError(err, &ae) && ae.Status == http.StatusNotFound:
+					evictedEarly++
+				default:
+					t.Error(err)
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	st := srv.Stats()
+	if streamed+evictedEarly != clients*perClient {
+		t.Errorf("streamed %d + evicted-early %d != %d submissions", streamed, evictedEarly, clients*perClient)
+	}
+	if st.JobsTracked > 2 {
+		t.Errorf("registry tracks %d jobs at quiescence, want <= cap of 2", st.JobsTracked)
+	}
+	// Every accepted job ran to a terminal state regardless of eviction —
+	// the registry churn never loses or wedges work.
+	if st.JobsDone+st.JobsFailed+st.JobsCancelled != clients*perClient {
+		t.Errorf("terminal counters %d+%d+%d do not add up to %d",
+			st.JobsDone, st.JobsFailed, st.JobsCancelled, clients*perClient)
+	}
+	teardown()
+	checkLeaks()
+}
+
+// TestListJobs pins the listing endpoint: newest-first order, state
+// filtering, limit truncation with a Total that exposes it, and 400 on an
+// unknown state.
+func TestListJobs(t *testing.T) {
+	gate := make(chan struct{})
+	srv := New(Options{Executors: 1, Workers: 1, QueueDepth: 4})
+	srv.testHookJobStart = func(*job) { <-gate }
+	_, client, teardown := mountServer(t, srv)
+	ctx := context.Background()
+	spec := JobSpec{Workload: "quickstart", Configs: smallMatrix, Reps: 1}
+
+	running, err := client.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, client, running.ID, StateRunning)
+	queued, err := client.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	all, err := client.List(ctx, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Total != 2 || len(all.Jobs) != 2 {
+		t.Fatalf("list: total %d len %d, want 2 and 2", all.Total, len(all.Jobs))
+	}
+	if all.Jobs[0].ID != queued.ID || all.Jobs[1].ID != running.ID {
+		t.Errorf("list order [%s %s], want newest-first [%s %s]",
+			all.Jobs[0].ID, all.Jobs[1].ID, queued.ID, running.ID)
+	}
+
+	onlyRunning, err := client.List(ctx, StateRunning, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(onlyRunning.Jobs) != 1 || onlyRunning.Jobs[0].ID != running.ID {
+		t.Errorf("state=running listed %d jobs, want just %s", len(onlyRunning.Jobs), running.ID)
+	}
+
+	limited, err := client.List(ctx, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limited.Jobs) != 1 || limited.Total != 2 {
+		t.Errorf("limit=1: len %d total %d, want 1 and 2 (truncation must be visible)",
+			len(limited.Jobs), limited.Total)
+	}
+
+	var ae *apiError
+	if _, err := client.List(ctx, "sideways", 0); !AsAPIError(err, &ae) || ae.Status != http.StatusBadRequest {
+		t.Errorf("unknown state filter: got %v, want 400", err)
+	}
+
+	close(gate)
+	waitState(t, client, running.ID, StateDone)
+	waitState(t, client, queued.ID, StateDone)
+	done, err := client.List(ctx, StateDone, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Total != 2 {
+		t.Errorf("state=done total %d after drain, want 2", done.Total)
+	}
+	teardown()
+}
+
+// TestJobDeadlineExceeded pins the per-job deadline: a job whose sweep
+// overruns timeout_ms ends failed with a deadline error, the executor is
+// freed, and the warmed sessions stay reusable — a runaway job cannot hold
+// an executor hostage.
+func TestJobDeadlineExceeded(t *testing.T) {
+	var first sync.Once
+	srv := New(Options{Executors: 1, Workers: 1, QueueDepth: 4})
+	// Stall the sweep well past the deadline after its first record; the
+	// pool then refuses to claim further replays and the executor
+	// surfaces context.DeadlineExceeded.
+	srv.testHookRunRecord = func(*job) {
+		first.Do(func() { time.Sleep(500 * time.Millisecond) })
+	}
+	_, client, teardown := mountServer(t, srv)
+	ctx := context.Background()
+
+	st, err := client.Submit(ctx, JobSpec{Workload: "quickstart", Reps: 3, Seed: 2, TimeoutMS: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.StreamResults(ctx, st.ID, func(ResultRecord) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	final, err := client.Status(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateFailed || !strings.Contains(final.Error, "deadline exceeded") {
+		t.Fatalf("state %q error %q, want failed with a deadline error", final.State, final.Error)
+	}
+	if final.Runs >= final.TotalRuns {
+		t.Errorf("deadline job delivered %d/%d records; the deadline should land mid-sweep",
+			final.Runs, final.TotalRuns)
+	}
+	if got := srv.Stats().JobsFailed; got != 1 {
+		t.Errorf("jobs_failed %d, want 1", got)
+	}
+
+	// Executor freed, sessions warm: an undeadlined job completes.
+	warm := srv.Stats().WarmSessions
+	if warm == 0 {
+		t.Fatal("no warm sessions after the deadlined job")
+	}
+	_, final2, err := client.RunJob(ctx, JobSpec{Workload: "quickstart", Configs: smallMatrix, Reps: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final2.State != StateDone {
+		t.Fatalf("follow-up job state %q", final2.State)
+	}
+	if after := srv.Stats().WarmSessions; after != warm {
+		t.Errorf("warm sessions %d -> %d across the deadline; they must survive", warm, after)
+	}
+	teardown()
+}
+
 // TestSubmitValidation rejects malformed jobs before they occupy queue
 // slots.
 func TestSubmitValidation(t *testing.T) {
@@ -304,6 +547,8 @@ func TestSubmitValidation(t *testing.T) {
 		{Workload: "quickstart", Configs: []string{"3.00 GHz"}},
 		{Workload: "quickstart", Configs: []string{"ondemand"}}, // no fixed freq on single-cluster
 		{Workload: "quickstart", Reps: 100},
+		{Workload: "quickstart", TimeoutMS: -1},
+		{Workload: "quickstart", TimeoutMS: 3_600_000},
 	}
 	for i, spec := range cases {
 		_, err := client.Submit(ctx, spec)
