@@ -16,7 +16,15 @@
 // Usage:
 //
 //	qoed [-addr 127.0.0.1:8090] [-executors 2] [-workers N] [-queue 8] \
-//	     [-retain 256]
+//	     [-retain 256] [-journal DIR] [-stall 2m]
+//
+// With -journal, every job's spec, result records and terminal state are
+// spooled to a per-job CRC-framed append-only file under DIR; on restart
+// finished jobs come back listable and streamable, interrupted jobs are
+// re-queued and resume at their last durable record. With -stall > 0, a
+// running job whose workers make no progress for that long is failed and its
+// executor counted unhealthy; while no executor is healthy /healthz answers
+// 503 and submissions are shed with 429.
 package main
 
 import (
@@ -38,14 +46,22 @@ func main() {
 	workers := flag.Int("workers", 0, "replay workers per executor pool (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 8, "queued-job limit; submissions beyond it get 429")
 	retain := flag.Int("retain", 256, "terminal jobs retained for status/results replay; older ones are evicted")
+	journal := flag.String("journal", "", "durable job journal directory (empty = off); jobs survive restarts")
+	stall := flag.Duration("stall", 2*time.Minute, "stuck-run watchdog timeout (0 = off)")
 	flag.Parse()
 
-	srv := serve.New(serve.Options{
-		Executors:  *executors,
-		Workers:    *workers,
-		QueueDepth: *queue,
-		RetainJobs: *retain,
+	srv, err := serve.New(serve.Options{
+		Executors:    *executors,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		RetainJobs:   *retain,
+		Journal:      *journal,
+		StallTimeout: *stall,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qoed: %v\n", err)
+		os.Exit(1)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	stop := make(chan os.Signal, 1)

@@ -10,12 +10,18 @@
 // report breaks completed jobs down per spec. -json emits the report as one
 // JSON object (durations in milliseconds) for downstream tooling.
 //
+// -chaos mixes deterministic client-side faults into the load: every cutth
+// submission's result stream is cut mid-record (the client's ?from= resume
+// must recover it) and every cancelth submission is cancelled right after
+// submit. The report then carries recovered-vs-failed counts for the
+// injected faults, in both the text and -json forms.
+//
 // Usage:
 //
 //	qoeload [-url http://127.0.0.1:8090] [-clients 4] [-budget 30s] \
 //	        [-workload quickstart] [-soc dragonboard[,biglittle]] [-idle] \
 //	        [-configs "0.96 GHz,2.15 GHz,ondemand"] [-reps 1] [-seed 1] \
-//	        [-timeout 0] [-json]
+//	        [-timeout 0] [-chaos [cut=N][,cancel=M]] [-json]
 package main
 
 import (
@@ -42,8 +48,15 @@ func main() {
 	reps := flag.Int("reps", 1, "repetitions per configuration")
 	seed := flag.Uint64("seed", 1, "sweep master seed")
 	timeout := flag.Duration("timeout", 0, "per-job execution deadline (0 = none)")
+	chaos := flag.String("chaos", "", `client-side fault mix, e.g. "cut=3,cancel=5" (cut every Nth stream, cancel every Mth job)`)
 	asJSON := flag.Bool("json", false, "emit the report as JSON (durations in ms)")
 	flag.Parse()
+
+	chaosMix, err := parseChaos(*chaos)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qoeload: %v\n", err)
+		os.Exit(1)
+	}
 
 	base := serve.JobSpec{
 		Workload:  *workloadName,
@@ -77,6 +90,7 @@ func main() {
 		Clients: *clients,
 		Budget:  *budget,
 		Jobs:    mix,
+		Chaos:   chaosMix,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qoeload: %v\n", err)
@@ -95,4 +109,38 @@ func main() {
 	if rep.Errors > 0 {
 		os.Exit(1)
 	}
+}
+
+// parseChaos parses the -chaos mix: a comma-separated list of cut=N and
+// cancel=M. Empty means no chaos.
+func parseChaos(s string) (serve.HarnessChaos, error) {
+	var c serve.HarnessChaos
+	if s == "" {
+		return c, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		n := 0
+		if ok {
+			if _, err := fmt.Sscanf(val, "%d", &n); err != nil || n < 1 {
+				ok = false
+			}
+		}
+		if !ok {
+			return c, fmt.Errorf("bad -chaos entry %q (want cut=N or cancel=M, N >= 1)", part)
+		}
+		switch key {
+		case "cut":
+			c.CutEvery = n
+		case "cancel":
+			c.CancelEvery = n
+		default:
+			return c, fmt.Errorf("unknown -chaos fault %q (want cut or cancel)", key)
+		}
+	}
+	return c, nil
 }

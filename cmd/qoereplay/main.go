@@ -165,7 +165,10 @@ func main() {
 	// Fixed configs pin each cluster at the lowest OPP at or above the
 	// labelled frequency on its own ladder (cpufreq RELATION_L, handled by
 	// Config.Governors).
-	govs := cfg.Governors(w.Profile)
+	govs, err := cfg.Governors(w.Profile)
+	if err != nil {
+		fatal(err)
+	}
 
 	gestures := match.Gestures(rec.Events)
 	art := workload.ReplayMulti(w, rec, govs, cfg.Name, *seed, true)

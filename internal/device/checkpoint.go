@@ -254,3 +254,12 @@ func (p *CheckpointPool) Put(cp *Checkpoint) {
 		p.free = append(p.free, cp)
 	}
 }
+
+// FaultCorrupt deliberately wrecks the checkpoint's serialised app/service
+// state so the next Restore fails loudly: the typed snapshot reads run off
+// the truncated buffer and panic deterministically. This is the
+// fault-injection stand-in for "a warm checkpoint was silently damaged" —
+// the failure the replay pool's panic recovery and session quarantine must
+// contain and heal (evict the poisoned session, reboot cold on next use).
+// Fault-injection suites only.
+func (cp *Checkpoint) FaultCorrupt() { cp.state.FaultTruncate() }

@@ -49,6 +49,12 @@ type Config struct {
 	// multi-cluster SoC specs (e.g. powersave on little, interactive on big).
 	// When nil, NewGovernor is invoked once per cluster.
 	NewGovernors func() []governor.Governor
+	// ArmNames, when non-empty, names one governor per cluster and replaces
+	// the factory closures: Governors resolves each name against its
+	// cluster's own ladder via GovernorByName. Mixed arms are built this way
+	// so an unknown name is a returned error (a 400 by the time it crosses
+	// the serve API), never a worker panic.
+	ArmNames []string
 	// Table is the OPP ladder the config was built against (set by
 	// AllConfigs). On multi-cluster specs, fixed-frequency configs use it to
 	// translate their label onto each cluster's own ladder.
@@ -60,11 +66,30 @@ type Config struct {
 // lowest OPP of its own ladder at or above the labelled frequency (cpufreq
 // RELATION_L), clamped to the ladder top — applying the source-ladder index
 // verbatim would pin smaller clusters at frequencies unrelated to the label.
-func (c Config) Governors(prof device.Profile) []governor.Governor {
-	if c.NewGovernors != nil {
-		return c.NewGovernors()
-	}
+// Misconfigured configs — unknown arm names, arm counts that don't match the
+// cluster count, a fixed label with no source ladder — are returned errors:
+// configs are user input by the time sweeps run as a service, and a bad one
+// must fail the request, not the process.
+func (c Config) Governors(prof device.Profile) ([]governor.Governor, error) {
 	spec := prof.SoCSpec()
+	if len(c.ArmNames) > 0 {
+		if len(c.ArmNames) != len(spec.Clusters) {
+			return nil, fmt.Errorf("experiment: config %q names %d governors for a %d-cluster spec",
+				c.Name, len(c.ArmNames), len(spec.Clusters))
+		}
+		govs := make([]governor.Governor, len(spec.Clusters))
+		for i, cs := range spec.Clusters {
+			g, err := GovernorByName(c.ArmNames[i], cs.Table)
+			if err != nil {
+				return nil, err
+			}
+			govs[i] = g
+		}
+		return govs, nil
+	}
+	if c.NewGovernors != nil {
+		return c.NewGovernors(), nil
+	}
 	govs := make([]governor.Governor, len(spec.Clusters))
 	if c.OPPIndex >= 0 && len(spec.Clusters) > 1 {
 		if len(c.Table) == 0 {
@@ -72,19 +97,19 @@ func (c Config) Governors(prof device.Profile) []governor.Governor {
 			// translated; falling back to per-cluster NewGovernor would pin
 			// smaller clusters at an index unrelated to the label and skew
 			// results silently.
-			panic(fmt.Sprintf("experiment: fixed config %q on a %d-cluster spec needs Config.Table (use AllConfigs)",
-				c.Name, len(spec.Clusters)))
+			return nil, fmt.Errorf("experiment: fixed config %q on a %d-cluster spec needs Config.Table (use AllConfigs)",
+				c.Name, len(spec.Clusters))
 		}
 		khz := c.Table[c.OPPIndex].KHz
 		for i, cs := range spec.Clusters {
 			govs[i] = governor.NewFixed(cs.Table, cs.Table.IndexAtLeast(khz))
 		}
-		return govs
+		return govs, nil
 	}
 	for i := range govs {
 		govs[i] = c.NewGovernor()
 	}
-	return govs
+	return govs, nil
 }
 
 // AllConfigs returns the paper's 17 configurations in its figures' x-axis
@@ -190,22 +215,40 @@ type Options struct {
 	// OnRun, when set, is invoked once per completed replay with the
 	// sweep-relative progress — the streaming hook the serve layer turns
 	// into NDJSON. It is called from worker goroutines concurrently; the
-	// callback must be safe for concurrent use.
+	// callback must be safe for concurrent use. Contained panics are
+	// delivered too, as Kind "fault" updates carrying the panic message and
+	// stack.
 	OnRun func(RunUpdate)
+	// Heartbeat, when set, is called from worker goroutines when a replay
+	// starts and when it ends — the liveness signal a stuck-run watchdog
+	// distinguishes "slow sweep" from "wedged run" by. Must be safe for
+	// concurrent use.
+	Heartbeat func()
+	// TestHookRun, when set, runs at the start of every replay job with the
+	// job's sweep index. It exists for the fault-injection suites — a hook
+	// that panics exercises the containment path, one that blocks simulates
+	// a wedged run — and is never set in production.
+	TestHookRun func(ji int)
 }
 
 // RunUpdate describes one completed replay of a sweep, delivered through
 // Options.OnRun as workers finish. Index/Total are positions in the sweep's
 // deterministic job order, not completion order.
 type RunUpdate struct {
-	// Kind is "config" for matrix runs and "candidate" for the oracle's
-	// placement-pinned runs (Run is nil for candidates).
+	// Kind is "config" for matrix runs, "candidate" for the oracle's
+	// placement-pinned runs (Run is nil for candidates), and "fault" for a
+	// replay whose panic the pool contained (Err and Stack are set, Run is
+	// nil).
 	Kind   string
 	Config string // config name, or "<cluster>@<OPP label>" for candidates
 	Rep    int
 	Index  int
 	Total  int
 	Run    *Run
+	// Err and Stack describe a contained panic on Kind "fault" updates: the
+	// panic message and the worker stack captured at the recovery site.
+	Err   string
+	Stack string
 }
 
 func (o Options) withDefaults() Options {
@@ -236,13 +279,14 @@ func (o Options) progress(format string, args ...any) {
 }
 
 // runJobs fans the sweep's replay jobs over the configured pool (the
-// caller's long-lived one, or a transient pool of Workers width).
-func (o Options) runJobs(n int, fn func(ji int, scratch *replayScratch)) error {
+// caller's long-lived one, or a transient pool of Workers width). onPanic
+// receives jobs whose panic the pool contained.
+func (o Options) runJobs(n int, fn func(ji int, scratch *replayScratch), onPanic func(ji int, pe *PanicError)) error {
 	pool := o.Pool
 	if pool == nil {
 		pool = NewPool(o.Workers)
 	}
-	return pool.run(o.Context, n, fn)
+	return pool.run(o.Context, n, fn, onPanic)
 }
 
 // emit delivers a completed-replay update to the OnRun hook, if any.
@@ -250,6 +294,27 @@ func (o Options) emit(u RunUpdate) {
 	if o.OnRun != nil {
 		o.OnRun(u)
 	}
+}
+
+// beat delivers one liveness heartbeat, if a watchdog is listening.
+func (o Options) beat() {
+	if o.Heartbeat != nil {
+		o.Heartbeat()
+	}
+}
+
+// jobEnter runs the per-job test hook and the start-of-run heartbeat.
+func (o Options) jobEnter(ji int) {
+	if o.TestHookRun != nil {
+		o.TestHookRun(ji)
+	}
+	o.beat()
+}
+
+// faultUpdate converts a contained panic into the Kind "fault" update
+// streamed through OnRun.
+func faultUpdate(ji, total int, pe *PanicError) RunUpdate {
+	return RunUpdate{Kind: "fault", Index: ji, Total: total, Err: pe.Error(), Stack: string(pe.Stack)}
 }
 
 // RunDataset executes the full matrix for one workload: record once,
@@ -309,12 +374,18 @@ func RunDataset(w *workload.Workload, model *power.Model, opts Options) (*Datase
 	runs := make([]*Run, len(jobs))
 	errs := make([]error, len(jobs))
 	poolErr := opts.runJobs(len(jobs), func(ji int, scratch *replayScratch) {
+		opts.jobEnter(ji)
+		defer opts.beat()
 		j := jobs[ji]
 		seed := opts.Seed ^ (uint64(ji+1) * 0x9e3779b9)
 		runs[ji], errs[ji] = executeRun(w, rec, db, res.Gestures, model, socModel, j.cfg, j.rep, seed, scratch)
 		if errs[ji] == nil {
 			opts.emit(RunUpdate{Kind: "config", Config: j.cfg.Name, Rep: j.rep, Index: ji, Total: len(jobs), Run: runs[ji]})
 		}
+	}, func(ji int, pe *PanicError) {
+		errs[ji] = pe
+		opts.emit(faultUpdate(ji, len(jobs), pe))
+		opts.beat()
 	})
 	if poolErr != nil {
 		return nil, fmt.Errorf("experiment: %s: %w", w.Name, poolErr)
@@ -339,7 +410,11 @@ func executeRun(w *workload.Workload, rec *workload.Recording, db *annotate.DB,
 	gestures []evdev.Gesture, model *power.Model, socModel *power.SoCModel,
 	cfg Config, rep int, seed uint64, scratch *replayScratch) (*Run, error) {
 	w = scratch.pooledWorkload(w)
-	art := scratch.session(w).ReplayRecording(rec, cfg.Governors(w.Profile), cfg.Name, seed, true)
+	govs, err := cfg.Governors(w.Profile)
+	if err != nil {
+		return nil, err
+	}
+	art := scratch.session(w).ReplayRecording(rec, govs, cfg.Name, seed, true)
 	profile, err := match.Match(art.Video, db, gestures, cfg.Name, match.Options{Strict: true})
 	if err != nil {
 		return nil, err

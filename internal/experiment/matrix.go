@@ -30,22 +30,25 @@ var MixedArms = [][2]string{
 	{"interactive", "performance"},
 }
 
-// governorByName builds a fresh governor instance for one cluster. tbl is the
-// cluster's own ladder (used by the pinned powersave/performance arms).
-func governorByName(name string, tbl power.Table) governor.Governor {
+// GovernorByName builds a fresh governor instance for one cluster. tbl is the
+// cluster's own ladder (used by the pinned powersave/performance arms). An
+// unknown name is a returned error, never a panic: governor names are user
+// input by the time sweeps run behind flags and HTTP job specs, and a typo
+// must fail the one request — a 400 from POST /jobs — not a replay worker.
+func GovernorByName(name string, tbl power.Table) (governor.Governor, error) {
 	switch name {
 	case "conservative":
-		return governor.NewConservative()
+		return governor.NewConservative(), nil
 	case "interactive":
-		return governor.NewInteractive()
+		return governor.NewInteractive(), nil
 	case "ondemand":
-		return governor.NewOndemand()
+		return governor.NewOndemand(), nil
 	case "powersave":
-		return governor.Powersave(tbl)
+		return governor.Powersave(tbl), nil
 	case "performance":
-		return governor.Performance(tbl)
+		return governor.Performance(tbl), nil
 	}
-	panic(fmt.Sprintf("experiment: unknown governor %q", name))
+	return nil, fmt.Errorf("experiment: unknown governor %q", name)
 }
 
 // MatrixConfigs returns the full characterisation matrix for a SoC spec. On
@@ -66,42 +69,41 @@ func MatrixConfigs(spec soc.Spec) []Config {
 	if len(spec.Clusters) != 2 {
 		return out
 	}
-	littleTbl := spec.Clusters[0].Table
 	for _, arm := range MixedArms {
-		arm := arm
 		out = append(out, Config{
 			Name:     arm[0] + "/" + arm[1],
 			OPPIndex: -1,
-			NewGovernors: func() []governor.Governor {
-				return []governor.Governor{
-					governorByName(arm[0], littleTbl),
-					governorByName(arm[1], bigTbl),
-				}
-			},
+			ArmNames: []string{arm[0], arm[1]},
 		})
 	}
 	return out
 }
 
 // ValidateSelection checks a config-matrix selection against a spec without
-// running anything: every name must exist in MatrixConfigs(spec), and on
+// running anything: every name must exist in MatrixConfigs(spec) or be a
+// resolvable "<little>/<big>" mixed arm on a two-cluster spec, and on
 // single-cluster specs the selection must keep at least one fixed frequency.
-// An empty selection (= full matrix) is always valid.
+// An empty selection (= full matrix) is always valid. The error is exactly
+// what a submission endpoint should echo back as a 400.
 func ValidateSelection(spec soc.Spec, names []string) error {
 	if len(names) == 0 {
 		return nil
 	}
-	_, err := selectConfigs(MatrixConfigs(spec), names, len(spec.Clusters) == 1)
+	_, err := selectConfigs(spec, MatrixConfigs(spec), names)
 	return err
 }
 
 // selectConfigs restricts a matrix to the named subset, preserving matrix
 // order (so the same selection always yields the same sweep regardless of
-// the order names were given in). Unknown names are an error; on
-// single-cluster specs the selection must retain at least one fixed
+// the order names were given in). Names outside the standard matrix are
+// accepted on two-cluster specs when they parse as "<little>/<big>" mixed
+// arms with known governor names — the sweep-as-a-service form of "run me a
+// custom arm" — and are appended after the matrix subset in the order given.
+// Anything else is an error, as is a governor name GovernorByName rejects;
+// on single-cluster specs the selection must retain at least one fixed
 // frequency, which the oracle needs as candidate set and threshold
 // reference.
-func selectConfigs(all []Config, names []string, singleCluster bool) ([]Config, error) {
+func selectConfigs(spec soc.Spec, all []Config, names []string) ([]Config, error) {
 	want := make(map[string]bool, len(names))
 	for _, n := range names {
 		want[n] = true
@@ -118,13 +120,42 @@ func selectConfigs(all []Config, names []string, singleCluster bool) ([]Config, 
 			fixed = true
 		}
 	}
-	for n := range want {
-		return nil, fmt.Errorf("unknown config %q in selection", n)
+	for _, n := range names {
+		if !want[n] {
+			continue
+		}
+		delete(want, n)
+		cfg, err := mixedArmConfig(spec, n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cfg)
 	}
-	if singleCluster && !fixed {
+	if len(spec.Clusters) == 1 && !fixed {
 		return nil, fmt.Errorf("config selection needs at least one fixed frequency on a single-cluster spec (oracle candidates)")
 	}
 	return out, nil
+}
+
+// mixedArmConfig parses a config name outside the standard matrix as a
+// per-cluster governor assignment ("<little governor>/<big governor>") on a
+// two-cluster spec, resolving every governor name so a typo fails here — at
+// validation — rather than inside a replay worker.
+func mixedArmConfig(spec soc.Spec, name string) (Config, error) {
+	if !IsMixedArm(name) || len(spec.Clusters) != 2 {
+		return Config{}, fmt.Errorf("unknown config %q in selection", name)
+	}
+	parts := strings.Split(name, "/")
+	if len(parts) != len(spec.Clusters) {
+		return Config{}, fmt.Errorf("mixed arm %q names %d governors for a %d-cluster spec",
+			name, len(parts), len(spec.Clusters))
+	}
+	for i, gov := range parts {
+		if _, err := GovernorByName(gov, spec.Clusters[i].Table); err != nil {
+			return Config{}, fmt.Errorf("config %q: %w", name, err)
+		}
+	}
+	return Config{Name: name, OPPIndex: -1, ArmNames: parts}, nil
 }
 
 // MatrixResult holds the spec-aware characterisation sweep of one workload:
@@ -189,7 +220,7 @@ func RunMatrix(w *workload.Workload, spec soc.Spec, opts Options) (*MatrixResult
 		Runs:     make(map[string][]*Run),
 	}
 	if len(opts.Configs) > 0 {
-		sel, err := selectConfigs(res.Configs, opts.Configs, len(spec.Clusters) == 1)
+		sel, err := selectConfigs(spec, res.Configs, opts.Configs)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: %w", err)
 		}
@@ -250,6 +281,8 @@ func RunMatrix(w *workload.Workload, spec soc.Spec, opts Options) (*MatrixResult
 	cands := make([]oracle.ClusterFixedRun, len(jobs))
 	errs := make([]error, len(jobs))
 	poolErr := opts.runJobs(len(jobs), func(ji int, scratch *replayScratch) {
+		opts.jobEnter(ji)
+		defer opts.beat()
 		j := jobs[ji]
 		seed := opts.Seed ^ (uint64(ji+1) * 0x9e3779b9)
 		if !j.candidate {
@@ -265,6 +298,10 @@ func RunMatrix(w *workload.Workload, spec soc.Spec, opts Options) (*MatrixResult
 			opts.emit(RunUpdate{Kind: "candidate", Config: cs.Name + "@" + cs.Table[j.opp].Label(),
 				Rep: j.rep, Index: ji, Total: len(jobs)})
 		}
+	}, func(ji int, pe *PanicError) {
+		errs[ji] = pe
+		opts.emit(faultUpdate(ji, len(jobs), pe))
+		opts.beat()
 	})
 	if poolErr != nil {
 		return nil, fmt.Errorf("experiment: %s: %w", w.Name, poolErr)

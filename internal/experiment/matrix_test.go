@@ -42,7 +42,10 @@ func TestMatrixConfigsShapes(t *testing.T) {
 	prof := workload.Quickstart().Profile
 	prof.SoC = soc.BigLittle44()
 	for _, c := range bl {
-		govs := c.Governors(prof)
+		govs, err := c.Governors(prof)
+		if err != nil {
+			t.Fatalf("config %q: %v", c.Name, err)
+		}
 		if len(govs) != 2 {
 			t.Fatalf("config %q built %d governors, want 2", c.Name, len(govs))
 		}

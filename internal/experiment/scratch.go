@@ -22,6 +22,11 @@ type replayScratch struct {
 	frames   *video.FramePool
 	traces   []*trace.ClusterTraces
 	sessions *workload.SessionRegistry
+	// activeKey is the session key of the warm session the current job is
+	// replaying on, "" when the job has not touched a session. The pool's
+	// panic recovery uses it to quarantine exactly the possibly-poisoned
+	// session and nothing else.
+	activeKey string
 }
 
 func newReplayScratch() *replayScratch {
@@ -41,7 +46,18 @@ func newReplayScratch() *replayScratch {
 // the oracle's placement-pinned sub-specs carry distinct spec names
 // ("<spec>-<cluster>-only") and land in their own slots.
 func (s *replayScratch) session(w *workload.Workload) *workload.ReplaySession {
+	s.activeKey = workload.SessionKey(w)
 	return s.sessions.Session(w)
+}
+
+// quarantineActive evicts the warm session the current job was using, if
+// any — the containment step after a recovered panic. A job that panicked
+// before acquiring a session quarantines nothing.
+func (s *replayScratch) quarantineActive() {
+	if s.activeKey != "" {
+		s.sessions.Evict(s.activeKey)
+		s.activeKey = ""
+	}
 }
 
 // takeTraces hands out the recycled per-cluster traces for the next replay
@@ -75,5 +91,5 @@ func (s *replayScratch) release(v *video.Video) { s.frames.Release(v) }
 // to its own index — the same contract the sweeps' pre-sized result slices
 // already rely on for deterministic ordering.
 func forEachJob(workers, n int, fn func(ji int, scratch *replayScratch)) {
-	NewPool(workers).run(context.Background(), n, fn)
+	NewPool(workers).run(context.Background(), n, fn, nil)
 }

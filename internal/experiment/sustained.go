@@ -248,7 +248,12 @@ func RunSustained(w *workload.Workload, configs []Config, opts SustainedOptions)
 		}
 		sw := &workload.Workload{Name: w.Name, Profile: prof, Duration: sustained.Duration}
 		seed := opts.Seed ^ (uint64(ji+1) * 0x9e3779b9)
-		art := workload.ReplayMulti(sw, sustained, j.cfg.Governors(prof), j.cfg.Name, seed, true)
+		govs, err := j.cfg.Governors(prof)
+		if err != nil {
+			errs[ji] = err
+			return
+		}
+		art := workload.ReplayMulti(sw, sustained, govs, j.cfg.Name, seed, true)
 		profile, err := match.Match(art.Video, db, gestures, j.cfg.Name, match.Options{Strict: true})
 		if err != nil {
 			errs[ji] = err

@@ -1,0 +1,141 @@
+package faultinject
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestPlanFiresOnExactHit(t *testing.T) {
+	p := NewPlan()
+	p.Arm("site", 3)
+	got := []bool{p.Fire("site"), p.Fire("site"), p.Fire("site"), p.Fire("site")}
+	want := []bool{false, false, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d fired=%v, want %v", i+1, got[i], want[i])
+		}
+	}
+	if p.Fired("site") != 1 {
+		t.Fatalf("fired %d, want 1", p.Fired("site"))
+	}
+	if p.Hits("site") != 4 {
+		t.Fatalf("hits %d, want 4", p.Hits("site"))
+	}
+	if p.Pending("site") {
+		t.Fatal("plan still pending after its one fault fired")
+	}
+}
+
+func TestPlanSitesAreIndependent(t *testing.T) {
+	p := NewPlan()
+	p.Arm("a", 1)
+	if p.Fire("b") {
+		t.Fatal("unarmed site fired")
+	}
+	if !p.Fire("a") {
+		t.Fatal("armed site did not fire")
+	}
+}
+
+// A plan hammered from many goroutines must fire each armed fault exactly
+// once (the counting is what makes chaos runs deterministic in aggregate).
+func TestPlanConcurrentFireExactlyOnce(t *testing.T) {
+	p := NewPlan()
+	p.Arm("s", 50)
+	p.Arm("s", 150)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	count := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if p.Fire("s") {
+					mu.Lock()
+					count++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if count != 2 {
+		t.Fatalf("%d faults fired across 200 hits, want 2", count)
+	}
+}
+
+func TestInjectedRecognition(t *testing.T) {
+	p := NewPlan()
+	p.Arm("x", 1)
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		if p.Fire("x") {
+			PanicNow(p, "x")
+		}
+	}()
+	if recovered == nil || !IsInjected(recovered) {
+		t.Fatalf("recovered %v, want an Injected value", recovered)
+	}
+	if IsInjected("some other panic") {
+		t.Fatal("arbitrary string recognised as injected")
+	}
+}
+
+func TestCutTransportCutsArmedResponse(t *testing.T) {
+	payload := make([]byte, 1024)
+	for i := range payload {
+		payload[i] = byte('a' + i%26)
+	}
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(payload)
+	}))
+	defer hs.Close()
+
+	plan := NewPlan()
+	plan.Arm("cut", 2)
+	client := &http.Client{Transport: &CutTransport{Plan: plan, Site: "cut", Bytes: 100}}
+
+	// First response passes through whole.
+	resp, err := client.Get(hs.URL + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || len(body) != len(payload) {
+		t.Fatalf("first response: %d bytes, err %v", len(body), err)
+	}
+
+	// Second is cut after 100 bytes.
+	resp, err = client.Get(hs.URL + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != ErrCut {
+		t.Fatalf("cut read ended %v, want ErrCut", err)
+	}
+	if len(body) != 100 {
+		t.Fatalf("cut after %d bytes, want 100", len(body))
+	}
+
+	// Path filter: non-matching requests never count hits.
+	plan2 := NewPlan()
+	plan2.Arm("cut", 1)
+	client2 := &http.Client{Transport: &CutTransport{Plan: plan2, Site: "cut", PathSuffix: "/results"}}
+	resp, err = client2.Get(hs.URL + "/other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if plan2.Hits("cut") != 0 {
+		t.Fatalf("non-matching path counted %d hits", plan2.Hits("cut"))
+	}
+}

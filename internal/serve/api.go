@@ -22,6 +22,18 @@
 // filters. Terminal jobs are retained up to Options.RetainJobs and then
 // evicted oldest-finished-first, which keeps the registry bounded under
 // sustained load; an evicted job's id answers 404 everywhere.
+//
+// The server is crash-safe and self-healing. Replay panics are contained per
+// run: the job fails with partial results and a "fault" record carrying the
+// stack, the possibly-poisoned warm session is quarantined (cold reboot on
+// next use), and the process carries on. With Options.Journal set, every
+// job's spec, result records and terminal state spool to per-job CRC-framed
+// append-only files; a restarted server recovers finished jobs and re-queues
+// interrupted ones, resuming their logs at the last durable record. With
+// Options.StallTimeout set, a watchdog fails runs that stop making progress,
+// and when every executor is wedged the server degrades gracefully: /healthz
+// answers 503 and submissions shed with 429. See docs/serving.md,
+// "Reliability".
 package serve
 
 import (
@@ -111,9 +123,17 @@ type JobList struct {
 type ResultRecord struct {
 	// Type is "run" (one config replay completed), "candidate" (one
 	// oracle placement-pinned replay completed; progress only, no
-	// payload), "summary" (terminal, sweep aggregates) or "error"
+	// payload), "fault" (one replay panicked; the panic was contained, the
+	// session quarantined, and the job will finish "failed" with whatever
+	// completed), "summary" (terminal, sweep aggregates) or "error"
 	// (terminal, sweep failed or cancelled).
 	Type string `json:"type"`
+	// Index is the replay's position in the sweep's deterministic job
+	// order, set on "run", "candidate" and "fault" records. It is the
+	// resume key of the durable journal: a re-executed job skips appending
+	// records whose index already survived on disk. A pointer because
+	// index 0 is a real position.
+	Index *int `json:"index,omitempty"`
 	// Run is set for "run" records.
 	Run *report.RunRecord `json:"run,omitempty"`
 	// Candidate labels a completed candidate replay ("<cluster>@<OPP>")
@@ -122,8 +142,10 @@ type ResultRecord struct {
 	Rep       int    `json:"rep,omitempty"`
 	// Summary is set for the terminal "summary" record.
 	Summary *report.MatrixSummary `json:"summary,omitempty"`
-	// Error is set for the terminal "error" record.
+	// Error is set for "error" and "fault" records; Stack carries the
+	// contained panic's worker stack on "fault" records.
 	Error string `json:"error,omitempty"`
+	Stack string `json:"stack,omitempty"`
 }
 
 // Stats is the /statsz document: queue and pool gauges plus job counters.
@@ -137,9 +159,12 @@ type Stats struct {
 	RunningJobs   int `json:"running_jobs"`
 	InFlightRuns  int `json:"in_flight_runs"`
 	// Executors is the number of job executors, Workers the replay pool
-	// width of each.
-	Executors int `json:"executors"`
-	Workers   int `json:"workers"`
+	// width of each. HealthyExecutors counts executors not currently
+	// wedged on a stalled run; when it hits zero /healthz turns 503 and
+	// submissions are shed with 429.
+	Executors        int `json:"executors"`
+	Workers          int `json:"workers"`
+	HealthyExecutors int `json:"healthy_executors"`
 	// WarmSessions counts warmed replay sessions across all pools; Forks
 	// the replays served per session key ("workload|spec[+idle]").
 	WarmSessions int            `json:"warm_sessions"`
@@ -157,4 +182,14 @@ type Stats struct {
 	JobsFailed    int `json:"jobs_failed"`
 	JobsCancelled int `json:"jobs_cancelled"`
 	JobsEvicted   int `json:"jobs_evicted"`
+	// Reliability counters: replay panics contained by the pools, warm
+	// sessions quarantined after them, jobs failed by the stall watchdog,
+	// submissions shed while no executor was healthy, and journal
+	// recovery's terminal-jobs-restored / interrupted-jobs-requeued split.
+	RunPanics          int `json:"run_panics"`
+	SessionQuarantines int `json:"session_quarantines"`
+	JobsStalled        int `json:"jobs_stalled"`
+	JobsShed           int `json:"jobs_shed"`
+	JobsRecovered      int `json:"jobs_recovered"`
+	JobsRequeued       int `json:"jobs_requeued"`
 }

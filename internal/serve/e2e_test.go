@@ -32,9 +32,19 @@ var smallMatrix = []string{"0.30 GHz", "0.96 GHz", "2.15 GHz", "ondemand"}
 // down early and explicitly).
 func newTestServer(t *testing.T, opts Options) (*Server, *Client, func()) {
 	t.Helper()
-	srv := New(opts)
+	srv := mustNew(t, opts)
 	_, client, teardown := mountServer(t, srv)
 	return srv, client, teardown
+}
+
+// mustNew builds a server or fails the test.
+func mustNew(t *testing.T, opts Options) *Server {
+	t.Helper()
+	srv, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return srv
 }
 
 // mountServer exposes an already-constructed server (for tests that install
@@ -263,7 +273,7 @@ func TestStreamResumeBitIdentical(t *testing.T) {
 	gate := make(chan struct{})
 	var hookOnce, gateOnce sync.Once
 	releaseGate := func() { gateOnce.Do(func() { close(gate) }) }
-	srv := New(Options{Executors: 1, Workers: 1, QueueDepth: 4})
+	srv := mustNew(t, Options{Executors: 1, Workers: 1, QueueDepth: 4})
 	// Hold the (single-worker) sweep after its first record so the hangup
 	// provably lands mid-job: the resumed stream then follows a live log,
 	// not a finished buffer.
@@ -362,7 +372,7 @@ func (c *cutBody) Close() error { return c.rc.Close() }
 // complete, bit-identical record set anyway — the retry resumes from the
 // last fully-parsed record, and the cut partial line is re-read, not lost.
 func TestRunJobResumesBrokenStream(t *testing.T) {
-	srv := New(Options{Executors: 1, Workers: 2, QueueDepth: 4})
+	srv := mustNew(t, Options{Executors: 1, Workers: 2, QueueDepth: 4})
 	hs, plain, teardown := mountServer(t, srv)
 	base := plain.HTTPClient.Transport
 	if base == nil {

@@ -4,11 +4,13 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/stats"
 )
 
@@ -35,7 +37,32 @@ type HarnessOptions struct {
 	Backoff time.Duration
 	// HTTPClient overrides the transport shared by all clients.
 	HTTPClient *Client
+	// Chaos mixes client-side faults into the load: deterministic stream
+	// cuts (exercising the resume path) and mid-job cancels. The report's
+	// chaos counters then split injected faults into recovered vs failed.
+	Chaos HarnessChaos
 }
+
+// HarnessChaos configures the harness's client-side fault mix. Faults are
+// scheduled by submission sequence number, not randomness, so a chaos run is
+// reproducible: the same options against the same server inject the same
+// faults at the same points.
+type HarnessChaos struct {
+	// CutEvery cuts the result stream of every Nth submission after
+	// CutBytes body bytes (0 = off). The client's automatic ?from= resume
+	// should recover the job; one that still completes counts as
+	// recovered, one that errors counts as failed.
+	CutEvery int
+	// CutBytes is the body budget before an injected cut (0 → 256).
+	CutBytes int
+	// CancelEvery cancels every Nth submission right after submit
+	// (0 = off) — the "user gave up" shape. A cancel that drains to a
+	// terminal state counts as a clean cancel; anything else is an error.
+	CancelEvery int
+}
+
+// enabled reports whether any fault is configured.
+func (c HarnessChaos) enabled() bool { return c.CutEvery > 0 || c.CancelEvery > 0 }
 
 // HarnessReport aggregates a load run: completed jobs, error and
 // backpressure counts, and the job latency distribution (submit to terminal
@@ -58,6 +85,15 @@ type HarnessReport struct {
 	// JobsPerMinute is the completed-job throughput over the elapsed
 	// wall time.
 	JobsPerMinute float64 `json:"jobs_per_minute"`
+	// Chaos counters (only populated when the fault mix is on): ChaosCuts
+	// counts injected stream cuts, split into ChaosRecovered (the resume
+	// path spliced the stream and the job completed) and ChaosFailed (the
+	// job errored anyway, also counted in Errors). ChaosCancels counts
+	// injected cancels that drained to a terminal state.
+	ChaosCuts      int `json:"chaos_cuts,omitempty"`
+	ChaosRecovered int `json:"chaos_recovered,omitempty"`
+	ChaosFailed    int `json:"chaos_failed,omitempty"`
+	ChaosCancels   int `json:"chaos_cancels,omitempty"`
 	// P50/P95/P99/Max summarise the end-to-end job latency distribution
 	// (submit to terminal record, measured client-side).
 	P50 time.Duration `json:"-"`
@@ -75,13 +111,18 @@ type HarnessReport struct {
 
 // String renders the report the way qoeload prints it.
 func (r *HarnessReport) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"clients %d  wall %.1fs\njobs %d (%.1f jobs/min)  runs %d  errors %d  queue-full retries %d\nlatency p50 %s  p95 %s  p99 %s  max %s\nqueue wait p50 %s  p95 %s  p99 %s",
 		r.Clients, r.Elapsed.Seconds(), r.Jobs, r.JobsPerMinute, r.Runs, r.Errors, r.QueueFull,
 		r.P50.Round(time.Millisecond), r.P95.Round(time.Millisecond),
 		r.P99.Round(time.Millisecond), r.Max.Round(time.Millisecond),
 		r.QueueP50.Round(time.Millisecond), r.QueueP95.Round(time.Millisecond),
 		r.QueueP99.Round(time.Millisecond))
+	if r.ChaosCuts > 0 || r.ChaosCancels > 0 {
+		s += fmt.Sprintf("\nchaos: cuts %d (recovered %d, failed %d)  cancels %d",
+			r.ChaosCuts, r.ChaosRecovered, r.ChaosFailed, r.ChaosCancels)
+	}
+	return s
 }
 
 // MarshalJSON renders the report with every duration in milliseconds, the
@@ -112,6 +153,51 @@ func (r *HarnessReport) MarshalJSON() ([]byte, error) {
 		QueueP95MS: ms(r.QueueP95),
 		QueueP99MS: ms(r.QueueP99),
 	})
+}
+
+// cutClient wraps a client so its next result-stream response is cut after
+// bytes body bytes — one deterministic connection reset per job, which the
+// client's ?from= resume is expected to absorb.
+func cutClient(base *Client, bytes int) *Client {
+	if bytes <= 0 {
+		bytes = 256
+	}
+	plan := faultinject.NewPlan()
+	plan.Arm("harness.cut", 1)
+	return &Client{
+		BaseURL: base.BaseURL,
+		HTTPClient: &http.Client{Transport: &faultinject.CutTransport{
+			Base:       base.httpClient().Transport,
+			PathSuffix: "/results",
+			Plan:       plan,
+			Site:       "harness.cut",
+			Bytes:      bytes,
+		}},
+	}
+}
+
+// runCancelledJob is the injected-cancel shape: submit, cancel immediately,
+// then drain the stream and require the job to land terminal — the server
+// must stay coherent when a client walks away mid-job.
+func runCancelledJob(ctx context.Context, c *Client, spec JobSpec) error {
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		return err
+	}
+	if _, err := c.Cancel(ctx, st.ID); err != nil {
+		return err
+	}
+	if err := c.StreamResults(ctx, st.ID, func(ResultRecord) error { return nil }); err != nil {
+		return err
+	}
+	final, err := c.Status(ctx, st.ID)
+	if err != nil {
+		return err
+	}
+	if !Terminal(final.State) {
+		return fmt.Errorf("cancelled job %s not terminal (state %q)", st.ID, final.State)
+	}
+	return nil
 }
 
 // specLabel keys a mix entry for the per-spec breakdown.
@@ -181,9 +267,37 @@ func RunHarness(ctx context.Context, opts HarnessOptions) (*HarnessReport, error
 		go func() {
 			defer wg.Done()
 			for time.Now().Before(deadline) && ctx.Err() == nil {
-				spec := mix[int(submitSeq.Add(1)-1)%len(mix)]
+				seq := submitSeq.Add(1)
+				spec := mix[int(seq-1)%len(mix)]
+
+				if opts.Chaos.CancelEvery > 0 && seq%int64(opts.Chaos.CancelEvery) == 0 {
+					err := runCancelledJob(ctx, client, spec)
+					mu.Lock()
+					switch {
+					case err != nil && IsQueueFull(err):
+						rep.QueueFull++
+						mu.Unlock()
+						select {
+						case <-time.After(opts.Backoff):
+						case <-ctx.Done():
+						}
+						continue
+					case err != nil:
+						rep.Errors++
+					default:
+						rep.ChaosCancels++
+					}
+					mu.Unlock()
+					continue
+				}
+
+				jc := client
+				cut := opts.Chaos.CutEvery > 0 && seq%int64(opts.Chaos.CutEvery) == 0
+				if cut {
+					jc = cutClient(client, opts.Chaos.CutBytes)
+				}
 				t0 := time.Now()
-				recs, final, err := client.RunJob(ctx, spec)
+				recs, final, err := jc.RunJob(ctx, spec)
 				lat := time.Since(t0)
 				mu.Lock()
 				switch {
@@ -197,6 +311,10 @@ func RunHarness(ctx context.Context, opts HarnessOptions) (*HarnessReport, error
 					continue
 				case err != nil:
 					rep.Errors++
+					if cut {
+						rep.ChaosCuts++
+						rep.ChaosFailed++
+					}
 				default:
 					rep.Jobs++
 					rep.Runs += len(recs)
@@ -204,6 +322,10 @@ func RunHarness(ctx context.Context, opts HarnessOptions) (*HarnessReport, error
 					bySpec[specLabel(spec)]++
 					if final != nil && final.StartedMS >= final.CreatedMS && final.StartedMS > 0 {
 						waits = append(waits, time.Duration(final.StartedMS-final.CreatedMS)*time.Millisecond)
+					}
+					if cut {
+						rep.ChaosCuts++
+						rep.ChaosRecovered++
 					}
 				}
 				mu.Unlock()

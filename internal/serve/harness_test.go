@@ -138,6 +138,47 @@ func TestHarnessJobMix(t *testing.T) {
 	teardown()
 }
 
+// TestHarnessChaos runs the load harness with the full client-side fault mix
+// on: every 3rd submission's stream is cut mid-record, every 5th is cancelled
+// right after submit. The bar: every injected cut is recovered by the resume
+// path, every cancel drains to a terminal state, clean jobs still flow, and
+// no fault surfaces as a client error.
+func TestHarnessChaos(t *testing.T) {
+	_, client, teardown := newTestServer(t, Options{Executors: 2, Workers: 2, QueueDepth: 8})
+
+	rep, err := RunHarness(context.Background(), HarnessOptions{
+		Clients:    4,
+		Budget:     2 * time.Second,
+		Job:        JobSpec{Workload: "quickstart", Configs: smallMatrix, Reps: 1, Seed: 1},
+		HTTPClient: client,
+		Chaos:      HarnessChaos{CutEvery: 3, CancelEvery: 5, CutBytes: 200},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("chaos report:\n%s", rep)
+
+	if rep.Jobs == 0 {
+		t.Fatal("chaos run completed zero clean jobs")
+	}
+	if rep.ChaosCuts == 0 || rep.ChaosCancels == 0 {
+		t.Fatalf("fault mix did not inject: cuts %d cancels %d", rep.ChaosCuts, rep.ChaosCancels)
+	}
+	if rep.ChaosRecovered != rep.ChaosCuts || rep.ChaosFailed != 0 {
+		t.Errorf("cut recovery: %d/%d recovered, %d failed — resume should absorb every cut",
+			rep.ChaosRecovered, rep.ChaosCuts, rep.ChaosFailed)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("chaos run saw %d client errors, want 0", rep.Errors)
+	}
+	// Recovered cut jobs are complete jobs: each still streams its full
+	// record set.
+	if want := rep.Jobs * (len(smallMatrix) + 1); rep.Runs != want {
+		t.Errorf("chaos run counted %d records, want %d", rep.Runs, want)
+	}
+	teardown()
+}
+
 // TestHarnessReportJSON pins the qoeload -json wire form: every duration
 // appears in milliseconds, counters survive round-trip, and the String form
 // is not what gets emitted.

@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// journalBytes builds a well-formed job file: meta line, one framed line per
+// record payload, and (when state != "") a terminal state line.
+func journalBytes(id string, seq int, recs []ResultRecord, state string) []byte {
+	var buf bytes.Buffer
+	meta, _ := json.Marshal(journalMeta{Type: "job", ID: id, Seq: seq,
+		Spec: JobSpec{Workload: "quickstart", Configs: smallMatrix}, CreatedMS: 1})
+	buf.Write(frame(meta))
+	for _, rec := range recs {
+		raw, _ := json.Marshal(rec)
+		buf.Write(frame(raw))
+	}
+	if state != "" {
+		st, _ := json.Marshal(journalState{Type: "state", State: state, FinishedMS: 2})
+		buf.Write(frame(st))
+	}
+	return buf.Bytes()
+}
+
+func idx(i int) *int { return &i }
+
+// testRecords is a three-record log: two runs and a summary-less tail.
+func testRecords() []ResultRecord {
+	return []ResultRecord{
+		{Type: "run", Index: idx(0)},
+		{Type: "run", Index: idx(1)},
+		{Type: "candidate", Candidate: "big@3", Rep: 1, Index: idx(2)},
+	}
+}
+
+// TestJournalRecoverCorruption drives Recover through every corruption the
+// issue names — torn final record, flipped bytes, truncated file — and pins
+// what survives: everything up to the first bad line, truncated in place.
+func TestJournalRecoverCorruption(t *testing.T) {
+	clean := journalBytes("job-1", 1, testRecords(), StateDone)
+	lines := bytes.SplitAfter(clean, []byte("\n"))
+	if len(lines) != 6 { // 5 lines + empty tail
+		t.Fatalf("fixture has %d segments, want 6", len(lines))
+	}
+
+	cases := []struct {
+		name        string
+		mutate      func([]byte) []byte
+		wantRecs    int
+		wantState   string // "" = interrupted
+		wantTruncat bool
+	}{
+		{
+			name:     "clean",
+			mutate:   func(b []byte) []byte { return b },
+			wantRecs: 3, wantState: StateDone,
+		},
+		{
+			name: "torn final record",
+			// Cut the state line in half: the job's records survive, and the
+			// last surviving record decides the inferred state (a "candidate"
+			// is not terminal, so the job comes back interrupted).
+			mutate:   func(b []byte) []byte { return b[:len(b)-len(lines[4])/2-1] },
+			wantRecs: 3, wantState: "", wantTruncat: true,
+		},
+		{
+			name: "flipped byte mid-file",
+			// Corrupt one byte inside record 1's payload: records 0 survives,
+			// everything from the flip on is cut even though later lines are
+			// intact — appends after a torn write are unreachable by design.
+			mutate: func(b []byte) []byte {
+				off := len(lines[0]) + len(lines[1]) + 15
+				b[off] ^= 0x40
+				return b
+			},
+			wantRecs: 1, wantState: "", wantTruncat: true,
+		},
+		{
+			name:     "truncated to meta line",
+			mutate:   func(b []byte) []byte { return b[:len(lines[0])] },
+			wantRecs: 0, wantState: "",
+		},
+		{
+			name: "state line lost after terminal record",
+			// Drop the state line but append a summary record: the surviving
+			// terminal record proves the job finished, so recovery infers
+			// "done" instead of re-running a completed sweep.
+			mutate: func(b []byte) []byte {
+				b = b[:len(b)-len(lines[4])]
+				sum, _ := json.Marshal(ResultRecord{Type: "summary"})
+				return append(b, frame(sum)...)
+			},
+			wantRecs: 4, wantState: StateDone,
+		},
+		{
+			name: "garbage tail past state",
+			// Junk appended after a clean shutdown must not poison the file.
+			mutate:   func(b []byte) []byte { return append(b, []byte("deadbeef not a frame\n")...) },
+			wantRecs: 3, wantState: StateDone, wantTruncat: true,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "job-1.journal")
+			data := tc.mutate(append([]byte(nil), clean...))
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			jn, err := OpenJournal(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := jn.Recover()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out) != 1 {
+				t.Fatalf("recovered %d jobs, want 1", len(out))
+			}
+			rj := out[0]
+			if rj.Meta.ID != "job-1" || rj.Meta.Seq != 1 {
+				t.Errorf("meta %+v", rj.Meta)
+			}
+			if len(rj.Records) != tc.wantRecs {
+				t.Errorf("recovered %d records, want %d", len(rj.Records), tc.wantRecs)
+			}
+			switch {
+			case tc.wantState == "" && !rj.Interrupted():
+				t.Errorf("job recovered terminal %+v, want interrupted", rj.State)
+			case tc.wantState != "" && (rj.State == nil || rj.State.State != tc.wantState):
+				t.Errorf("job state %+v, want %q", rj.State, tc.wantState)
+			}
+			if rj.Truncated != tc.wantTruncat {
+				t.Errorf("Truncated = %v, want %v", rj.Truncated, tc.wantTruncat)
+			}
+
+			// Truncation is in place and convergent: a second recovery sees a
+			// clean file with the same records and nothing left to cut.
+			out2, err := jn.Recover()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out2) != 1 || len(out2[0].Records) != len(rj.Records) {
+				t.Fatalf("second recovery diverged: %+v", out2)
+			}
+			if out2[0].Truncated {
+				t.Error("second recovery still truncating — first pass did not converge")
+			}
+		})
+	}
+}
+
+// TestJournalSkipsForeignFiles pins that recovery never destroys what it does
+// not understand: a file whose first line is not an intact meta line is left
+// on disk untouched.
+func TestJournalSkipsForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	foreign := filepath.Join(dir, "notes.journal")
+	body := []byte("someone else's data\n")
+	if err := os.WriteFile(foreign, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jn, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := jn.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("recovered %d jobs from a foreign file", len(out))
+	}
+	got, err := os.ReadFile(foreign)
+	if err != nil || !bytes.Equal(got, body) {
+		t.Errorf("foreign file modified: %q (%v)", got, err)
+	}
+}
+
+// FuzzJournalRecover throws arbitrary bytes at recovery. Invariants: no
+// panic, no error (corruption is data, not failure), and convergence — a
+// second recovery of the truncated file reproduces the first's records with
+// nothing further to cut.
+func FuzzJournalRecover(f *testing.F) {
+	clean := journalBytes("job-1", 1, testRecords(), StateDone)
+	f.Add(clean)
+	f.Add(clean[:len(clean)-7])    // torn tail
+	f.Add([]byte("deadbeef {}\n")) // framed junk
+	f.Add([]byte{})                // empty file
+	flipped := append([]byte(nil), clean...)
+	flipped[len(flipped)/2] ^= 0x01
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "job-1.journal")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		jn, err := OpenJournal(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first, err := jn.Recover()
+		if err != nil {
+			t.Fatalf("recovery failed on corrupt input: %v", err)
+		}
+		second, err := jn.Recover()
+		if err != nil {
+			t.Fatalf("second recovery failed: %v", err)
+		}
+		if len(first) != len(second) {
+			t.Fatalf("recovery not convergent: %d jobs then %d", len(first), len(second))
+		}
+		for i := range first {
+			if len(first[i].Records) != len(second[i].Records) {
+				t.Fatalf("job %d: %d records then %d", i, len(first[i].Records), len(second[i].Records))
+			}
+			if second[i].Truncated {
+				t.Fatal("second recovery still truncating")
+			}
+		}
+	})
+}

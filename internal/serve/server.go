@@ -31,9 +31,24 @@ type Options struct {
 	QueueDepth int
 	// RetainJobs bounds the terminal jobs kept in the registry for
 	// status lookups, listings and result-log replay. Beyond it the
-	// oldest-finished job is evicted — its id then answers 404 — which
-	// is what keeps server memory flat under sustained load (0 → 256).
+	// oldest-finished job is evicted — its id then answers 404 (and its
+	// journal file, if any, is deleted) — which is what keeps server
+	// memory and the journal directory flat under sustained load (0 → 256).
 	RetainJobs int
+	// Journal, when non-empty, is a directory the server spools every
+	// job's spec, result records and terminal state into (one CRC-framed,
+	// synced, append-only file per job). On startup the directory is
+	// replayed: finished jobs come back listable and streamable,
+	// interrupted jobs are re-queued and resume appending at their last
+	// durable record. Empty disables journaling entirely.
+	Journal string
+	// StallTimeout, when > 0, arms the stuck-run watchdog: a running job
+	// whose workers report no progress (run started, run finished, record
+	// appended) for this long is cancelled and failed like a deadline, and
+	// its executor is counted unhealthy until the wedged replay actually
+	// returns. While no executor is healthy, /healthz answers 503 and
+	// submissions are shed with 429. 0 disables the watchdog.
+	StallTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -52,6 +67,17 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// executor is one job-execution lane: a long-lived replay pool plus the
+// health bookkeeping the watchdog and /healthz read. current is the job the
+// lane is executing right now (nil between jobs); healthy drops to false
+// when the watchdog fails the lane's job for stalling and recovers once the
+// wedged sweep actually returns control.
+type executor struct {
+	pool    *experiment.Pool
+	current atomic.Pointer[job]
+	healthy atomic.Bool
+}
+
 // Server is the qoed characterisation service: a bounded job queue in front
 // of Executors job executors, each owning a long-lived experiment.Pool whose
 // warmed replay sessions persist across jobs. Create with New, mount
@@ -67,7 +93,8 @@ type Server struct {
 	retired []*job // terminal jobs in finish order; evicted from the front
 	nextID  int
 
-	pools []*experiment.Pool
+	execs   []*executor
+	journal *Journal
 
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
@@ -81,8 +108,14 @@ type Server struct {
 	testHookJobStart func(j *job)
 	// testHookRunRecord, when set (tests only), runs on the worker
 	// goroutine after each run record lands in a job's log — the
-	// deterministic way to hold a job mid-sweep while a test cancels it.
+	// deterministic way to hold a job mid-sweep while a test cancels it,
+	// or to crash the server at an exact record count.
 	testHookRunRecord func(j *job)
+	// testHookRunStart, when set (tests only), runs on the worker
+	// goroutine at the start of every replay with the sweep job index —
+	// the fault-injection point: panic here to exercise containment, block
+	// here to wedge a run under the watchdog.
+	testHookRunStart func(j *job, ji int)
 
 	running       atomic.Int64
 	jobsSubmitted atomic.Int64
@@ -91,23 +124,75 @@ type Server struct {
 	jobsFailed    atomic.Int64
 	jobsCancelled atomic.Int64
 	jobsEvicted   atomic.Int64
+	jobsStalled   atomic.Int64
+	jobsShed      atomic.Int64
+	jobsRecovered atomic.Int64
+	jobsRequeued  atomic.Int64
 }
 
-// New builds a server and starts its executors.
-func New(opts Options) *Server {
+// New builds a server, replays its journal (when configured) and starts its
+// executors. Interrupted jobs found in the journal are re-queued ahead of
+// new submissions; if they outnumber QueueDepth the queue is sized up so
+// recovery never deadlocks startup.
+func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	s := &Server{
-		opts:  opts,
-		mux:   http.NewServeMux(),
-		queue: make(chan *job, opts.QueueDepth),
-		jobs:  make(map[string]*job),
+		opts: opts,
+		mux:  http.NewServeMux(),
+		jobs: make(map[string]*job),
 	}
 	s.baseCtx, s.cancelAll = context.WithCancel(context.Background())
+
+	var requeue []*job
+	if opts.Journal != "" {
+		jn, err := OpenJournal(opts.Journal)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = jn
+		recovered, err := jn.Recover()
+		if err != nil {
+			return nil, err
+		}
+		for _, rj := range recovered {
+			j := jobFromRecovered(rj)
+			if j.seq > s.nextID {
+				s.nextID = j.seq
+			}
+			s.jobs[j.id] = j
+			if Terminal(j.state) {
+				s.jobsRecovered.Add(1)
+				s.retire(j)
+				continue
+			}
+			jf, err := jn.Reopen(j.id)
+			if err != nil {
+				return nil, err
+			}
+			j.jf = jf
+			requeue = append(requeue, j)
+		}
+	}
+	qcap := opts.QueueDepth
+	if len(requeue) > qcap {
+		qcap = len(requeue)
+	}
+	s.queue = make(chan *job, qcap)
+	for _, j := range requeue {
+		s.queue <- j
+		s.jobsRequeued.Add(1)
+	}
+
 	for i := 0; i < opts.Executors; i++ {
-		pool := experiment.NewPool(opts.Workers)
-		s.pools = append(s.pools, pool)
+		e := &executor{pool: experiment.NewPool(opts.Workers)}
+		e.healthy.Store(true)
+		s.execs = append(s.execs, e)
 		s.wg.Add(1)
-		go s.executor(pool)
+		go s.executorLoop(e)
+	}
+	if opts.StallTimeout > 0 {
+		s.wg.Add(1)
+		go s.watchdog()
 	}
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /jobs", s.handleList)
@@ -116,7 +201,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
-	return s
+	return s, nil
 }
 
 // Handler returns the server's HTTP handler.
@@ -144,6 +229,18 @@ func (s *Server) Close() {
 	})
 }
 
+// crash freezes the journal and cancels everything — the in-process stand-in
+// for the process dying mid-sweep. Whatever the journal holds at this
+// instant is exactly what a restarted server will recover; the dying
+// server's in-memory state transitions write nothing. Tests only: the server
+// is unusable afterwards except for Close.
+func (s *Server) crash() {
+	if s.journal != nil {
+		s.journal.frozen.Store(true)
+	}
+	s.cancelAll()
+}
+
 // SpecByName resolves a wire SoC name ("" or "dragonboard", "biglittle") to
 // its spec, optionally with the default C-state ladder installed.
 func SpecByName(name string, idle bool) (soc.Spec, error) {
@@ -163,7 +260,9 @@ func SpecByName(name string, idle bool) (soc.Spec, error) {
 }
 
 // validateSpec rejects jobs that could never run before they occupy a queue
-// slot.
+// slot. Config and governor names resolve here, so a typo — including an
+// unknown governor inside a "<little>/<big>" mixed arm — is a 400 at
+// submission, never a failure inside a replay worker.
 func validateSpec(spec JobSpec) error {
 	if workload.ByName(spec.Workload) == nil {
 		return fmt.Errorf("unknown workload %q", spec.Workload)
@@ -184,21 +283,21 @@ func validateSpec(spec JobSpec) error {
 	return nil
 }
 
-// executor consumes jobs off the queue until the server closes.
-func (s *Server) executor(pool *experiment.Pool) {
+// executorLoop consumes jobs off the queue until the server closes.
+func (s *Server) executorLoop(e *executor) {
 	defer s.wg.Done()
 	for {
 		select {
 		case <-s.baseCtx.Done():
 			return
 		case j := <-s.queue:
-			s.execute(j, pool)
+			s.execute(j, e)
 		}
 	}
 }
 
 // execute runs one job on the executor's pool and finishes it.
-func (s *Server) execute(j *job, pool *experiment.Pool) {
+func (s *Server) execute(j *job, e *executor) {
 	// A job deadline bounds execution wall time only: queue wait does not
 	// count against it, so a slow day at the queue cannot expire a job
 	// before it gets an executor.
@@ -214,12 +313,19 @@ func (s *Server) execute(j *job, pool *experiment.Pool) {
 		return // cancelled while queued
 	}
 	s.running.Add(1)
-	defer s.running.Add(-1)
+	e.current.Store(j)
+	defer func() {
+		// Whatever happened — including a stall verdict delivered while the
+		// sweep was wedged — control is back, so the lane is healthy again.
+		e.current.Store(nil)
+		e.healthy.Store(true)
+		s.running.Add(-1)
+	}()
 	if s.testHookJobStart != nil {
 		s.testHookJobStart(j)
 	}
 
-	res, err := s.runJob(ctx, j, pool)
+	res, err := s.runJob(ctx, j, e.pool)
 	switch {
 	case err == nil:
 		sum := report.NewMatrixSummary(res)
@@ -240,6 +346,11 @@ func (s *Server) execute(j *job, pool *experiment.Pool) {
 			s.retire(j)
 		}
 	default:
+		// Ordinary failures and contained panics land here alike: the
+		// sweep's error unwraps to *experiment.PanicError for the latter,
+		// and the per-run "fault" record with the stack is already in the
+		// log. The job fails with whatever partial results streamed; the
+		// executor, its pool and the process carry on.
 		if j.finish(StateFailed, err.Error(),
 			&ResultRecord{Type: "error", Error: err.Error()}, time.Now()) {
 			s.jobsFailed.Add(1)
@@ -265,26 +376,91 @@ func (s *Server) runJob(ctx context.Context, j *job, pool *experiment.Pool) (*ex
 	}
 	var totalOnce sync.Once
 	opts := experiment.Options{
-		Reps:    reps,
-		Seed:    j.spec.Seed,
-		Pool:    pool,
-		Context: ctx,
-		Configs: j.spec.Configs,
+		Reps:      reps,
+		Seed:      j.spec.Seed,
+		Pool:      pool,
+		Context:   ctx,
+		Configs:   j.spec.Configs,
+		Heartbeat: j.touch,
 		OnRun: func(u experiment.RunUpdate) {
 			totalOnce.Do(func() { j.setTotalRuns(u.Total) })
+			idx := u.Index
 			switch u.Kind {
 			case "config":
 				rec := report.NewRunRecord(j.spec.Workload, u.Run)
-				j.append(ResultRecord{Type: "run", Run: &rec})
-				if s.testHookRunRecord != nil {
+				if j.append(ResultRecord{Type: "run", Run: &rec, Index: &idx}) && s.testHookRunRecord != nil {
 					s.testHookRunRecord(j)
 				}
 			case "candidate":
-				j.append(ResultRecord{Type: "candidate", Candidate: u.Config, Rep: u.Rep})
+				j.append(ResultRecord{Type: "candidate", Candidate: u.Config, Rep: u.Rep, Index: &idx})
+			case "fault":
+				j.append(ResultRecord{Type: "fault", Error: u.Err, Stack: u.Stack, Index: &idx})
 			}
 		},
 	}
+	if s.testHookRunStart != nil {
+		opts.TestHookRun = func(ji int) { s.testHookRunStart(j, ji) }
+	}
 	return experiment.RunMatrix(w, spec, opts)
+}
+
+// watchdog periodically checks every executing job for liveness and fails
+// the ones that stalled: cancel (so the sweep stops claiming replays),
+// finish failed, mark the lane unhealthy until the wedged replay returns.
+func (s *Server) watchdog() {
+	defer s.wg.Done()
+	period := s.opts.StallTimeout / 4
+	if period < 5*time.Millisecond {
+		period = 5 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case now := <-t.C:
+			s.sweepStalled(now)
+		}
+	}
+}
+
+// sweepStalled delivers the stall verdict to every wedged job. It runs
+// lock-free over the executor lanes; finish/retire take their own locks.
+func (s *Server) sweepStalled(now time.Time) {
+	for _, e := range s.execs {
+		j := e.current.Load()
+		if j == nil {
+			continue
+		}
+		last := time.Unix(0, j.progress.Load())
+		if now.Sub(last) < s.opts.StallTimeout {
+			continue
+		}
+		cancel := j.takeCancel()
+		msg := fmt.Sprintf("run stalled: no worker progress for %s (stall timeout %s)",
+			now.Sub(last).Round(time.Millisecond), s.opts.StallTimeout)
+		if j.finish(StateFailed, msg, &ResultRecord{Type: "error", Error: msg}, now) {
+			s.jobsStalled.Add(1)
+			s.jobsFailed.Add(1)
+			e.healthy.Store(false)
+			s.retire(j)
+			if cancel != nil {
+				cancel()
+			}
+		}
+	}
+}
+
+// healthyExecutors counts lanes not wedged on a stalled run.
+func (s *Server) healthyExecutors() int {
+	n := 0
+	for _, e := range s.execs {
+		if e.healthy.Load() {
+			n++
+		}
+	}
+	return n
 }
 
 // lookup returns a registered job by id.
@@ -313,6 +489,9 @@ func (s *Server) retire(j *job) {
 		copy(s.retired, s.retired[1:])
 		s.retired = s.retired[:len(s.retired)-1]
 		delete(s.jobs, old.id)
+		if s.journal != nil {
+			s.journal.Remove(old.id)
+		}
 		s.jobsEvicted.Add(1)
 	}
 }
@@ -327,22 +506,47 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	if len(s.execs) > 0 && s.healthyExecutors() == 0 {
+		// Graceful degradation: every lane is wedged on a stalled run.
+		// Accepting work it cannot start only deepens the hole — shed it.
+		s.jobsShed.Add(1)
+		writeError(w, http.StatusTooManyRequests, "no healthy executors (stalled runs); retry later")
+		return
+	}
+	now := time.Now()
 	s.mu.Lock()
 	s.nextID++
-	j := newJob(fmt.Sprintf("job-%d", s.nextID), s.nextID, spec, time.Now())
+	j := newJob(fmt.Sprintf("job-%d", s.nextID), s.nextID, spec, now)
 	s.jobs[j.id] = j
 	s.mu.Unlock()
+
+	if s.journal != nil {
+		jf, err := s.journal.Create(journalMeta{ID: j.id, Seq: j.seq, Spec: spec, CreatedMS: now.UnixMilli()})
+		if err != nil {
+			s.mu.Lock()
+			delete(s.jobs, j.id)
+			s.mu.Unlock()
+			writeError(w, http.StatusInternalServerError, "journal: "+err.Error())
+			return
+		}
+		j.jf = jf
+	}
 
 	select {
 	case s.queue <- j:
 		s.jobsSubmitted.Add(1)
 		writeJSON(w, http.StatusAccepted, j.status())
 	default:
-		// Backpressure: the queue is full. Drop the registration so the
-		// refused job is invisible, and tell the client to back off.
+		// Backpressure: the queue is full. Drop the registration (and the
+		// journal file) so the refused job is invisible, and tell the
+		// client to back off.
 		s.mu.Lock()
 		delete(s.jobs, j.id)
 		s.mu.Unlock()
+		if s.journal != nil {
+			j.jf.Close()
+			s.journal.Remove(j.id)
+		}
 		s.jobsRejected.Add(1)
 		writeError(w, http.StatusTooManyRequests, "job queue full")
 	}
@@ -478,7 +682,18 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	healthy := s.healthyExecutors()
+	doc := map[string]any{
+		"status":            "ok",
+		"healthy_executors": healthy,
+		"executors":         len(s.execs),
+	}
+	if len(s.execs) > 0 && healthy == 0 {
+		doc["status"] = "degraded"
+		writeJSON(w, http.StatusServiceUnavailable, doc)
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
@@ -491,25 +706,32 @@ func (s *Server) Stats() Stats {
 	tracked := len(s.jobs)
 	s.mu.Unlock()
 	st := Stats{
-		QueueDepth:    len(s.queue),
-		QueueCapacity: s.opts.QueueDepth,
-		RunningJobs:   int(s.running.Load()),
-		Executors:     s.opts.Executors,
-		Workers:       s.opts.Workers,
-		Forks:         make(map[string]int),
-		JobsTracked:   tracked,
-		RetainJobs:    s.opts.RetainJobs,
-		JobsSubmitted: int(s.jobsSubmitted.Load()),
-		JobsRejected:  int(s.jobsRejected.Load()),
-		JobsDone:      int(s.jobsDone.Load()),
-		JobsFailed:    int(s.jobsFailed.Load()),
-		JobsCancelled: int(s.jobsCancelled.Load()),
-		JobsEvicted:   int(s.jobsEvicted.Load()),
+		QueueDepth:       len(s.queue),
+		QueueCapacity:    s.opts.QueueDepth,
+		RunningJobs:      int(s.running.Load()),
+		Executors:        s.opts.Executors,
+		Workers:          s.opts.Workers,
+		HealthyExecutors: s.healthyExecutors(),
+		Forks:            make(map[string]int),
+		JobsTracked:      tracked,
+		RetainJobs:       s.opts.RetainJobs,
+		JobsSubmitted:    int(s.jobsSubmitted.Load()),
+		JobsRejected:     int(s.jobsRejected.Load()),
+		JobsDone:         int(s.jobsDone.Load()),
+		JobsFailed:       int(s.jobsFailed.Load()),
+		JobsCancelled:    int(s.jobsCancelled.Load()),
+		JobsEvicted:      int(s.jobsEvicted.Load()),
+		JobsStalled:      int(s.jobsStalled.Load()),
+		JobsShed:         int(s.jobsShed.Load()),
+		JobsRecovered:    int(s.jobsRecovered.Load()),
+		JobsRequeued:     int(s.jobsRequeued.Load()),
 	}
-	for _, p := range s.pools {
-		st.InFlightRuns += p.InFlightRuns()
-		st.WarmSessions += p.WarmSessions()
-		for k, v := range p.Forks() {
+	for _, e := range s.execs {
+		st.InFlightRuns += e.pool.InFlightRuns()
+		st.WarmSessions += e.pool.WarmSessions()
+		st.RunPanics += e.pool.RecoveredPanics()
+		st.SessionQuarantines += e.pool.Quarantines()
+		for k, v := range e.pool.Forks() {
 			st.Forks[k] += v
 		}
 	}

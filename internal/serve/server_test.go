@@ -87,7 +87,7 @@ func TestConcurrentJobSubmission(t *testing.T) {
 // wedged).
 func TestQueueOverflowReturns429(t *testing.T) {
 	gate := make(chan struct{})
-	srv := New(Options{Executors: 1, Workers: 1, QueueDepth: 1})
+	srv := mustNew(t, Options{Executors: 1, Workers: 1, QueueDepth: 1})
 	srv.testHookJobStart = func(*job) { <-gate }
 	_, client, teardown := mountServer(t, srv)
 
@@ -135,7 +135,7 @@ func TestCancelRunningJobFreesWorkerAndKeepsSessions(t *testing.T) {
 	gate := make(chan struct{})
 	firstRec := make(chan struct{})
 	var first sync.Once
-	srv := New(Options{Executors: 1, Workers: 1, QueueDepth: 4})
+	srv := mustNew(t, Options{Executors: 1, Workers: 1, QueueDepth: 4})
 	// Hold the worker after its first run record so the cancel lands
 	// mid-sweep deterministically (a closed gate passes later records
 	// straight through).
@@ -197,7 +197,7 @@ func TestCancelRunningJobFreesWorkerAndKeepsSessions(t *testing.T) {
 // executor: it must finish cancelled without ever running.
 func TestCancelQueuedJobNeverRuns(t *testing.T) {
 	gate := make(chan struct{})
-	srv := New(Options{Executors: 1, Workers: 1, QueueDepth: 2})
+	srv := mustNew(t, Options{Executors: 1, Workers: 1, QueueDepth: 2})
 	srv.testHookJobStart = func(*job) { <-gate }
 	_, client, teardown := mountServer(t, srv)
 	ctx := context.Background()
@@ -235,7 +235,7 @@ func TestClientDisconnectDuringStreamDoesNotLeak(t *testing.T) {
 	checkLeaks := baselineGoroutines(t)
 	gate := make(chan struct{})
 	var first sync.Once
-	srv := New(Options{Executors: 1, Workers: 1, QueueDepth: 4})
+	srv := mustNew(t, Options{Executors: 1, Workers: 1, QueueDepth: 4})
 	// Hold the job mid-sweep after its first record, so the disconnect
 	// provably happens while the handler is following a live job (not
 	// draining an already-terminal log from the buffer).
@@ -417,7 +417,7 @@ func TestJobRegistryEvictionUnderChurn(t *testing.T) {
 // unknown state.
 func TestListJobs(t *testing.T) {
 	gate := make(chan struct{})
-	srv := New(Options{Executors: 1, Workers: 1, QueueDepth: 4})
+	srv := mustNew(t, Options{Executors: 1, Workers: 1, QueueDepth: 4})
 	srv.testHookJobStart = func(*job) { <-gate }
 	_, client, teardown := mountServer(t, srv)
 	ctx := context.Background()
@@ -486,7 +486,7 @@ func TestListJobs(t *testing.T) {
 // an executor hostage.
 func TestJobDeadlineExceeded(t *testing.T) {
 	var first sync.Once
-	srv := New(Options{Executors: 1, Workers: 1, QueueDepth: 4})
+	srv := mustNew(t, Options{Executors: 1, Workers: 1, QueueDepth: 4})
 	// Stall the sweep well past the deadline after its first record; the
 	// pool then refuses to claim further replays and the executor
 	// surfaces context.DeadlineExceeded.

@@ -114,3 +114,17 @@ func (b *Buf) Ints(dst []int64) []int64 {
 	b.iInt += n
 	return dst
 }
+
+// FaultTruncate empties the buffer's typed streams while leaving the read
+// cursors untouched — the fault-injection form of a torn or bit-rotted
+// snapshot. The next typed read deterministically panics (index out of
+// range), which is the failure mode the replay pool's panic recovery and
+// session quarantine must contain. Fault-injection suites only.
+func (b *Buf) FaultTruncate() {
+	b.ints = b.ints[:0]
+	b.strs = b.strs[:0]
+	for i := range b.ptrs {
+		b.ptrs[i] = nil
+	}
+	b.ptrs = b.ptrs[:0]
+}

@@ -32,9 +32,10 @@ func SessionKey(w *Workload) string {
 // one registry must serve one worker goroutine at a time (worker pools give
 // each worker its own registry).
 type SessionRegistry struct {
-	mu       sync.Mutex
-	sessions map[string]*ReplaySession
-	forks    map[string]int
+	mu          sync.Mutex
+	sessions    map[string]*ReplaySession
+	forks       map[string]int
+	quarantines int
 }
 
 // NewSessionRegistry returns an empty registry.
@@ -64,6 +65,41 @@ func (r *SessionRegistry) Session(w *Workload) *ReplaySession {
 		r.mu.Unlock()
 	}
 	return sess
+}
+
+// Evict quarantines the session under key: the entry is dropped so the next
+// Session call for the key boots a cold replacement, and the registry counts
+// one quarantine. This is the containment step after a panic escaped a
+// replay — the session's device (and possibly its fork-point checkpoint) may
+// be poisoned mid-run state, and the only safe recovery is to throw it away.
+// Evicting an unknown key is a no-op and reports false.
+func (r *SessionRegistry) Evict(key string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.sessions[key]; !ok {
+		return false
+	}
+	delete(r.sessions, key)
+	r.quarantines++
+	return true
+}
+
+// Quarantines returns how many sessions this registry has evicted.
+func (r *SessionRegistry) Quarantines() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.quarantines
+}
+
+// Each visits every warm session under the registry lock — the inspection
+// surface the fault-injection suites use to reach (and deliberately damage)
+// warm state. fn must not call back into the registry.
+func (r *SessionRegistry) Each(fn func(key string, s *ReplaySession)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, s := range r.sessions {
+		fn(k, s)
+	}
 }
 
 // Warm returns the number of warmed sessions the registry owns.

@@ -53,6 +53,14 @@ func NewReplaySession(w *Workload, rec *Recording) *ReplaySession {
 // Workload returns the session's workload.
 func (s *ReplaySession) Workload() *Workload { return s.w }
 
+// CorruptCheckpoint deliberately damages the session's fork-point checkpoint
+// so the next ReplayRecording panics inside Restore — the fault-injection
+// stand-in for warm state silently rotting under a long-lived session. The
+// panic is deterministic, which lets the chaos suites pin the full recovery
+// path (recover → quarantine → cold reboot) bit-for-bit. Fault-injection
+// suites only.
+func (s *ReplaySession) CorruptCheckpoint() { s.cp.FaultCorrupt() }
+
 // Replay forks one run off the session's boot checkpoint against the
 // session's own recording. See ReplayRecording.
 func (s *ReplaySession) Replay(govs []governor.Governor, configName string, seed uint64, capture bool) *RunArtifacts {
