@@ -21,6 +21,7 @@ import (
 	"repro/internal/governor"
 	"repro/internal/match"
 	"repro/internal/oracle"
+	"repro/internal/population"
 	"repro/internal/power"
 	"repro/internal/report"
 	"repro/internal/screen"
@@ -440,6 +441,30 @@ func BenchmarkThermalTick(b *testing.B) {
 		}
 		temp := zone.Step(period, powerW, 0.5)
 		th.Update(temp)
+	}
+}
+
+// BenchmarkPopulationSweep measures a small Monte Carlo population sweep —
+// the fleet-characterisation path: seeded device generation, per-unit matrix
+// replays with thermal zones, and the streaming digest fold. The allocs/op
+// gate is what holds the sweep's flat-memory contract: per-run accumulation
+// anywhere in the path shows up here as allocation growth.
+func BenchmarkPopulationSweep(b *testing.B) {
+	w := workload.Quickstart()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunPopulation(w, soc.Dragonboard(), experiment.PopulationOptions{
+			Options:     experiment.Options{Reps: 1, Seed: 1, Configs: []string{"2.15 GHz", "ondemand"}},
+			Units:       4,
+			Model:       population.DefaultModel(),
+			BaseThermal: thermal.PhoneConfig(1, 0, 0),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Runs != 8 {
+			b.Fatalf("folded %d runs, want 8", res.Runs)
+		}
 	}
 }
 

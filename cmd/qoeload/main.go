@@ -16,12 +16,20 @@
 // submit. The report then carries recovered-vs-failed counts for the
 // injected faults, in both the text and -json forms.
 //
+// -units turns every submission into a population job of that many Monte
+// Carlo device units; -pop sets the perturbation model ("default" or
+// "cn=0.05,active=0.05,ambient=15:35,case=0.1,aged=0.25,steps=3") and -trip
+// the thermal environment (0 off, < 0 record-only zones, 40..150 trip °C).
+// Population jobs stream one "pop" record per unit × config × rep and a
+// terminal percentile summary; see docs/population.md.
+//
 // Usage:
 //
 //	qoeload [-url http://127.0.0.1:8090] [-clients 4] [-budget 30s] \
 //	        [-workload quickstart] [-soc dragonboard[,biglittle]] [-idle] \
 //	        [-configs "0.96 GHz,2.15 GHz,ondemand"] [-reps 1] [-seed 1] \
-//	        [-timeout 0] [-chaos [cut=N][,cancel=M]] [-json]
+//	        [-timeout 0] [-units 0] [-pop default] [-trip 0] \
+//	        [-chaos [cut=N][,cancel=M]] [-json]
 package main
 
 import (
@@ -34,6 +42,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/population"
 	"repro/internal/serve"
 )
 
@@ -48,6 +57,9 @@ func main() {
 	reps := flag.Int("reps", 1, "repetitions per configuration")
 	seed := flag.Uint64("seed", 1, "sweep master seed")
 	timeout := flag.Duration("timeout", 0, "per-job execution deadline (0 = none)")
+	units := flag.Int("units", 0, "population units per job (0 = plain matrix jobs)")
+	pop := flag.String("pop", "", `population model: "default" or "cn=..,active=..,ambient=lo:hi,case=..,aged=..,steps=N" (needs -units)`)
+	trip := flag.Float64("trip", 0, "population thermal environment: 0 off, < 0 record-only zones, 40..150 trip °C")
 	chaos := flag.String("chaos", "", `client-side fault mix, e.g. "cut=3,cancel=5" (cut every Nth stream, cancel every Mth job)`)
 	asJSON := flag.Bool("json", false, "emit the report as JSON (durations in ms)")
 	flag.Parse()
@@ -59,11 +71,25 @@ func main() {
 	}
 
 	base := serve.JobSpec{
-		Workload:  *workloadName,
-		Idle:      *idle,
-		Reps:      *reps,
-		Seed:      *seed,
-		TimeoutMS: timeout.Milliseconds(),
+		Workload:     *workloadName,
+		Idle:         *idle,
+		Reps:         *reps,
+		Seed:         *seed,
+		TimeoutMS:    timeout.Milliseconds(),
+		Units:        *units,
+		ThermalTripC: *trip,
+	}
+	if *pop != "" {
+		if *units <= 0 {
+			fmt.Fprintln(os.Stderr, "qoeload: -pop needs -units > 0")
+			os.Exit(1)
+		}
+		model, err := population.ParseModel(*pop)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qoeload: %v\n", err)
+			os.Exit(1)
+		}
+		base.Population = &model
 	}
 	for _, c := range strings.Split(*configs, ",") {
 		if c = strings.TrimSpace(c); c != "" {

@@ -1,0 +1,137 @@
+// Command qoepop runs a fleet-scale population sweep locally: -units Monte
+// Carlo device perturbations of one SoC (silicon lottery, ambient/case
+// thermal spread, battery-age frequency caps), each swept through the config
+// matrix, with every run folded into streaming percentile digests — memory
+// stays flat no matter how many units run. The result is a percentile table
+// (p50/p95/p99 irritation, energy and peak temperature per config) rather
+// than per-run means; -json emits the same summary as one JSON object.
+//
+// -shards spools every run's scalar record to append-only NDJSON shard
+// files (pop-00000.ndjson, ...) for offline analysis, without changing the
+// sweep's memory profile. See docs/population.md for the model grammar and
+// the determinism contract.
+//
+// Usage:
+//
+//	qoepop [-workload quickstart] [-soc dragonboard] [-idle] \
+//	       [-configs "0.96 GHz,2.15 GHz,ondemand"] [-units 100] [-reps 1] \
+//	       [-seed 1] [-pop default] [-trip 0] [-workers 0] \
+//	       [-shards dir] [-shard-size 100000] [-json] [-v]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+
+	"repro/internal/experiment"
+	"repro/internal/population"
+	"repro/internal/report"
+	"repro/internal/serve"
+	"repro/internal/thermal"
+	"repro/internal/workload"
+)
+
+func main() {
+	workloadName := flag.String("workload", "quickstart", "workload to sweep")
+	socName := flag.String("soc", "dragonboard", "SoC spec: dragonboard or biglittle")
+	idle := flag.Bool("idle", false, "install the default C-state ladder")
+	configs := flag.String("configs", "", "comma-separated config subset (empty = full matrix)")
+	units := flag.Int("units", 100, "population size (number of simulated devices)")
+	reps := flag.Int("reps", 1, "repetitions per configuration per unit")
+	seed := flag.Uint64("seed", 1, "population master seed (unit i replays at population.UnitSeed(seed, i))")
+	pop := flag.String("pop", "default", `perturbation model: "default", "" (zero model) or "cn=..,active=..,ambient=lo:hi,case=..,aged=..,steps=N"`)
+	trip := flag.Float64("trip", 0, "thermal environment: 0 off, < 0 record-only zones, > 0 trip °C")
+	workers := flag.Int("workers", 0, "replay pool width (0 = GOMAXPROCS)")
+	shards := flag.String("shards", "", "directory to spool per-run NDJSON shard files into (empty = none)")
+	shardSize := flag.Int("shard-size", 0, "records per shard file (0 = 100000)")
+	asJSON := flag.Bool("json", false, "emit the percentile summary as JSON")
+	verbose := flag.Bool("v", false, "print sweep progress to stderr")
+	flag.Parse()
+
+	w := workload.ByName(*workloadName)
+	if w == nil {
+		fatal(fmt.Errorf("unknown workload %q", *workloadName))
+	}
+	spec, err := serve.SpecByName(*socName, *idle)
+	if err != nil {
+		fatal(err)
+	}
+	model, err := population.ParseModel(*pop)
+	if err != nil {
+		fatal(err)
+	}
+	var bt thermal.Config
+	if *trip != 0 {
+		bt = thermal.PhoneConfig(len(spec.Clusters), *trip, 0)
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
+	opts := experiment.PopulationOptions{
+		Options: experiment.Options{
+			Reps:    *reps,
+			Seed:    *seed,
+			Workers: *workers,
+			Context: ctx,
+		},
+		Units:       *units,
+		Model:       model,
+		BaseThermal: bt,
+	}
+	for _, c := range strings.Split(*configs, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			opts.Configs = append(opts.Configs, c)
+		}
+	}
+	if *verbose {
+		opts.Progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+	}
+
+	var sw *report.ShardWriter
+	if *shards != "" {
+		sw, err = report.NewShardWriter(*shards, *shardSize)
+		if err != nil {
+			fatal(err)
+		}
+		opts.OnPop = func(pr experiment.PopRun) {
+			if err := sw.Append(report.NewPopRunRecord(pr)); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	res, err := experiment.RunPopulation(w, spec, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if sw != nil {
+		if err := sw.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "%d records -> %d shard(s) in %s\n", sw.Written(), sw.Shards(), *shards)
+	}
+
+	if *asJSON {
+		sum := report.NewPopulationSummary(res)
+		out, err := json.Marshal(sum)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	if err := report.PopulationTable(os.Stdout, res); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "qoepop: %v\n", err)
+	os.Exit(1)
+}

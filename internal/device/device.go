@@ -84,6 +84,14 @@ type Profile struct {
 	// for calibration per replay. The model is read-only and safe to share
 	// across concurrently replaying devices.
 	ThermalPower *power.SoCModel
+	// FreqCaps, when non-empty, pins a standing per-cluster frequency cap
+	// through the arbiter under the "battery" source — the population
+	// model's battery-age peak-current limit. Entry i caps cluster i at OPP
+	// index FreqCaps[i]; a negative entry leaves that cluster uncapped.
+	// Caps are applied at every Seal (after the thermal zones come up, so
+	// first Seal and re-Seal produce identical trace prefixes) and composed
+	// min-wins with thermal throttling by the arbiter.
+	FreqCaps []int
 	// FramePool, when set, supplies recycled storage for captured frames.
 	// Sweeps give each replay worker its own pool and hand matched videos
 	// back to it, so repeated replays capture without allocating. Leave nil
@@ -353,6 +361,14 @@ func (d *Device) Seal(seed uint64, govs []governor.Governor) {
 		}
 	}
 	d.sealThermal()
+	// Battery-age caps go in after sealThermal: the throttle-trace hook only
+	// exists once the zones are up, so applying caps earlier would make the
+	// first Seal's traces differ from a re-Seal's.
+	for i, cl := range d.SoC.Clusters() {
+		if i < len(d.prof.FreqCaps) && d.prof.FreqCaps[i] >= 0 {
+			cl.SetFreqCap("battery", d.prof.FreqCaps[i])
+		}
+	}
 	// Arm the vsync chain before the launcher enters: vsyncOn suppresses the
 	// on-demand re-arm in SetAnimating, so an Enter that starts an animation
 	// rides the t=0 tick scheduled below instead of starting a second chain.

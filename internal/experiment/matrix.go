@@ -381,6 +381,19 @@ func executeCandidateRun(w *workload.Workload, rec *workload.Recording, db *anno
 	cs := spec.Clusters[cluster]
 	wc := *w
 	wc.Profile.SoC = soc.Spec{Name: spec.Name + "-" + cs.Name + "-only", Clusters: []soc.ClusterSpec{cs}}
+	// The single-cluster boot must carry the single-cluster slice of the
+	// profile's per-cluster environment: its own thermal zone (Validate
+	// requires one zone per cluster), its own battery cap, and no shared
+	// power model (calibrated for the full spec's cluster count).
+	if wc.Profile.Thermal.Enabled() {
+		wc.Profile.Thermal.Zones = wc.Profile.Thermal.Zones[cluster : cluster+1]
+	}
+	if cluster < len(wc.Profile.FreqCaps) {
+		wc.Profile.FreqCaps = wc.Profile.FreqCaps[cluster : cluster+1]
+	} else {
+		wc.Profile.FreqCaps = nil
+	}
+	wc.Profile.ThermalPower = nil
 	wc.Profile.FramePool = scratch.frames
 	name := cs.Name + "@" + cs.Table[opp].Label()
 	sess := scratch.session(&wc)

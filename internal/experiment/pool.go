@@ -117,6 +117,20 @@ func (p *Pool) EachRegistry(fn func(r *workload.SessionRegistry)) {
 	}
 }
 
+// ReleaseSessions drops every warm session, across all workers, whose key
+// matches — routine housekeeping (no quarantine is counted), used by
+// population sweeps to retire a finished unit's sessions so pool memory
+// stays flat no matter how many units stream through. Like EachRegistry it
+// must only be called while no sweep is executing on the pool. Returns how
+// many sessions were dropped.
+func (p *Pool) ReleaseSessions(match func(key string) bool) int {
+	n := 0
+	for _, s := range p.scratches {
+		n += s.sessions.Release(match)
+	}
+	return n
+}
+
 // run executes jobs [0, n) across the pool's workers, handing each worker
 // its persistent scratch. Jobs are claimed off a shared atomic cursor, so
 // assignment of job to worker varies run to run — fn must derive nothing

@@ -1,0 +1,86 @@
+package population
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseModel parses the CLI form of a population model: a comma-separated
+// list of axis settings in the style of qoeload's -chaos flag,
+//
+//	cn=0.05,active=0.05,ambient=15:35,case=0.1,aged=0.25,steps=3
+//
+// with two shorthands: "" is the zero model (every unit is the base device)
+// and "default" is DefaultModel. Unset axes stay zero, so "cn=0.1" is a
+// silicon-lottery-only fleet. The parsed model is validated.
+func ParseModel(s string) (Model, error) {
+	s = strings.TrimSpace(s)
+	switch s {
+	case "":
+		return Model{}, nil
+	case "default":
+		return DefaultModel(), nil
+	}
+	var m Model
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return m, fmt.Errorf("population: bad model entry %q (want key=value)", part)
+		}
+		switch key {
+		case "cn":
+			if err := parseFloat(val, &m.CnSigma); err != nil {
+				return m, err
+			}
+		case "active":
+			if err := parseFloat(val, &m.ActiveSigma); err != nil {
+				return m, err
+			}
+		case "ambient":
+			lo, hi, ok := strings.Cut(val, ":")
+			if !ok {
+				return m, fmt.Errorf("population: bad ambient range %q (want lo:hi)", val)
+			}
+			if err := parseFloat(lo, &m.AmbientMinC); err != nil {
+				return m, err
+			}
+			if err := parseFloat(hi, &m.AmbientMaxC); err != nil {
+				return m, err
+			}
+		case "case":
+			if err := parseFloat(val, &m.CaseSigma); err != nil {
+				return m, err
+			}
+		case "aged":
+			if err := parseFloat(val, &m.BatteryAgedFrac); err != nil {
+				return m, err
+			}
+		case "steps":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return m, fmt.Errorf("population: bad steps %q: %w", val, err)
+			}
+			m.BatteryMaxSteps = n
+		default:
+			return m, fmt.Errorf("population: unknown model axis %q (want cn, active, ambient, case, aged or steps)", key)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+func parseFloat(s string, out *float64) error {
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return fmt.Errorf("population: bad model value %q: %w", s, err)
+	}
+	*out = v
+	return nil
+}

@@ -1,0 +1,217 @@
+package population
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/soc"
+	"repro/internal/thermal"
+)
+
+func TestZeroModelIsIdentity(t *testing.T) {
+	base := soc.BigLittle44()
+	bt := thermal.PhoneConfig(len(base.Clusters), 70, 0)
+	u := Generate(Model{}, base, bt, 42, 17)
+	if u.Index != 17 {
+		t.Fatalf("Index = %d, want 17", u.Index)
+	}
+	if u.Spec.Name != base.Name {
+		t.Fatalf("zero model renamed spec: %q", u.Spec.Name)
+	}
+	if !reflect.DeepEqual(u.Spec, base) {
+		t.Fatal("zero model perturbed the spec")
+	}
+	if !reflect.DeepEqual(u.Thermal, bt) {
+		t.Fatal("zero model perturbed the thermal config")
+	}
+	if u.FreqCaps != nil {
+		t.Fatalf("zero model set caps: %v", u.FreqCaps)
+	}
+}
+
+func TestUnitSeedZeroIsSweepSeed(t *testing.T) {
+	if UnitSeed(99, 0) != 99 {
+		t.Fatalf("UnitSeed(seed, 0) = %d, want 99", UnitSeed(99, 0))
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := UnitSeed(99, i)
+		if seen[s] {
+			t.Fatalf("UnitSeed collision at i=%d", i)
+		}
+		seen[s] = true
+	}
+}
+
+// TestGenerateBitReproducible: unit i is the same no matter what order, or
+// from which goroutine, it is generated — the (seed, i) contract.
+func TestGenerateBitReproducible(t *testing.T) {
+	base := soc.BigLittle44()
+	bt := thermal.PhoneConfig(len(base.Clusters), 70, 0)
+	m := DefaultModel()
+	const n = 64
+
+	want := make([]Unit, n)
+	for i := 0; i < n; i++ {
+		want[i] = Generate(m, base, bt, 7, i)
+	}
+	// Reverse order.
+	for i := n - 1; i >= 0; i-- {
+		if got := Generate(m, base, bt, 7, i); !reflect.DeepEqual(got, want[i]) {
+			t.Fatalf("unit %d differs when generated in reverse order", i)
+		}
+	}
+	// Concurrently, as a worker pool would.
+	var wg sync.WaitGroup
+	errs := make([]bool, n)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += 8 {
+				if got := Generate(m, base, bt, 7, i); !reflect.DeepEqual(got, want[i]) {
+					errs[i] = true
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i, bad := range errs {
+		if bad {
+			t.Fatalf("unit %d differs when generated concurrently", i)
+		}
+	}
+}
+
+func TestGenerateDoesNotMutateBase(t *testing.T) {
+	base := soc.BigLittle44()
+	bt := thermal.PhoneConfig(len(base.Clusters), 70, 0)
+	baseJSON, _ := json.Marshal(base)
+	btAmb := bt.Zones[0].Zone.AmbientC
+	btR := bt.Zones[0].Zone.RThermCPerW
+	for i := 0; i < 32; i++ {
+		Generate(DefaultModel(), base, bt, 3, i)
+	}
+	if after, _ := json.Marshal(base); string(after) != string(baseJSON) {
+		t.Fatal("Generate mutated the base spec")
+	}
+	if bt.Zones[0].Zone.AmbientC != btAmb || bt.Zones[0].Zone.RThermCPerW != btR {
+		t.Fatal("Generate mutated the base thermal config")
+	}
+}
+
+func TestGeneratePerturbationShape(t *testing.T) {
+	base := soc.BigLittle44()
+	bt := thermal.PhoneConfig(len(base.Clusters), 70, 0)
+	m := DefaultModel()
+	const n = 2000
+	var agedUnits, distinctCn int
+	var meanCnF float64
+	base0 := base.Clusters[0].Silicon.CnJPerV2
+	for i := 0; i < n; i++ {
+		u := Generate(m, base, bt, 11, i)
+		if u.Spec.Name == base.Name {
+			t.Fatalf("unit %d kept the base name under an enabled model", i)
+		}
+		f := u.Spec.Clusters[0].Silicon.CnJPerV2 / base0
+		meanCnF += f
+		if f != 1 {
+			distinctCn++
+		}
+		for zi, zc := range u.Thermal.Zones {
+			if zc.Zone.AmbientC < m.AmbientMinC || zc.Zone.AmbientC > m.AmbientMaxC {
+				t.Fatalf("unit %d zone %d ambient %v outside [%v, %v]", i, zi, zc.Zone.AmbientC, m.AmbientMinC, m.AmbientMaxC)
+			}
+			if zc.Zone.RThermCPerW <= 0 {
+				t.Fatalf("unit %d zone %d non-positive thermal resistance", i, zi)
+			}
+		}
+		if len(u.FreqCaps) != len(base.Clusters) {
+			t.Fatalf("unit %d FreqCaps len %d, want %d", i, len(u.FreqCaps), len(base.Clusters))
+		}
+		if u.FreqCaps[0] >= 0 {
+			agedUnits++
+			for ci, c := range u.FreqCaps {
+				top := len(base.Clusters[ci].Table) - 1
+				if c < 0 || c >= top {
+					t.Fatalf("unit %d cluster %d aged cap %d outside [0, %d)", i, ci, c, top)
+				}
+			}
+		}
+	}
+	meanCnF /= n
+	if distinctCn < n/2 {
+		t.Fatalf("silicon lottery inert: only %d/%d units scattered", distinctCn, n)
+	}
+	if math.Abs(meanCnF-1) > 0.02 {
+		t.Fatalf("lognormal not mean-one: mean factor %v", meanCnF)
+	}
+	frac := float64(agedUnits) / n
+	if math.Abs(frac-m.BatteryAgedFrac) > 0.05 {
+		t.Fatalf("aged fraction %v, want ~%v", frac, m.BatteryAgedFrac)
+	}
+}
+
+// TestThermalDisabledStaysDisabled: a record-free (thermal-off) sweep must
+// not gain zones from the population model.
+func TestThermalDisabledStaysDisabled(t *testing.T) {
+	base := soc.Dragonboard()
+	u := Generate(DefaultModel(), base, thermal.Config{}, 5, 3)
+	if u.Thermal.Enabled() {
+		t.Fatal("disabled base thermal config became enabled")
+	}
+	if len(u.Thermal.Zones) != 0 {
+		t.Fatalf("zones materialised: %d", len(u.Thermal.Zones))
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	if err := (Model{}).Validate(); err != nil {
+		t.Fatalf("zero model invalid: %v", err)
+	}
+	if err := DefaultModel().Validate(); err != nil {
+		t.Fatalf("default model invalid: %v", err)
+	}
+	bad := []Model{
+		{CnSigma: -0.1},
+		{CnSigma: 1.5},
+		{ActiveSigma: 2},
+		{CaseSigma: -1},
+		{AmbientMinC: 30, AmbientMaxC: 20},
+		{AmbientMinC: -100, AmbientMaxC: 10},
+		{AmbientMinC: 10, AmbientMaxC: 99},
+		{BatteryAgedFrac: 1.2},
+		{BatteryAgedFrac: 0.5, BatteryMaxSteps: -1},
+		{BatteryAgedFrac: 0.5, BatteryMaxSteps: 99},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d validated: %+v", i, m)
+		}
+	}
+}
+
+func TestParseModel(t *testing.T) {
+	if m, err := ParseModel(""); err != nil || m.Enabled() {
+		t.Errorf("empty string: %+v, %v (want zero model)", m, err)
+	}
+	if m, err := ParseModel("default"); err != nil || m != DefaultModel() {
+		t.Errorf("default: %+v, %v", m, err)
+	}
+	m, err := ParseModel("cn=0.1, ambient=10:30, aged=0.5, steps=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Model{CnSigma: 0.1, AmbientMinC: 10, AmbientMaxC: 30, BatteryAgedFrac: 0.5, BatteryMaxSteps: 2}
+	if m != want {
+		t.Errorf("parsed %+v, want %+v", m, want)
+	}
+	for _, bad := range []string{"cn", "cn=x", "ambient=15", "bogus=1", "cn=2", "ambient=30:10"} {
+		if _, err := ParseModel(bad); err == nil {
+			t.Errorf("ParseModel(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package report
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiment"
+)
+
+// PopRunRecord is the JSON form of one population run — the NDJSON shard
+// line of a fleet sweep. Like RunRecord it is deterministic for a given
+// (workload, spec, seed, unit, config, rep), so two marshalled records are
+// byte-identical exactly when the replays were; unlike RunRecord it carries
+// only scalars, never traces, so a 10^6-run shard set stays cheap.
+type PopRunRecord struct {
+	Unit         int     `json:"unit"`
+	Config       string  `json:"config"`
+	Rep          int     `json:"rep"`
+	IrritationS  float64 `json:"irritation_s"`
+	EnergyJ      float64 `json:"energy_j"`
+	LeakEnergyJ  float64 `json:"leak_energy_j,omitempty"`
+	TotalEnergyJ float64 `json:"total_energy_j"`
+	PeakTempC    float64 `json:"peak_temp_c,omitempty"`
+	Migrations   int     `json:"migrations,omitempty"`
+}
+
+// NewPopRunRecord converts one streamed population run.
+func NewPopRunRecord(pr experiment.PopRun) PopRunRecord {
+	return PopRunRecord{
+		Unit:         pr.Unit,
+		Config:       pr.Config,
+		Rep:          pr.Rep,
+		IrritationS:  pr.IrritationS,
+		EnergyJ:      pr.EnergyJ,
+		LeakEnergyJ:  pr.LeakEnergyJ,
+		TotalEnergyJ: pr.TotalEnergyJ,
+		PeakTempC:    pr.PeakTempC,
+		Migrations:   pr.Migrations,
+	}
+}
+
+// Percentiles is the p50/p95/p99 row of one metric's population digest.
+type Percentiles struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// percentilesOf reads the three standard quantiles off a digest; ok is
+// false (zero Percentiles) for an empty digest, so thermal-free sweeps
+// serialise without NaNs.
+func percentilesOf(q func(float64) float64, n int64) (Percentiles, bool) {
+	if n == 0 {
+		return Percentiles{}, false
+	}
+	return Percentiles{P50: q(0.5), P95: q(0.95), P99: q(0.99)}, true
+}
+
+// PopConfigSummary is one config row of a population sweep: percentile
+// tables instead of means, one per metric.
+type PopConfigSummary struct {
+	Name string `json:"name"`
+	// QoE is irritation seconds, Energy total joules, PeakTemp °C
+	// (omitted on thermal-free sweeps).
+	QoE      Percentiles  `json:"qoe"`
+	Energy   Percentiles  `json:"energy"`
+	PeakTemp *Percentiles `json:"peak_temp,omitempty"`
+}
+
+// PopulationSummary is the JSON form of a whole population sweep — the
+// terminal record of a served population job's NDJSON stream. All
+// percentile rows come from merged digests and are accurate to the
+// sketch's documented rank-error bound (QuantileErrorQ99 etc. are exposed
+// via the error bound fields so consumers can state it).
+type PopulationSummary struct {
+	Workload string `json:"workload"`
+	Spec     string `json:"spec"`
+	Units    int    `json:"units"`
+	Reps     int    `json:"reps"`
+	Runs     int    `json:"runs"`
+	// Configs holds one percentile row per swept configuration, in matrix
+	// order.
+	Configs []PopConfigSummary `json:"configs"`
+	// OracleEnergy is the per-unit cluster-oracle energy distribution.
+	OracleEnergy Percentiles `json:"oracle_energy"`
+	// RankErrorP50/P99 state the digest's worst-case rank error at the
+	// median and the p99, as fractions of Runs — the accuracy the tables
+	// above are good to.
+	RankErrorP50 float64 `json:"rank_error_p50"`
+	RankErrorP99 float64 `json:"rank_error_p99"`
+}
+
+// NewPopulationSummary builds the terminal summary for a completed
+// population sweep.
+func NewPopulationSummary(res *experiment.PopulationResult) PopulationSummary {
+	sum := PopulationSummary{
+		Workload: res.Workload,
+		Spec:     res.Spec,
+		Units:    res.Units,
+		Reps:     res.Reps,
+		Runs:     res.Runs,
+	}
+	for _, cfg := range res.Configs {
+		cd := res.Digests[cfg]
+		row := PopConfigSummary{Name: cfg}
+		row.QoE, _ = percentilesOf(cd.QoE.Quantile, cd.QoE.Count())
+		row.Energy, _ = percentilesOf(cd.Energy.Quantile, cd.Energy.Count())
+		if pt, ok := percentilesOf(cd.PeakTemp.Quantile, cd.PeakTemp.Count()); ok {
+			row.PeakTemp = &pt
+		}
+		sum.Configs = append(sum.Configs, row)
+		if sum.RankErrorP50 == 0 {
+			sum.RankErrorP50 = cd.QoE.QuantileErrorBound(0.5)
+			sum.RankErrorP99 = cd.QoE.QuantileErrorBound(0.99)
+		}
+	}
+	sum.OracleEnergy, _ = percentilesOf(res.OracleEnergy.Quantile, res.OracleEnergy.Count())
+	return sum
+}
+
+// PopulationTable renders a population sweep as a fixed-width text table in
+// the MatrixTable style: one row per configuration with p50/p95/p99
+// irritation and energy (plus peak temperature when thermal ran), then the
+// oracle-energy percentile row.
+func PopulationTable(w io.Writer, res *experiment.PopulationResult) error {
+	if res.Runs == 0 {
+		return fmt.Errorf("report: population result has no runs")
+	}
+	sum := NewPopulationSummary(res)
+	thermalOn := false
+	for _, row := range sum.Configs {
+		if row.PeakTemp != nil {
+			thermalOn = true
+			break
+		}
+	}
+	fmt.Fprintf(w, "POPULATION SWEEP, %s on %s (%d units x %d reps, %d runs)\n",
+		sum.Workload, sum.Spec, sum.Units, sum.Reps, sum.Runs)
+	fmt.Fprintf(w, "%-26s %27s %33s", "config", "irritation p50/p95/p99 (s)", "total energy p50/p95/p99 (J)")
+	if thermalOn {
+		fmt.Fprintf(w, " %26s", "peak temp p50/p95/p99 (C)")
+	}
+	fmt.Fprintln(w)
+	for _, row := range sum.Configs {
+		fmt.Fprintf(w, "%-26s %8.2f %8.2f %9.2f %10.2f %10.2f %11.2f",
+			row.Name,
+			row.QoE.P50, row.QoE.P95, row.QoE.P99,
+			row.Energy.P50, row.Energy.P95, row.Energy.P99)
+		if thermalOn {
+			if row.PeakTemp != nil {
+				fmt.Fprintf(w, " %8.1f %8.1f %8.1f", row.PeakTemp.P50, row.PeakTemp.P95, row.PeakTemp.P99)
+			} else {
+				fmt.Fprintf(w, " %8s %8s %8s", "-", "-", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-26s %8s %8s %9s %10.2f %10.2f %11.2f\n",
+		"oracle", "-", "-", "-",
+		sum.OracleEnergy.P50, sum.OracleEnergy.P95, sum.OracleEnergy.P99)
+	fmt.Fprintf(w, "%-26s percentiles from merged digests; rank error <= %.2g (p50) / %.2g (p99) of %d runs\n",
+		"", sum.RankErrorP50, sum.RankErrorP99, sum.Runs)
+	return nil
+}
+
+// ShardWriter spools population run records to append-only NDJSON shard
+// files (pop-00000.ndjson, pop-00001.ndjson, ...) of bounded length: the
+// durable, mergeable half of the streaming sink — quantile digests keep the
+// percentiles, shards keep the raw rows for offline analysis, and neither
+// holds more than O(1) state in memory. Records are flushed through a
+// buffered writer per shard; Close flushes and closes the current shard.
+// Not safe for concurrent use: population sweeps stream records from the
+// orchestrator goroutine only.
+type ShardWriter struct {
+	dir      string
+	perShard int
+	shard    int
+	inShard  int
+	written  int
+	f        *os.File
+	bw       *bufio.Writer
+}
+
+// NewShardWriter creates the shard directory (if needed) and returns a
+// writer that rolls to a new shard every perShard records (<= 0 → 100000).
+func NewShardWriter(dir string, perShard int) (*ShardWriter, error) {
+	if perShard <= 0 {
+		perShard = 100000
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("report: shard dir: %w", err)
+	}
+	return &ShardWriter{dir: dir, perShard: perShard}, nil
+}
+
+// Append writes one record as an NDJSON line, rolling shards as needed.
+func (sw *ShardWriter) Append(rec PopRunRecord) error {
+	if sw.f == nil || sw.inShard >= sw.perShard {
+		if err := sw.roll(); err != nil {
+			return err
+		}
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("report: shard record: %w", err)
+	}
+	raw = append(raw, '\n')
+	if _, err := sw.bw.Write(raw); err != nil {
+		return fmt.Errorf("report: shard write: %w", err)
+	}
+	sw.inShard++
+	sw.written++
+	return nil
+}
+
+// Written returns the total records appended across all shards.
+func (sw *ShardWriter) Written() int { return sw.written }
+
+// Shards returns how many shard files have been opened.
+func (sw *ShardWriter) Shards() int { return sw.shard }
+
+// roll closes the current shard and opens the next.
+func (sw *ShardWriter) roll() error {
+	if err := sw.closeShard(); err != nil {
+		return err
+	}
+	path := filepath.Join(sw.dir, fmt.Sprintf("pop-%05d.ndjson", sw.shard))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("report: open shard: %w", err)
+	}
+	sw.f = f
+	sw.bw = bufio.NewWriter(f)
+	sw.shard++
+	sw.inShard = 0
+	return nil
+}
+
+func (sw *ShardWriter) closeShard() error {
+	if sw.f == nil {
+		return nil
+	}
+	if err := sw.bw.Flush(); err != nil {
+		sw.f.Close()
+		return fmt.Errorf("report: flush shard: %w", err)
+	}
+	if err := sw.f.Close(); err != nil {
+		return fmt.Errorf("report: close shard: %w", err)
+	}
+	sw.f, sw.bw = nil, nil
+	return nil
+}
+
+// Close flushes and closes the open shard. Safe to call twice.
+func (sw *ShardWriter) Close() error { return sw.closeShard() }

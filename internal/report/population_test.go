@@ -1,0 +1,133 @@
+package report
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/population"
+	"repro/internal/soc"
+	"repro/internal/thermal"
+	"repro/internal/workload"
+)
+
+func smallPopulation(t *testing.T, bt thermal.Config) *experiment.PopulationResult {
+	t.Helper()
+	res, err := experiment.RunPopulation(workload.Quickstart(), soc.Dragonboard(),
+		experiment.PopulationOptions{
+			Options:     experiment.Options{Reps: 1, Seed: 5, Configs: []string{"2.15 GHz", "ondemand"}},
+			Units:       2,
+			Model:       population.DefaultModel(),
+			BaseThermal: bt,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestPopulationSummaryAndTable(t *testing.T) {
+	res := smallPopulation(t, thermal.PhoneConfig(1, 0, 0))
+	sum := NewPopulationSummary(res)
+	if sum.Units != 2 || sum.Runs != 4 || len(sum.Configs) != 2 {
+		t.Fatalf("summary shape: units=%d runs=%d configs=%d", sum.Units, sum.Runs, len(sum.Configs))
+	}
+	for _, row := range sum.Configs {
+		if row.Energy.P50 <= 0 || row.Energy.P99 < row.Energy.P50 {
+			t.Errorf("%s energy percentiles malformed: %+v", row.Name, row.Energy)
+		}
+		if row.PeakTemp == nil || row.PeakTemp.P50 <= 0 {
+			t.Errorf("%s missing peak-temp percentiles on a thermal sweep", row.Name)
+		}
+	}
+	if sum.RankErrorP50 <= 0 || sum.RankErrorP99 <= 0 {
+		t.Error("rank error bounds not populated")
+	}
+	// The whole summary must marshal (no NaNs anywhere).
+	if _, err := json.Marshal(sum); err != nil {
+		t.Fatalf("summary does not marshal: %v", err)
+	}
+
+	var b strings.Builder
+	if err := PopulationTable(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"POPULATION SWEEP", "2.15 GHz", "ondemand", "oracle", "peak temp", "rank error"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPopulationSummaryThermalFree(t *testing.T) {
+	res := smallPopulation(t, thermal.Config{})
+	sum := NewPopulationSummary(res)
+	for _, row := range sum.Configs {
+		if row.PeakTemp != nil {
+			t.Errorf("%s has peak-temp percentiles on a thermal-free sweep", row.Name)
+		}
+	}
+	if _, err := json.Marshal(sum); err != nil {
+		t.Fatalf("thermal-free summary does not marshal: %v", err)
+	}
+	var b strings.Builder
+	if err := PopulationTable(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "peak temp") {
+		t.Error("thermal-free table renders a peak-temp column")
+	}
+}
+
+func TestShardWriter(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "shards")
+	sw, err := NewShardWriter(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		rec := PopRunRecord{Unit: i, Config: "ondemand", TotalEnergyJ: float64(i)}
+		if err := sw.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Written() != 8 || sw.Shards() != 3 {
+		t.Fatalf("written=%d shards=%d, want 8/3", sw.Written(), sw.Shards())
+	}
+	// Every record must round-trip, in order, across the shard files.
+	var got []PopRunRecord
+	for s := 0; s < sw.Shards(); s++ {
+		f, err := os.Open(filepath.Join(dir, (map[int]string{0: "pop-00000.ndjson", 1: "pop-00001.ndjson", 2: "pop-00002.ndjson"})[s]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			var rec PopRunRecord
+			if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+				t.Fatalf("shard %d: %v", s, err)
+			}
+			got = append(got, rec)
+		}
+		f.Close()
+	}
+	if len(got) != 8 {
+		t.Fatalf("round-tripped %d records, want 8", len(got))
+	}
+	for i, rec := range got {
+		if rec.Unit != i || rec.TotalEnergyJ != float64(i) {
+			t.Fatalf("record %d out of order or corrupted: %+v", i, rec)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}

@@ -37,12 +37,15 @@
 package serve
 
 import (
+	"repro/internal/population"
 	"repro/internal/report"
 )
 
 // JobSpec is the wire form of one sweep job: which workload on which SoC,
 // which slice of the config matrix, how many repetitions, under which master
 // seed. The zero values mean: full matrix, server-default reps (1), seed 1.
+// Setting Units > 0 turns the job into a population sweep (see the
+// population fields below).
 type JobSpec struct {
 	// Workload is a workload name known to workload.ByName (e.g.
 	// "quickstart", "dataset01").
@@ -65,6 +68,20 @@ type JobSpec struct {
 	// deadline-exceeded error; the executor and its warm sessions stay
 	// reusable.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Units, when > 0, makes this a Monte Carlo population job: Units
+	// simulated devices, each a seeded perturbation of the SoC, each swept
+	// through the config matrix. The stream then carries one "pop" record
+	// per run (instead of "run"/"candidate" records) and a terminal
+	// "summary" record with percentile tables. Bounded to 100000 per job.
+	Units int `json:"units,omitempty"`
+	// Population is the perturbation model for population jobs (nil → the
+	// zero model: every unit is the base device).
+	Population *population.Model `json:"population,omitempty"`
+	// ThermalTripC selects the population job's thermal environment:
+	// 0 = thermal off, < 0 = record-only zones (temperatures recorded, no
+	// throttling), 40..150 = throttling trips at that °C. Ignored on
+	// non-population jobs.
+	ThermalTripC float64 `json:"thermal_trip_c,omitempty"`
 }
 
 // Job states.
@@ -123,25 +140,34 @@ type JobList struct {
 type ResultRecord struct {
 	// Type is "run" (one config replay completed), "candidate" (one
 	// oracle placement-pinned replay completed; progress only, no
-	// payload), "fault" (one replay panicked; the panic was contained, the
+	// payload), "pop" (population jobs: one scalar record per
+	// unit × config × rep run, replacing "run"/"candidate" records),
+	// "fault" (one replay panicked; the panic was contained, the
 	// session quarantined, and the job will finish "failed" with whatever
 	// completed), "summary" (terminal, sweep aggregates) or "error"
 	// (terminal, sweep failed or cancelled).
 	Type string `json:"type"`
 	// Index is the replay's position in the sweep's deterministic job
-	// order, set on "run", "candidate" and "fault" records. It is the
-	// resume key of the durable journal: a re-executed job skips appending
-	// records whose index already survived on disk. A pointer because
-	// index 0 is a real position.
+	// order, set on "run", "candidate", "pop" and "fault" records (on
+	// population jobs the order is global: unit-major, then the unit's
+	// matrix job order). It is the resume key of the durable journal: a
+	// re-executed job skips appending records whose index already survived
+	// on disk. A pointer because index 0 is a real position.
 	Index *int `json:"index,omitempty"`
 	// Run is set for "run" records.
 	Run *report.RunRecord `json:"run,omitempty"`
+	// Pop is set for "pop" records: the scalar outcomes of one population
+	// run, shard-file compatible with report.ShardWriter lines.
+	Pop *report.PopRunRecord `json:"pop,omitempty"`
 	// Candidate labels a completed candidate replay ("<cluster>@<OPP>")
 	// with its repetition in Rep.
 	Candidate string `json:"candidate,omitempty"`
 	Rep       int    `json:"rep,omitempty"`
-	// Summary is set for the terminal "summary" record.
-	Summary *report.MatrixSummary `json:"summary,omitempty"`
+	// Summary is set for the terminal "summary" record of matrix jobs;
+	// Population for the terminal "summary" record of population jobs
+	// (percentile tables from the merged digests).
+	Summary    *report.MatrixSummary     `json:"summary,omitempty"`
+	Population *report.PopulationSummary `json:"population,omitempty"`
 	// Error is set for "error" and "fault" records; Stack carries the
 	// contained panic's worker stack on "fault" records.
 	Error string `json:"error,omitempty"`

@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/population"
+	"repro/internal/report"
+	"repro/internal/thermal"
+	"repro/internal/workload"
+)
+
+// TestPopulationJobEndToEnd runs a population job through the full serve
+// path — submit, stream, terminal summary — and pins the streamed "pop"
+// records bit-for-bit against a direct RunPopulation at the same spec.
+func TestPopulationJobEndToEnd(t *testing.T) {
+	_, client, teardown := newTestServer(t, Options{Executors: 1, Workers: 2})
+	defer teardown()
+
+	model := population.DefaultModel()
+	spec := JobSpec{
+		Workload:     "quickstart",
+		SoC:          "dragonboard",
+		Configs:      []string{"2.15 GHz", "ondemand"},
+		Reps:         1,
+		Seed:         7,
+		Units:        3,
+		Population:   &model,
+		ThermalTripC: -1, // record-only zones
+	}
+	recs, final, err := client.RunJob(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("RunJob: %v", err)
+	}
+	if final.State != StateDone {
+		t.Fatalf("job state %q, want done", final.State)
+	}
+
+	var pops []ResultRecord
+	var popSum *report.PopulationSummary
+	for _, rec := range recs {
+		switch rec.Type {
+		case "pop":
+			pops = append(pops, rec)
+		case "summary":
+			if rec.Summary != nil {
+				t.Error("population job carries a matrix summary")
+			}
+			popSum = rec.Population
+		case "run", "candidate":
+			t.Errorf("population job streamed a %q record", rec.Type)
+		}
+	}
+	if len(pops) != 6 { // 3 units x 2 configs x 1 rep
+		t.Fatalf("streamed %d pop records, want 6", len(pops))
+	}
+	if popSum == nil {
+		t.Fatal("no population summary in the stream")
+	}
+	if popSum.Units != 3 || popSum.Runs != 6 || len(popSum.Configs) != 2 {
+		t.Errorf("summary shape: units=%d runs=%d configs=%d", popSum.Units, popSum.Runs, len(popSum.Configs))
+	}
+	for _, row := range popSum.Configs {
+		if row.PeakTemp == nil {
+			t.Errorf("%s summary row has no peak-temp percentiles despite record-only zones", row.Name)
+		}
+	}
+
+	// The served stream must be bit-identical to a direct RunPopulation:
+	// same records, same global indices, same order.
+	socSpec, err := SpecByName(spec.SoC, spec.Idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []experiment.PopRun
+	_, err = experiment.RunPopulation(workload.ByName(spec.Workload), socSpec,
+		experiment.PopulationOptions{
+			Options:     experiment.Options{Reps: 1, Seed: 7, Configs: spec.Configs},
+			Units:       3,
+			Model:       model,
+			BaseThermal: thermal.PhoneConfig(len(socSpec.Clusters), spec.ThermalTripC, 0),
+			OnPop:       func(pr experiment.PopRun) { want = append(want, pr) },
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(pops) {
+		t.Fatalf("direct sweep streamed %d records, served %d", len(want), len(pops))
+	}
+	for i, rec := range pops {
+		if rec.Index == nil || *rec.Index != want[i].Index {
+			t.Errorf("pop record %d: served index %v, want %d", i, rec.Index, want[i].Index)
+		}
+		wantRec := report.NewPopRunRecord(want[i])
+		got, _ := json.Marshal(rec.Pop)
+		exp, _ := json.Marshal(&wantRec)
+		if string(got) != string(exp) {
+			t.Errorf("pop record %d differs:\nserved: %s\ndirect: %s", i, got, exp)
+		}
+	}
+}
+
+// TestPopulationJobValidation pins the submission-time 400s for population
+// fields.
+func TestPopulationJobValidation(t *testing.T) {
+	_, client, teardown := newTestServer(t, Options{Executors: 1, Workers: 1})
+	defer teardown()
+	ctx := context.Background()
+
+	bad := []struct {
+		name string
+		mut  func(*JobSpec)
+		want string
+	}{
+		{"negative units", func(s *JobSpec) { s.Units = -1 }, "units"},
+		{"huge units", func(s *JobSpec) { s.Units = 200000 }, "units"},
+		{"model without units", func(s *JobSpec) {
+			m := population.DefaultModel()
+			s.Units = 0
+			s.Population = &m
+		}, "units"},
+		{"bad model", func(s *JobSpec) {
+			s.Units = 2
+			s.Population = &population.Model{CnSigma: 2}
+		}, "cn_sigma"},
+		{"bad trip", func(s *JobSpec) {
+			s.Units = 2
+			s.ThermalTripC = 30
+		}, "thermal_trip_c"},
+	}
+	for _, tc := range bad {
+		spec := JobSpec{Workload: "quickstart", Configs: []string{"2.15 GHz", "ondemand"}}
+		tc.mut(&spec)
+		_, err := client.Submit(ctx, spec)
+		var ae *apiError
+		if err == nil || !AsAPIError(err, &ae) || ae.Status != 400 {
+			t.Errorf("%s: want 400, got %v", tc.name, err)
+			continue
+		}
+		if !strings.Contains(ae.Message, tc.want) {
+			t.Errorf("%s: error %q does not name %q", tc.name, ae.Message, tc.want)
+		}
+	}
+}
+
+// TestPopulationJobJournalRecovery: a finished population job survives a
+// restart — recovered done, its pop records and population summary
+// streamable from the journal.
+func TestPopulationJobJournalRecovery(t *testing.T) {
+	dir := t.TempDir()
+	srv, client, teardown := newTestServer(t, Options{Executors: 1, Workers: 2, Journal: dir})
+
+	spec := JobSpec{
+		Workload: "quickstart",
+		Configs:  []string{"2.15 GHz", "ondemand"},
+		Units:    2,
+		Seed:     3,
+	}
+	recs, final, err := client.RunJob(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("RunJob: %v", err)
+	}
+	id := final.ID
+	_ = srv
+	teardown()
+
+	srv2 := mustNew(t, Options{Executors: 1, Workers: 2, Journal: dir})
+	_, client2, teardown2 := mountServer(t, srv2)
+	defer teardown2()
+
+	st, err := client2.Status(context.Background(), id)
+	if err != nil {
+		t.Fatalf("recovered status: %v", err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("recovered state %q, want done", st.State)
+	}
+	var recovered []ResultRecord
+	if err := client2.StreamResults(context.Background(), id, func(rec ResultRecord) error {
+		recovered = append(recovered, rec)
+		return nil
+	}); err != nil {
+		t.Fatalf("recovered stream: %v", err)
+	}
+	// RunJob's recs exclude the terminal record only when it is an "error";
+	// here both sides should hold pop records plus the population summary.
+	if len(recovered) != len(recs) {
+		t.Fatalf("recovered %d records, original stream had %d", len(recovered), len(recs))
+	}
+	last := recovered[len(recovered)-1]
+	if last.Type != "summary" || last.Population == nil {
+		t.Fatalf("recovered terminal record is %q (population=%v), want population summary", last.Type, last.Population != nil)
+	}
+	for i, rec := range recovered[:len(recovered)-1] {
+		if rec.Type != "pop" {
+			t.Errorf("recovered record %d is %q, want pop", i, rec.Type)
+		}
+	}
+}

@@ -14,8 +14,10 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/population"
 	"repro/internal/report"
 	"repro/internal/soc"
+	"repro/internal/thermal"
 	"repro/internal/workload"
 )
 
@@ -280,6 +282,23 @@ func validateSpec(spec JobSpec) error {
 	if spec.TimeoutMS < 0 || spec.TimeoutMS > 10*60*1000 {
 		return fmt.Errorf("timeout_ms %d out of range [0, 600000]", spec.TimeoutMS)
 	}
+	if spec.Units < 0 || spec.Units > 100000 {
+		return fmt.Errorf("units %d out of range [0, 100000]", spec.Units)
+	}
+	if spec.Units == 0 {
+		if spec.Population != nil {
+			return fmt.Errorf("population model requires units > 0")
+		}
+		return nil
+	}
+	if spec.Population != nil {
+		if err := spec.Population.Validate(); err != nil {
+			return err
+		}
+	}
+	if t := spec.ThermalTripC; t > 0 && (t < 40 || t > 150) {
+		return fmt.Errorf("thermal_trip_c %g out of range (0 off, < 0 record-only, 40..150 trip)", t)
+	}
 	return nil
 }
 
@@ -325,11 +344,28 @@ func (s *Server) execute(j *job, e *executor) {
 		s.testHookJobStart(j)
 	}
 
-	res, err := s.runJob(ctx, j, e.pool)
+	// Both job kinds stream into the same result log; only the terminal
+	// summary record differs (matrix aggregates vs population percentiles).
+	var term *ResultRecord
+	var err error
+	if j.spec.Units > 0 {
+		var pres *experiment.PopulationResult
+		pres, err = s.runPopulationJob(ctx, j, e.pool)
+		if err == nil {
+			sum := report.NewPopulationSummary(pres)
+			term = &ResultRecord{Type: "summary", Population: &sum}
+		}
+	} else {
+		var res *experiment.MatrixResult
+		res, err = s.runJob(ctx, j, e.pool)
+		if err == nil {
+			sum := report.NewMatrixSummary(res)
+			term = &ResultRecord{Type: "summary", Summary: &sum}
+		}
+	}
 	switch {
 	case err == nil:
-		sum := report.NewMatrixSummary(res)
-		if j.finish(StateDone, "", &ResultRecord{Type: "summary", Summary: &sum}, time.Now()) {
+		if j.finish(StateDone, "", term, time.Now()) {
 			s.jobsDone.Add(1)
 			s.retire(j)
 		}
@@ -402,6 +438,70 @@ func (s *Server) runJob(ctx context.Context, j *job, pool *experiment.Pool) (*ex
 		opts.TestHookRun = func(ji int) { s.testHookRunStart(j, ji) }
 	}
 	return experiment.RunMatrix(w, spec, opts)
+}
+
+// runPopulationJob executes a population job: Units seeded device
+// perturbations, each swept through the config matrix on the executor's pool.
+// Per-run "run"/"candidate" records are not streamed — at population volumes
+// they would swamp the log — instead every run lands as one scalar "pop"
+// record, in deterministic global order, with its global index as the
+// journal's resume key. Fault records keep flowing so contained panics stay
+// diagnosable.
+func (s *Server) runPopulationJob(ctx context.Context, j *job, pool *experiment.Pool) (*experiment.PopulationResult, error) {
+	w := workload.ByName(j.spec.Workload)
+	if w == nil {
+		return nil, fmt.Errorf("unknown workload %q", j.spec.Workload)
+	}
+	spec, err := SpecByName(j.spec.SoC, j.spec.Idle)
+	if err != nil {
+		return nil, err
+	}
+	reps := j.spec.Reps
+	if reps <= 0 {
+		reps = 1
+	}
+	var model population.Model
+	if j.spec.Population != nil {
+		model = *j.spec.Population
+	}
+	// ThermalTripC: 0 = thermal off; < 0 = record-only zones (PhoneConfig
+	// treats a non-positive trip as record-only); > 0 = throttle trip.
+	var bt thermal.Config
+	if j.spec.ThermalTripC != 0 {
+		bt = thermal.PhoneConfig(len(spec.Clusters), j.spec.ThermalTripC, 0)
+	}
+	var totalOnce sync.Once
+	opts := experiment.PopulationOptions{
+		Options: experiment.Options{
+			Reps:      reps,
+			Seed:      j.spec.Seed,
+			Pool:      pool,
+			Context:   ctx,
+			Configs:   j.spec.Configs,
+			Heartbeat: j.touch,
+			OnRun: func(u experiment.RunUpdate) {
+				totalOnce.Do(func() { j.setTotalRuns(u.Total) })
+				if u.Kind == "fault" {
+					idx := u.Index
+					j.append(ResultRecord{Type: "fault", Error: u.Err, Stack: u.Stack, Index: &idx})
+				}
+			},
+		},
+		Units:       j.spec.Units,
+		Model:       model,
+		BaseThermal: bt,
+		OnPop: func(pr experiment.PopRun) {
+			rec := report.NewPopRunRecord(pr)
+			idx := pr.Index
+			if j.append(ResultRecord{Type: "pop", Pop: &rec, Index: &idx}) && s.testHookRunRecord != nil {
+				s.testHookRunRecord(j)
+			}
+		},
+	}
+	if s.testHookRunStart != nil {
+		opts.TestHookRun = func(ji int) { s.testHookRunStart(j, ji) }
+	}
+	return experiment.RunPopulation(w, spec, opts)
 }
 
 // watchdog periodically checks every executing job for liveness and fails

@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// digestSamples generates named test distributions deterministically.
+func digestSamples(name string, n int, rng *rand.Rand) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		switch name {
+		case "uniform":
+			out[i] = rng.Float64() * 100
+		case "lognormal":
+			out[i] = math.Exp(rng.NormFloat64())
+		case "bimodal":
+			if rng.Intn(2) == 0 {
+				out[i] = 10 + rng.NormFloat64()
+			} else {
+				out[i] = 50 + 3*rng.NormFloat64()
+			}
+		default:
+			panic("unknown distribution " + name)
+		}
+	}
+	return out
+}
+
+// checkQuantiles asserts the digest's estimates against the whole sample
+// within the documented rank-error bound ε(q): the estimate must lie
+// between the true quantiles at ranks q−ε and q+ε.
+func checkQuantiles(t *testing.T, d *Digest, sample []float64, label string) {
+	t.Helper()
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	for _, q := range []float64{0, 0.01, 0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1} {
+		est := d.Quantile(q)
+		eps := d.QuantileErrorBound(q)
+		loQ, hiQ := q-eps, q+eps
+		lo := sorted[int(math.Max(0, math.Floor(loQ*float64(n-1))))]
+		hi := sorted[int(math.Min(float64(n-1), math.Ceil(hiQ*float64(n-1))))]
+		if est < lo || est > hi {
+			t.Errorf("%s: q=%v est=%v outside [%v, %v] (eps=%v)", label, q, est, lo, hi, eps)
+		}
+	}
+}
+
+func TestDigestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, dist := range []string{"uniform", "lognormal", "bimodal"} {
+		sample := digestSamples(dist, 20000, rng)
+		d := NewDigest(0)
+		for _, v := range sample {
+			d.Add(v)
+		}
+		if got, want := d.Count(), int64(len(sample)); got != want {
+			t.Fatalf("%s: Count = %d, want %d", dist, got, want)
+		}
+		checkQuantiles(t, d, sample, dist)
+	}
+}
+
+// TestDigestMergeMatchesWholeSample is the core property: per-worker
+// digests over random shard splits, merged in random orders, agree with
+// the whole-sample quantiles within the documented bound.
+func TestDigestMergeMatchesWholeSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, dist := range []string{"uniform", "lognormal", "bimodal"} {
+		sample := digestSamples(dist, 20000, rng)
+		for trial := 0; trial < 4; trial++ {
+			nShards := 2 + rng.Intn(15)
+			shards := make([]*Digest, nShards)
+			for i := range shards {
+				shards[i] = NewDigest(0)
+			}
+			for _, v := range sample {
+				shards[rng.Intn(nShards)].Add(v)
+			}
+			order := rng.Perm(nShards)
+			merged := NewDigest(0)
+			for _, si := range order {
+				merged.Merge(shards[si])
+			}
+			if got, want := merged.Count(), int64(len(sample)); got != want {
+				t.Fatalf("%s trial %d: merged Count = %d, want %d", dist, trial, got, want)
+			}
+			checkQuantiles(t, merged, sample, dist)
+		}
+	}
+}
+
+// TestDigestDeterministic: same adds in the same order produce identical
+// estimates (the sketch is a pure function of its input sequence).
+func TestDigestDeterministic(t *testing.T) {
+	build := func() *Digest {
+		rng := rand.New(rand.NewSource(9))
+		d := NewDigest(100)
+		for i := 0; i < 5000; i++ {
+			d.Add(rng.Float64() * 1000)
+		}
+		return d
+	}
+	a, b := build(), build()
+	for _, q := range []float64{0.01, 0.5, 0.95, 0.99} {
+		if av, bv := a.Quantile(q), b.Quantile(q); av != bv {
+			t.Fatalf("q=%v: %v != %v (not deterministic)", q, av, bv)
+		}
+	}
+}
+
+// TestDigestFlatMemory: centroid count is bounded by O(compression) no
+// matter how many values stream through — the flat-memory property the
+// population sweep relies on.
+func TestDigestFlatMemory(t *testing.T) {
+	d := NewDigest(128)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200000; i++ {
+		d.Add(rng.NormFloat64())
+	}
+	if c := d.Centroids(); c > 2*128 {
+		t.Fatalf("Centroids = %d after 200k adds, want <= %d", c, 2*128)
+	}
+}
+
+func TestDigestEdgeCases(t *testing.T) {
+	d := NewDigest(0)
+	if !math.IsNaN(d.Quantile(0.5)) || !math.IsNaN(d.Min()) || !math.IsNaN(d.Max()) {
+		t.Fatal("empty digest should return NaN")
+	}
+	d.Merge(nil)
+	d.Merge(NewDigest(0))
+	if d.Count() != 0 {
+		t.Fatalf("Count after empty merges = %d, want 0", d.Count())
+	}
+	d.Add(math.NaN()) // dropped
+	d.Add(3.5)
+	if d.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", d.Count())
+	}
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := d.Quantile(q); got != 3.5 {
+			t.Fatalf("single-value Quantile(%v) = %v, want 3.5", q, got)
+		}
+	}
+	if d.Min() != 3.5 || d.Max() != 3.5 {
+		t.Fatalf("Min/Max = %v/%v, want 3.5/3.5", d.Min(), d.Max())
+	}
+	// Self-merge must be a no-op, not a doubling.
+	d.Merge(d)
+	if d.Count() != 1 {
+		t.Fatalf("Count after self-merge = %d, want 1", d.Count())
+	}
+}
+
+func TestQuantileSortGuard(t *testing.T) {
+	unsorted := []float64{5, 1, 4, 2, 3}
+	if got := Quantile(unsorted, 0.5); got != 3 {
+		t.Fatalf("Quantile(unsorted, 0.5) = %v, want 3", got)
+	}
+	// The guard must not mutate the caller's slice.
+	if unsorted[0] != 5 || unsorted[4] != 3 {
+		t.Fatalf("Quantile mutated its input: %v", unsorted)
+	}
+	sorted := []float64{1, 2, 3, 4, 5}
+	if got := Quantile(sorted, 0.5); got != 3 {
+		t.Fatalf("Quantile(sorted, 0.5) = %v, want 3", got)
+	}
+}

@@ -25,6 +25,11 @@ type Box struct {
 
 // Quantile returns the q-quantile (0..1) of sorted data with linear
 // interpolation.
+//
+// The input MUST be sorted ascending — that is the contract, and callers on
+// hot paths should sort once and reuse. As a guard against silent garbage,
+// unsorted input is detected (O(n) check) and quantiled over a sorted copy
+// instead; the input slice is never modified.
 func Quantile(sorted []float64, q float64) float64 {
 	n := len(sorted)
 	if n == 0 {
@@ -32,6 +37,11 @@ func Quantile(sorted []float64, q float64) float64 {
 	}
 	if n == 1 {
 		return sorted[0]
+	}
+	if !sort.Float64sAreSorted(sorted) {
+		data := append([]float64(nil), sorted...)
+		sort.Float64s(data)
+		sorted = data
 	}
 	if q <= 0 {
 		return sorted[0]
@@ -45,7 +55,8 @@ func Quantile(sorted []float64, q float64) float64 {
 	return sorted[i] + frac*(sorted[i+1]-sorted[i])
 }
 
-// NewBox computes box statistics for a sample (not required sorted).
+// NewBox computes box statistics for a sample. The input need not be
+// sorted: NewBox sorts an internal copy and leaves the argument untouched.
 func NewBox(sample []float64) Box {
 	b := Box{N: len(sample)}
 	if len(sample) == 0 {

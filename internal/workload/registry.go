@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"fmt"
+	"hash/fnv"
 	"sync"
 )
 
@@ -9,14 +11,30 @@ import (
 // covers the workload (its device profile — apps, services, screen — is a
 // function of the workload definition) and the SoC spec, including whether
 // C-state ladders are installed (soc.WithDefaultIdle keeps the spec name, but
-// an idle-enabled boot diverges from a ladder-free one).
+// an idle-enabled boot diverges from a ladder-free one). Thermal
+// configuration and standing frequency caps are part of the equivalence
+// class too: population sweeps vary both per unit under a shared spec-name
+// prefix, so the key gains a fingerprint suffix whenever either is present
+// (plain sweeps keep their historical keys).
 func SessionKey(w *Workload) string {
 	spec := w.Profile.SoCSpec()
 	key := w.Name + "|" + spec.Name
 	for _, cs := range spec.Clusters {
 		if len(cs.IdleStates) > 0 {
-			return key + "+idle"
+			key += "+idle"
+			break
 		}
+	}
+	if w.Profile.Thermal.Enabled() || len(w.Profile.FreqCaps) > 0 {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "tick=%v", w.Profile.Thermal.TickPeriod)
+		for _, zc := range w.Profile.Thermal.Zones {
+			fmt.Fprintf(h, "|z=%+v", zc)
+		}
+		for _, c := range w.Profile.FreqCaps {
+			fmt.Fprintf(h, "|cap=%d", c)
+		}
+		key += fmt.Sprintf("+env%016x", h.Sum64())
 	}
 	return key
 }
@@ -82,6 +100,25 @@ func (r *SessionRegistry) Evict(key string) bool {
 	delete(r.sessions, key)
 	r.quarantines++
 	return true
+}
+
+// Release drops every warm session whose key matches, returning how many
+// were dropped. Unlike Evict this is routine housekeeping, not containment:
+// nothing is counted as a quarantine. Population sweeps release each unit's
+// sessions once the unit is done — every unit has a distinct spec name, so
+// without release a 10^5-unit sweep would strand 10^5 warm devices.
+func (r *SessionRegistry) Release(match func(key string) bool) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for k := range r.sessions {
+		if match(k) {
+			delete(r.sessions, k)
+			delete(r.forks, k)
+			n++
+		}
+	}
+	return n
 }
 
 // Quarantines returns how many sessions this registry has evicted.

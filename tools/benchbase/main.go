@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/governor"
+	"repro/internal/population"
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/soc"
@@ -84,6 +85,7 @@ var allBenches = []bench{
 	{"BigLittleReplay", benchBigLittleReplay},
 	{"ThermalReplay", benchThermalReplay},
 	{"EvaluationMatrix", benchEvaluationMatrix},
+	{"PopulationSweep", benchPopulationSweep},
 }
 
 func main() {
@@ -371,6 +373,32 @@ func benchEvaluationMatrix() (testing.BenchmarkResult, float64) {
 		for i := 0; i < b.N; i++ {
 			if _, err := experiment.RunDataset(workload.Dataset02(), model, experiment.Options{Reps: 2, Seed: 1}); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+	return r, 0
+}
+
+// benchPopulationSweep mirrors BenchmarkPopulationSweep: a 4-unit Monte
+// Carlo fleet (default perturbation model, record-only thermal zones) swept
+// through two configs. Its allocs/op gate backs the population sweep's
+// flat-memory contract.
+func benchPopulationSweep() (testing.BenchmarkResult, float64) {
+	w := workload.Quickstart()
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := experiment.RunPopulation(w, soc.Dragonboard(), experiment.PopulationOptions{
+				Options:     experiment.Options{Reps: 1, Seed: 1, Configs: []string{"2.15 GHz", "ondemand"}},
+				Units:       4,
+				Model:       population.DefaultModel(),
+				BaseThermal: thermal.PhoneConfig(1, 0, 0),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Runs != 8 {
+				b.Fatalf("folded %d runs, want 8", res.Runs)
 			}
 		}
 	})
